@@ -1,0 +1,141 @@
+// Command dsmnode runs one node of a genuinely distributed cluster over
+// TCP: either the home node (master copy plus its own worker thread 0) or a
+// remote worker thread.
+//
+// A two-machine session reproducing the paper's deployment:
+//
+//	# home machine (plays the Solaris box)
+//	dsmnode -role home -listen :7000 -platform solaris-sparc \
+//	        -workload matmul -n 99 -threads 3
+//
+//	# worker machine (plays the Linux box), twice:
+//	dsmnode -role worker -home host:7000 -rank 1 -platform linux-x86 \
+//	        -workload matmul -n 99 -threads 3
+//	dsmnode -role worker -home host:7000 -rank 2 -platform linux-x86 \
+//	        -workload matmul -n 99 -threads 3
+//
+// The home prints the Eq. 1 breakdown when every thread has joined.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetdsm/internal/apps"
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/stats"
+	"hetdsm/internal/tag"
+	"hetdsm/internal/transport"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "", `"home" or "worker"`)
+		listen   = flag.String("listen", ":7000", "home: listen address")
+		homeAddr = flag.String("home", "", "worker: home address host:port")
+		rank     = flag.Int("rank", 0, "worker: thread rank")
+		platName = flag.String("platform", "linux-x86", "virtual platform name")
+		workload = flag.String("workload", "matmul", `"matmul", "lu" or "jacobi"`)
+		n        = flag.Int("n", 99, "matrix dimension")
+		threads  = flag.Int("threads", 3, "total worker thread count")
+		seed     = flag.Int64("seed", 20060814, "input generator seed")
+	)
+	flag.Parse()
+
+	plat := platform.ByName(*platName)
+	if plat == nil {
+		fail(fmt.Errorf("unknown platform %q", *platName))
+	}
+	gthv, body, err := workloadFor(*workload, *n, *threads, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	switch *role {
+	case "home":
+		runHome(*listen, plat, gthv, body, *threads)
+	case "worker":
+		runWorker(*homeAddr, plat, gthv, body, int32(*rank))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dsmnode:", err)
+	os.Exit(1)
+}
+
+// workloadFor resolves the GThV shape and per-thread body.
+func workloadFor(workload string, n, threads int, seed int64) (tag.Struct, func(*dsd.Thread, int) error, error) {
+	switch workload {
+	case "matmul":
+		return apps.MatMulGThV(n), func(th *dsd.Thread, rank int) error {
+			return apps.MatMulThread(th, rank, threads, n, seed, seed+1)
+		}, nil
+	case "lu":
+		return apps.LUGThV(n), func(th *dsd.Thread, rank int) error {
+			return apps.LUThread(th, rank, threads, n, seed)
+		}, nil
+	case "jacobi":
+		return apps.JacobiGThV(n), func(th *dsd.Thread, rank int) error {
+			return apps.JacobiThread(th, rank, threads, n, 10, seed)
+		}, nil
+	default:
+		return tag.Struct{}, nil, fmt.Errorf("unknown workload %q", workload)
+	}
+}
+
+func runHome(listen string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, threads int) {
+	home, err := dsd.NewHome(gthv, plat, threads, dsd.DefaultOptions())
+	if err != nil {
+		fail(err)
+	}
+	var nw transport.TCP
+	l, err := nw.Listen(listen)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("home: serving on %s (%s), waiting for %d threads\n", l.Addr(), plat, threads)
+	go home.Serve(l)
+
+	// The home machine contributes thread 0, the paper's non-migrated
+	// thread.
+	th, err := home.LocalThread(0, plat, dsd.DefaultOptions())
+	if err != nil {
+		fail(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- body(th, 0) }()
+
+	home.Wait()
+	if err := <-errCh; err != nil {
+		fail(err)
+	}
+	fmt.Println("home: all threads joined")
+	fmt.Println("home-side breakdown:", home.Stats())
+	fmt.Println("thread-0 breakdown: ", th.Stats())
+	fmt.Printf("home-side t_conv: %v over %d update bytes\n",
+		home.Stats().Phase(stats.Conv), home.Stats().Bytes(stats.Conv))
+	home.Close()
+}
+
+func runWorker(homeAddr string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, rank int32) {
+	if homeAddr == "" {
+		fail(fmt.Errorf("worker needs -home host:port"))
+	}
+	var nw transport.TCP
+	th, err := dsd.Dial(nw, homeAddr, plat, rank, gthv, dsd.DefaultOptions())
+	if err != nil {
+		fail(err)
+	}
+	defer th.Close()
+	fmt.Printf("worker: rank %d (%s) connected to %s\n", rank, plat, homeAddr)
+	if err := body(th, int(rank)); err != nil {
+		fail(err)
+	}
+	fmt.Println("worker: done;", th.Stats())
+}

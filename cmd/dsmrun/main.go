@@ -1,0 +1,107 @@
+// Command dsmrun executes one DSM experiment end-to-end in a single
+// process — the paper's three-thread configuration (one thread at the home
+// node, two on the remote platform) — and prints the Eq. 1 data-sharing
+// cost breakdown.
+//
+// Usage:
+//
+//	dsmrun -workload matmul -n 138 -pair SL -verify
+//	dsmrun -workload lu -n 99 -pair LL -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetdsm/internal/apps"
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/stats"
+	"hetdsm/internal/trace"
+	"hetdsm/internal/vmem"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "matmul", `workload: "matmul", "lu", "jacobi" or "transfer"`)
+		n         = flag.Int("n", 99, "matrix dimension")
+		pairLabel = flag.String("pair", "SL", `platform pair: "LL", "SS" or "SL"`)
+		threads   = flag.Int("threads", 3, "worker thread count")
+		verify    = flag.Bool("verify", true, "verify against a sequential run")
+		seed      = flag.Int64("seed", 20060814, "input generator seed")
+		coalesce  = flag.Bool("coalesce", true, "group consecutive elements into single tags")
+		whole     = flag.Float64("whole-array", 0.5, "whole-array transfer threshold (0 disables)")
+		wordDiff  = flag.Bool("word-diff", false, "compare twins word-wise instead of byte-wise")
+		traceN    = flag.Int("trace", 0, "print the last N protocol events after the run (0 disables)")
+		invalid   = flag.Bool("invalidate", false, "use the invalidate protocol instead of update")
+	)
+	flag.Parse()
+
+	pair, ok := apps.PairByLabel(*pairLabel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dsmrun: unknown pair %q\n", *pairLabel)
+		os.Exit(2)
+	}
+	opts := dsd.DefaultOptions()
+	opts.Coalesce = *coalesce
+	opts.WholeArrayThreshold = *whole
+	if *wordDiff {
+		opts.Diff = vmem.DiffWord
+	}
+	if *invalid {
+		opts.Protocol = dsd.ProtocolInvalidate
+	}
+	var tlog *trace.Log
+	if *traceN > 0 {
+		tlog = trace.NewLog(*traceN)
+		opts.Trace = tlog
+	}
+
+	res, err := apps.Run(apps.Config{
+		Workload: *workload,
+		N:        *n,
+		Pair:     pair,
+		Threads:  *threads,
+		Opts:     opts,
+		Verify:   *verify,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload   %s  N=%d  pair=%s (%s home, %s remote)  threads=%d\n",
+		*workload, *n, pair.Label, pair.Home, pair.Remote, *threads)
+	fmt.Printf("wall time  %v\n", res.Wall)
+	if *verify {
+		fmt.Printf("verified   %v (matches sequential run exactly)\n", res.Verified)
+	}
+	fmt.Printf("updates    %d bytes crossed the DSD; %d software page faults\n",
+		res.UpdateBytes, res.PageFaults)
+	fmt.Println()
+	fmt.Println("Cshare breakdown (Eq. 1), cluster-wide:")
+	total := res.AggTotal()
+	for p := stats.Phase(0); p < stats.NumPhases; p++ {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(res.Agg[p]) / float64(total)
+		}
+		fmt.Printf("  t_%-7s %12v  %5.1f%%\n", p, res.Agg[p], pct)
+	}
+	fmt.Printf("  %-9s %12v\n", "Cshare", total)
+	fmt.Println()
+	fmt.Printf("home-side conversion (the paper's t_conv): %v\n", res.Home[stats.Conv])
+	fmt.Println("per-platform release-side work:")
+	for name, bd := range res.ByPlatform {
+		fmt.Printf("  %-16s index=%v tag=%v pack=%v\n",
+			name, bd[stats.Index], bd[stats.Tag], bd[stats.Pack])
+	}
+	if tlog != nil {
+		fmt.Printf("\nlast %d protocol events (%d recorded, %d dropped by the ring):\n",
+			tlog.Len(), tlog.Total(), tlog.Dropped())
+		if err := tlog.Dump(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Heterogeneous thread migration with adaptive load balancing — the full
+// MigThread + DSD + scheduler stack.
+//
+// A worker thread starts on an x86/Linux node, summing a long series in
+// steps while publishing progress through the DSM. Mid-computation the
+// load balancer notices the node is overloaded and an idle SPARC/Solaris
+// machine has a matching skeleton slot (iso-computing: same rank), so the
+// thread's state — its typed frame, serialized with CGT-RMR tags — is
+// captured, byte-swapped receiver-makes-right, and resumed on the SPARC
+// node, which finishes the job. The result is exact.
+//
+// Run with: go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"hetdsm"
+)
+
+// seriesWork sums i=1..Total in chunks, keeping its loop state in the
+// migratable frame (the preprocessor-produced form of a C thread body).
+type seriesWork struct {
+	Total int64
+	Chunk int64
+	steps atomic.Int64
+}
+
+func (w *seriesWork) FrameType() hetdsm.Struct {
+	// long long, not long: C long is only 4 bytes on the ILP32 paper
+	// platforms and sum(1..10^6) overflows 32 bits.
+	return hetdsm.Struct{Name: "frame", Fields: []hetdsm.Field{
+		{Name: "i", T: hetdsm.LongLong()},
+		{Name: "acc", T: hetdsm.LongLong()},
+	}}
+}
+
+func (w *seriesWork) Init(ctx *hetdsm.Ctx) error {
+	if err := ctx.Frame().SetInt("i", 1); err != nil {
+		return err
+	}
+	return ctx.Frame().SetInt("acc", 0)
+}
+
+func (w *seriesWork) Step(ctx *hetdsm.Ctx) (bool, error) {
+	f := ctx.Frame()
+	i, err := f.Int("i")
+	if err != nil {
+		return false, err
+	}
+	acc, _ := f.Int("acc")
+	for k := int64(0); k < w.Chunk && i <= w.Total; k++ {
+		acc += i
+		i++
+	}
+	if err := f.SetInt("i", i); err != nil {
+		return false, err
+	}
+	if err := f.SetInt("acc", acc); err != nil {
+		return false, err
+	}
+	w.steps.Add(1)
+	time.Sleep(2 * time.Millisecond) // make the run observable
+	if i <= w.Total {
+		return false, nil
+	}
+	if err := ctx.T.Lock(0); err != nil {
+		return false, err
+	}
+	if err := ctx.T.Globals().MustVar("sum").SetInt(0, acc); err != nil {
+		return false, err
+	}
+	if err := ctx.T.Unlock(0); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func main() {
+	gthv := hetdsm.Struct{Name: "GThV_t", Fields: []hetdsm.Field{
+		{Name: "sum", T: hetdsm.LongLong()},
+	}}
+
+	// Home + two machines over the in-process network.
+	nw := hetdsm.NewInproc()
+	home, err := hetdsm.NewHome(gthv, hetdsm.LinuxX86, 1, hetdsm.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hl, err := nw.Listen("home")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go home.Serve(hl)
+	defer home.Close()
+
+	busy := hetdsm.NewNode("x86-box", hetdsm.LinuxX86, nw, "home", gthv, hetdsm.DefaultOptions())
+	idle := hetdsm.NewNode("sparc-box", hetdsm.SolarisSPARC, nw, "home", gthv, hetdsm.DefaultOptions())
+	for _, n := range []*hetdsm.Node{busy, idle} {
+		if err := n.ListenMigrations(n.Name() + "-mig"); err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+	}
+
+	const total = 1_000_000
+	work := &seriesWork{Total: total, Chunk: 10_000}
+	if _, err := busy.StartThread(0, work, hetdsm.RoleLocal); err != nil {
+		log.Fatal(err)
+	}
+	// The idle machine holds a skeleton for the same rank — the same
+	// application, started everywhere, per the iso-computing scheme.
+	if _, err := idle.StartSkeleton(0, &seriesWork{Total: total, Chunk: 10_000}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thread 0 computing sum(1..%d) on %s (%s-endian)\n",
+		total, busy.Name(), busy.Platform().Order)
+
+	// The adaptive layer: the x86 box reports heavy load, the SPARC box
+	// is idle; the balancer orders the move.
+	loads := hetdsm.LoadFunc(func(node string) float64 {
+		if node == "x86-box" {
+			return 0.92
+		}
+		return 0.08
+	})
+	balancer, err := hetdsm.NewBalancer(hetdsm.DefaultPolicy(), loads, busy, idle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Let it run a moment, then balance.
+	time.Sleep(20 * time.Millisecond)
+	decisions := balancer.Tick()
+	for _, d := range decisions {
+		fmt.Printf("balancer: node %q load %.2f > high water; moving rank %d to %q (load %.2f)\n",
+			d.From, d.FromLoad, d.Rank, d.To, d.ToLoad)
+	}
+
+	if err := busy.WaitAll(); err != nil {
+		log.Fatal(err)
+	}
+	if err := idle.WaitAll(); err != nil {
+		log.Fatal(err)
+	}
+	home.Wait()
+
+	for _, rec := range busy.Migrations() {
+		fmt.Printf("migrated at step %d: %d-byte frame captured on %s, restored on %s in %v\n",
+			rec.PC, rec.FrameBytes, busy.Platform(), idle.Platform(), rec.CaptureTime)
+	}
+	srcRole, _ := busy.Role(0)
+	dstRole, _ := idle.Role(0)
+	fmt.Printf("roles after migration: %s slot=%v, %s slot=%v\n",
+		busy.Name(), srcRole, idle.Name(), dstRole)
+
+	got, err := home.Globals().MustVar("sum").Int(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := int64(total) * (total + 1) / 2
+	fmt.Printf("result: %d (want %d) — exact across the x86 -> SPARC move: %v\n",
+		got, want, got == want)
+}

@@ -1,0 +1,72 @@
+package hetdsm
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and executes every example program and checks its
+// success marker, guarding the documented entry points against rot. Skipped
+// under -short (each example is a full `go run` compile + execute).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want []string
+	}{
+		{"./examples/quickstart", nil, []string{
+			"final counter: 16 (want 16",
+		}},
+		{"./examples/matmul", []string{"-n", "48", "-pair", "SL"}, []string{
+			"result verified against sequential run: true",
+			"heterogeneous pair",
+		}},
+		{"./examples/lu", []string{"-n", "32", "-pair", "SL"}, []string{
+			"bit-identical to the sequential factorization: true",
+		}},
+		{"./examples/migration", nil, []string{
+			"exact across the x86 -> SPARC move: true",
+			"roles after migration: x86-box slot=stub, sparc-box slot=done",
+		}},
+		{"./examples/checkpoint", nil, []string{
+			"bit-identical: true",
+		}},
+		{"./examples/fileio", nil, []string{
+			"streams survived the move intact: true",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", c.dir}, c.args...)
+			cmd := exec.Command("go", args...)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatalf("%s timed out", c.dir)
+			}
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

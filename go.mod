@@ -1,0 +1,3 @@
+module hetdsm
+
+go 1.22

@@ -1,0 +1,145 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/tag"
+)
+
+// Jacobi iteration — the barrier-per-sweep stencil workload every DSM of
+// the paper's era was judged on (TreadMarks, Strings). It is not in the
+// paper's evaluation; we include it as an extension workload because its
+// sharing pattern is the opposite of matmul's: every iteration every
+// thread rewrites its whole block and reads its neighbours' halo rows, so
+// the DSD's per-barrier update volume is high and steady.
+
+// JacobiGThV returns the global structure: two n×n double grids (source
+// and destination roles alternate each sweep) plus the size.
+func JacobiGThV(n int) tag.Struct {
+	return tag.Struct{
+		Name: "GThV_t",
+		Fields: []tag.Field{
+			{Name: "GThP", T: tag.Pointer{}},
+			{Name: "A", T: tag.DoubleArray(n * n)},
+			{Name: "B", T: tag.DoubleArray(n * n)},
+			{Name: "n", T: tag.Int()},
+		},
+	}
+}
+
+// GenJacobiGrid generates the deterministic initial grid: hot boundary,
+// cold interior.
+func GenJacobiGrid(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	g := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == 0 || j == 0 || i == n-1 || j == n-1 {
+				g[i*n+j] = 100 + r.Float64()
+			}
+		}
+	}
+	return g
+}
+
+// JacobiSeq runs iters sweeps sequentially and returns the final grid (the
+// buffer holding the last result).
+func JacobiSeq(grid []float64, n, iters int) []float64 {
+	src := append([]float64(nil), grid...)
+	dst := append([]float64(nil), grid...)
+	for it := 0; it < iters; it++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				dst[i*n+j] = 0.25 * (src[(i-1)*n+j] + src[(i+1)*n+j] + src[i*n+j-1] + src[i*n+j+1])
+			}
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// JacobiThread is the per-thread body: rank 0 initializes the grids, then
+// every thread sweeps its block of interior rows, alternating the A/B
+// roles, with a barrier after every sweep publishing the halo rows.
+func JacobiThread(th *dsd.Thread, rank, nthreads, n, iters int, seed int64) error {
+	g := th.Globals()
+	vA, err := g.Var("A")
+	if err != nil {
+		return err
+	}
+	vB, err := g.Var("B")
+	if err != nil {
+		return err
+	}
+	vN, err := g.Var("n")
+	if err != nil {
+		return err
+	}
+
+	if rank == 0 {
+		grid := GenJacobiGrid(n, seed)
+		if err := th.Lock(0); err != nil {
+			return err
+		}
+		if err := vA.SetFloat64s(0, grid); err != nil {
+			return err
+		}
+		if err := vB.SetFloat64s(0, grid); err != nil {
+			return err
+		}
+		if err := vN.SetInt(0, int64(n)); err != nil {
+			return err
+		}
+		if err := th.Unlock(0); err != nil {
+			return err
+		}
+	}
+	if err := th.Barrier(0); err != nil {
+		return err
+	}
+	if gotN, err := vN.Int(0); err != nil {
+		return err
+	} else if int(gotN) != n {
+		return fmt.Errorf("apps: thread %d sees n=%d, want %d", rank, gotN, n)
+	}
+
+	// Interior rows 1..n-2 are dealt in contiguous blocks.
+	first, count := rowsOf(n-2, nthreads, rank)
+	first++ // shift into the interior
+	for it := 0; it < iters; it++ {
+		src, dst := vA, vB
+		if it%2 == 1 {
+			src, dst = vB, vA
+		}
+		if count > 0 {
+			// Read my block plus one halo row on each side.
+			lo := first - 1
+			rows := count + 2
+			in, err := src.Float64s(lo*n, rows*n)
+			if err != nil {
+				return err
+			}
+			out := make([]float64, count*n)
+			for i := 0; i < count; i++ {
+				gi := first + i // global row
+				// Local row index into `in` is i+1.
+				for j := 1; j < n-1; j++ {
+					out[i*n+j] = 0.25 * (in[i*n+j] + in[(i+2)*n+j] + in[(i+1)*n+j-1] + in[(i+1)*n+j+1])
+				}
+				// Boundary columns keep their fixed values.
+				out[i*n] = in[(i+1)*n]
+				out[i*n+n-1] = in[(i+1)*n+n-1]
+				_ = gi
+			}
+			if err := dst.SetFloat64s(first*n, out); err != nil {
+				return err
+			}
+		}
+		if err := th.Barrier(0); err != nil {
+			return err
+		}
+	}
+	return th.Join()
+}

@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/tag"
+)
+
+// LUGThV returns the global structure for the LU-decomposition workload: a
+// single n×n double matrix factored in place, plus the size. LU rewrites
+// most of the matrix every elimination step, which is why the paper's
+// Figure 11 shows it transferring more data per update than matmul.
+func LUGThV(n int) tag.Struct {
+	return tag.Struct{
+		Name: "GThV_t",
+		Fields: []tag.Field{
+			{Name: "GThP", T: tag.Pointer{}},
+			{Name: "A", T: tag.DoubleArray(n * n)},
+			{Name: "n", T: tag.Int()},
+		},
+	}
+}
+
+// GenLUMatrix generates a deterministic, diagonally dominant n×n matrix so
+// the factorization is numerically stable without pivoting.
+func GenLUMatrix(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out[i*n+j] = r.Float64()*2 - 1
+		}
+		out[i*n+i] = float64(n) + r.Float64() // dominance
+	}
+	return out
+}
+
+// LUSeq factors A in place sequentially (Doolittle, no pivoting): after it
+// returns, the strict lower triangle holds L's multipliers and the upper
+// triangle holds U. Row operations are performed in exactly the order the
+// distributed version uses, so results match bit for bit.
+func LUSeq(a []float64, n int) {
+	for k := 0; k < n-1; k++ {
+		pivot := a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := a[i*n+k] / pivot
+			a[i*n+k] = l
+			rowK := a[k*n:]
+			rowI := a[i*n:]
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+		}
+	}
+}
+
+// LUThread is the per-thread body of the distributed factorization: rows
+// are dealt cyclically, each elimination step updates the owned rows below
+// the pivot, and a barrier per step publishes the new pivot row. Because
+// double conversion is bit-exact, the distributed result equals LUSeq
+// exactly on every platform pair.
+func LUThread(th *dsd.Thread, rank, nthreads, n int, seed int64) error {
+	g := th.Globals()
+	vA, err := g.Var("A")
+	if err != nil {
+		return err
+	}
+	vN, err := g.Var("n")
+	if err != nil {
+		return err
+	}
+
+	if rank == 0 {
+		if err := th.Lock(0); err != nil {
+			return err
+		}
+		if err := vA.SetFloat64s(0, GenLUMatrix(n, seed)); err != nil {
+			return err
+		}
+		if err := vN.SetInt(0, int64(n)); err != nil {
+			return err
+		}
+		if err := th.Unlock(0); err != nil {
+			return err
+		}
+	}
+	if err := th.Barrier(0); err != nil {
+		return err
+	}
+	if gotN, err := vN.Int(0); err != nil {
+		return err
+	} else if int(gotN) != n {
+		return fmt.Errorf("apps: thread %d sees n=%d, want %d", rank, gotN, n)
+	}
+
+	for k := 0; k < n-1; k++ {
+		// The pivot row is final after the previous step's barrier.
+		rowK, err := vA.Float64s(k*n+k, n-k)
+		if err != nil {
+			return err
+		}
+		pivot := rowK[0]
+		for i := k + 1; i < n; i++ {
+			if i%nthreads != rank {
+				continue
+			}
+			rowI, err := vA.Float64s(i*n+k, n-k)
+			if err != nil {
+				return err
+			}
+			l := rowI[0] / pivot
+			rowI[0] = l
+			for j := 1; j < n-k; j++ {
+				rowI[j] -= l * rowK[j]
+			}
+			if err := vA.SetFloat64s(i*n+k, rowI); err != nil {
+				return err
+			}
+		}
+		if err := th.Barrier(0); err != nil {
+			return err
+		}
+	}
+	return th.Join()
+}

@@ -1,0 +1,167 @@
+// Package apps contains the paper's evaluation workloads — matrix
+// multiplication and LU decomposition (Section 5) — written against the DSD
+// API exactly as a Pthreads program ported with MigThread would be: one
+// global structure (Figure 4's GThV shape), three threads, lock-protected
+// initialization, barrier-separated compute phases.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/tag"
+)
+
+// MatMulGThV returns the Figure 4 global structure for an n×n integer
+// matrix multiplication: {void* GThP; int A[n*n]; int B[n*n]; int C[n*n];
+// int n;}.
+func MatMulGThV(n int) tag.Struct {
+	return tag.Struct{
+		Name: "GThV_t",
+		Fields: []tag.Field{
+			{Name: "GThP", T: tag.Pointer{}},
+			{Name: "A", T: tag.IntArray(n * n)},
+			{Name: "B", T: tag.IntArray(n * n)},
+			{Name: "C", T: tag.IntArray(n * n)},
+			{Name: "n", T: tag.Int()},
+		},
+	}
+}
+
+// GenIntMatrix deterministically generates the n×n input matrix used by
+// both the distributed run and the sequential verifier.
+func GenIntMatrix(n int, seed int64) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int64, n*n)
+	for i := range out {
+		out[i] = int64(r.Intn(100))
+	}
+	return out
+}
+
+// MatMulSeq computes C = A×B sequentially; the ground truth for
+// verification.
+func MatMulSeq(a, b []int64, n int) []int64 {
+	c := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			row := b[k*n:]
+			out := c[i*n:]
+			for j := 0; j < n; j++ {
+				out[j] += aik * row[j]
+			}
+		}
+	}
+	return c
+}
+
+// rowsOf partitions n rows among nthreads, giving rank a contiguous block.
+func rowsOf(n, nthreads, rank int) (first, count int) {
+	base := n / nthreads
+	extra := n % nthreads
+	first = rank*base + min(rank, extra)
+	count = base
+	if rank < extra {
+		count++
+	}
+	return first, count
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MatMulThread is the per-thread body of the distributed matrix
+// multiplication: rank 0 initializes A and B under the distributed lock,
+// a barrier publishes them, every thread computes its block of C rows, and
+// a final barrier flushes the products home.
+func MatMulThread(th *dsd.Thread, rank, nthreads, n int, seedA, seedB int64) error {
+	g := th.Globals()
+	vA, err := g.Var("A")
+	if err != nil {
+		return err
+	}
+	vB, err := g.Var("B")
+	if err != nil {
+		return err
+	}
+	vC, err := g.Var("C")
+	if err != nil {
+		return err
+	}
+	vN, err := g.Var("n")
+	if err != nil {
+		return err
+	}
+
+	if rank == 0 {
+		if err := th.Lock(0); err != nil {
+			return err
+		}
+		if err := vA.SetInts(0, GenIntMatrix(n, seedA)); err != nil {
+			return err
+		}
+		if err := vB.SetInts(0, GenIntMatrix(n, seedB)); err != nil {
+			return err
+		}
+		if err := vN.SetInt(0, int64(n)); err != nil {
+			return err
+		}
+		if err := th.Unlock(0); err != nil {
+			return err
+		}
+	}
+	if err := th.Barrier(0); err != nil {
+		return err
+	}
+
+	// Every thread sees the inputs now; check the published size.
+	gotN, err := vN.Int(0)
+	if err != nil {
+		return err
+	}
+	if int(gotN) != n {
+		return fmt.Errorf("apps: thread %d sees n=%d, want %d", rank, gotN, n)
+	}
+
+	first, count := rowsOf(n, nthreads, rank)
+	if count > 0 {
+		a, err := vA.Ints(first*n, count*n)
+		if err != nil {
+			return err
+		}
+		b, err := vB.Ints(0, n*n)
+		if err != nil {
+			return err
+		}
+		c := make([]int64, count*n)
+		for i := 0; i < count; i++ {
+			for k := 0; k < n; k++ {
+				aik := a[i*n+k]
+				if aik == 0 {
+					continue
+				}
+				row := b[k*n:]
+				out := c[i*n:]
+				for j := 0; j < n; j++ {
+					out[j] += aik * row[j]
+				}
+			}
+		}
+		if err := vC.SetInts(first*n, c); err != nil {
+			return err
+		}
+	}
+	if err := th.Barrier(0); err != nil {
+		return err
+	}
+	return th.Join()
+}

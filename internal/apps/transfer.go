@@ -1,0 +1,149 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/tag"
+)
+
+// Account-transfer workload — an extension beyond the paper exercising the
+// DSD under *multiple* distributed mutexes held concurrently by different
+// threads, including nested acquisition. The account array is striped;
+// mutex i protects stripe i; a transfer locks both stripes in ascending
+// order (the classic deadlock-avoidance discipline) and moves money.
+// Because every mutation is an increment under its stripe's lock, the
+// final balances equal the initial ones plus the planned deltas, whatever
+// the interleaving — and the total is conserved.
+
+// TransferStripe is the number of accounts protected by one mutex.
+const TransferStripe = 16
+
+// TransferGThV returns the global structure: nAccounts balances.
+func TransferGThV(nAccounts int) tag.Struct {
+	return tag.Struct{
+		Name: "GThV_t",
+		Fields: []tag.Field{
+			{Name: "balances", T: tag.Array{Elem: tag.LongLong(), N: nAccounts}},
+			{Name: "n", T: tag.Int()},
+		},
+	}
+}
+
+// transferOp is one planned movement.
+type transferOp struct {
+	from, to int
+	amount   int64
+}
+
+// planTransfers deterministically plans ops for one thread.
+func planTransfers(nAccounts, nOps int, seed int64) []transferOp {
+	r := rand.New(rand.NewSource(seed))
+	ops := make([]transferOp, nOps)
+	for i := range ops {
+		from := r.Intn(nAccounts)
+		to := r.Intn(nAccounts)
+		for to/TransferStripe == from/TransferStripe {
+			to = r.Intn(nAccounts) // force distinct stripes
+		}
+		ops[i] = transferOp{from: from, to: to, amount: int64(r.Intn(1000))}
+	}
+	return ops
+}
+
+// TransferExpected computes the final balances implied by every thread's
+// plan, starting from the deterministic initial funding.
+func TransferExpected(nAccounts, nOps, nthreads int, seed int64) []int64 {
+	out := TransferInitial(nAccounts, seed)
+	for rank := 0; rank < nthreads; rank++ {
+		for _, op := range planTransfers(nAccounts, nOps, seed+int64(rank)*1000) {
+			out[op.from] -= op.amount
+			out[op.to] += op.amount
+		}
+	}
+	return out
+}
+
+// TransferInitial returns the deterministic initial balances.
+func TransferInitial(nAccounts int, seed int64) []int64 {
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
+	out := make([]int64, nAccounts)
+	for i := range out {
+		out[i] = int64(10000 + r.Intn(5000))
+	}
+	return out
+}
+
+// TransferThread is the per-thread body: rank 0 funds the accounts, then
+// every thread executes its planned transfers under the two stripes' locks.
+// Stripe mutexes are numbered from 1; mutex 0 guards initialization.
+func TransferThread(th *dsd.Thread, rank, nthreads, nAccounts, nOps int, seed int64) error {
+	if nAccounts%TransferStripe != 0 {
+		return fmt.Errorf("apps: accounts %d not a multiple of stripe %d", nAccounts, TransferStripe)
+	}
+	g := th.Globals()
+	bal, err := g.Var("balances")
+	if err != nil {
+		return err
+	}
+	vN, err := g.Var("n")
+	if err != nil {
+		return err
+	}
+	if rank == 0 {
+		if err := th.Lock(0); err != nil {
+			return err
+		}
+		if err := bal.SetInts(0, TransferInitial(nAccounts, seed)); err != nil {
+			return err
+		}
+		if err := vN.SetInt(0, int64(nAccounts)); err != nil {
+			return err
+		}
+		if err := th.Unlock(0); err != nil {
+			return err
+		}
+	}
+	if err := th.Barrier(0); err != nil {
+		return err
+	}
+
+	stripeLock := func(acct int) int { return 1 + acct/TransferStripe }
+	for _, op := range planTransfers(nAccounts, nOps, seed+int64(rank)*1000) {
+		lo, hi := stripeLock(op.from), stripeLock(op.to)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if err := th.Lock(lo); err != nil {
+			return err
+		}
+		if err := th.Lock(hi); err != nil {
+			return err
+		}
+		f, err := bal.Int(op.from)
+		if err != nil {
+			return err
+		}
+		t, err := bal.Int(op.to)
+		if err != nil {
+			return err
+		}
+		if err := bal.SetInt(op.from, f-op.amount); err != nil {
+			return err
+		}
+		if err := bal.SetInt(op.to, t+op.amount); err != nil {
+			return err
+		}
+		if err := th.Unlock(hi); err != nil {
+			return err
+		}
+		if err := th.Unlock(lo); err != nil {
+			return err
+		}
+	}
+	if err := th.Barrier(0); err != nil {
+		return err
+	}
+	return th.Join()
+}

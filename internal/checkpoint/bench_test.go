@@ -1,0 +1,41 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"hetdsm/internal/checkpoint"
+	"hetdsm/internal/platform"
+)
+
+func benchCheckpoint(globalsBytes int) *checkpoint.Checkpoint {
+	return &checkpoint.Checkpoint{
+		Platform:   platform.SolarisSPARC.Name,
+		PC:         1234,
+		FrameTag:   "(8,1)(0,0)(8,1)(0,0)",
+		Frame:      make([]byte, 16),
+		GlobalsTag: "(4,262144)(0,0)",
+		Globals:    make([]byte, 1<<20),
+	}
+}
+
+func BenchmarkCheckpointEncode(b *testing.B) {
+	c := benchCheckpoint(1 << 20)
+	b.SetBytes(int64(len(c.Globals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if blob := c.Encode(); len(blob) == 0 {
+			b.Fatal("empty blob")
+		}
+	}
+}
+
+func BenchmarkCheckpointDecode(b *testing.B) {
+	blob := benchCheckpoint(1 << 20).Encode()
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checkpoint.Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

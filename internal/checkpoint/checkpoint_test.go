@@ -1,0 +1,226 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetdsm/internal/checkpoint"
+	"hetdsm/internal/migthread"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+)
+
+func frameType() tag.Struct {
+	return tag.Struct{Name: "frame", Fields: []tag.Field{
+		{Name: "i", T: tag.LongLong()},
+		{Name: "acc", T: tag.Double()},
+	}}
+}
+
+func gthvType() tag.Struct {
+	return tag.Struct{Name: "GThV_t", Fields: []tag.Field{
+		{Name: "A", T: tag.IntArray(32)},
+		{Name: "n", T: tag.Int()},
+	}}
+}
+
+// buildCheckpoint freezes a synthetic thread state on platform p.
+func buildCheckpoint(t *testing.T, p *platform.Platform) *checkpoint.Checkpoint {
+	t.Helper()
+	f, err := migthread.NewFrame(frameType(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetInt("i", 12345); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetFloat64("acc", 6.75); err != nil {
+		t.Fatal(err)
+	}
+	gl := tag.MustLayout(gthvType(), p)
+	globals := make([]byte, gl.Size)
+	aOff, _ := gl.Offset("A")
+	for i := 0; i < 32; i++ {
+		p.PutInt(globals[aOff+4*i:], 4, int64(i*i))
+	}
+	nOff, _ := gl.Offset("n")
+	p.PutInt(globals[nOff:], 4, 32)
+	return &checkpoint.Checkpoint{
+		Platform:   p.Name,
+		PC:         99,
+		FrameTag:   f.TagString(),
+		Frame:      f.Bytes(),
+		GlobalsTag: tag.FromLayout(gl).String(),
+		Globals:    globals,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := buildCheckpoint(t, platform.SolarisSPARC)
+	c.ExtraTag = "(1,4)"
+	c.Extra = []byte{1, 2, 3, 4}
+	got, err := checkpoint.Decode(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Platform != c.Platform || got.PC != c.PC ||
+		got.FrameTag != c.FrameTag || !bytes.Equal(got.Frame, c.Frame) ||
+		got.GlobalsTag != c.GlobalsTag || !bytes.Equal(got.Globals, c.Globals) ||
+		got.ExtraTag != c.ExtraTag || !bytes.Equal(got.Extra, c.Extra) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	c := buildCheckpoint(t, platform.LinuxX86)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := checkpoint.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PC != 99 {
+		t.Errorf("loaded PC = %d", got.PC)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	c := buildCheckpoint(t, platform.LinuxX86)
+	blob := c.Encode()
+	// Flip one payload byte: CRC must catch it.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := checkpoint.Decode(bad); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	// Bad magic.
+	bad2 := append([]byte(nil), blob...)
+	bad2[0] = 'X'
+	if _, err := checkpoint.Decode(bad2); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad3 := append([]byte(nil), blob...)
+	bad3[8] = 99
+	if _, err := checkpoint.Decode(bad3); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncations.
+	for n := 0; n < len(blob); n += 7 {
+		if _, err := checkpoint.Decode(blob[:n]); err == nil {
+			t.Errorf("truncation to %d accepted", n)
+		}
+	}
+}
+
+func TestHeterogeneousRestore(t *testing.T) {
+	// Checkpoint on SPARC, restore on every other platform.
+	c := buildCheckpoint(t, platform.SolarisSPARC)
+	blob := c.Encode()
+	for _, dest := range platform.All() {
+		got, err := checkpoint.Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := got.RestoreFrame(frameType(), dest)
+		if err != nil {
+			t.Fatalf("%s: %v", dest, err)
+		}
+		fl := tag.MustLayout(frameType(), dest)
+		iOff, _ := fl.Offset("i")
+		accOff, _ := fl.Offset("acc")
+		if v := dest.Int(frame[iOff:], 8); v != 12345 {
+			t.Errorf("%s: i = %d", dest, v)
+		}
+		if v := dest.Float64(frame[accOff:]); v != 6.75 {
+			t.Errorf("%s: acc = %g", dest, v)
+		}
+		globals, err := got.RestoreGlobals(gthvType(), dest)
+		if err != nil {
+			t.Fatalf("%s: %v", dest, err)
+		}
+		gl := tag.MustLayout(gthvType(), dest)
+		aOff, _ := gl.Offset("A")
+		for i := 0; i < 32; i++ {
+			if v := dest.Int(globals[aOff+4*i:], 4); v != int64(i*i) {
+				t.Errorf("%s: A[%d] = %d, want %d", dest, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := buildCheckpoint(t, platform.LinuxX86)
+	if err := c.Validate(); err != nil {
+		t.Errorf("good checkpoint invalid: %v", err)
+	}
+	bad := *c
+	bad.Platform = "vax"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown platform validated")
+	}
+	bad = *c
+	bad.FrameTag = "((("
+	if err := bad.Validate(); err == nil {
+		t.Error("garbage tag validated")
+	}
+	bad = *c
+	bad.Frame = bad.Frame[:4]
+	if err := bad.Validate(); err == nil {
+		t.Error("short frame validated")
+	}
+}
+
+func TestRestoreRejectsWrongType(t *testing.T) {
+	c := buildCheckpoint(t, platform.LinuxX86)
+	wrong := tag.Struct{Name: "other", Fields: []tag.Field{{Name: "x", T: tag.Char()}}}
+	if _, err := c.RestoreFrame(wrong, platform.SolarisSPARC); err == nil {
+		t.Error("wrong frame type accepted")
+	}
+}
+
+// Property: Decode never panics on arbitrary bytes.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatalf("panic on % x", b)
+			}
+		}()
+		_, _ = checkpoint.Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Encode/Decode round-trips random checkpoints bit-exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		plats := platform.All()
+		c := &checkpoint.Checkpoint{
+			Platform: plats[r.Intn(len(plats))].Name,
+			PC:       r.Int63(),
+		}
+		if r.Intn(2) == 0 {
+			c.Frame = make([]byte, 8)
+			r.Read(c.Frame)
+			c.FrameTag = "(8,1)(0,0)"
+		}
+		got, err := checkpoint.Decode(c.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Platform == c.Platform && got.PC == c.PC &&
+			got.FrameTag == c.FrameTag && bytes.Equal(got.Frame, c.Frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

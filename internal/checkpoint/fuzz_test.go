@@ -1,0 +1,31 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"hetdsm/internal/checkpoint"
+	"hetdsm/internal/platform"
+)
+
+// FuzzDecode exercises the checkpoint blob parser: never panic; accepted
+// blobs re-encode stably.
+func FuzzDecode(f *testing.F) {
+	good := &checkpoint.Checkpoint{
+		Platform: platform.LinuxX86.Name,
+		PC:       42,
+		FrameTag: "(8,1)(0,0)",
+		Frame:    make([]byte, 8),
+	}
+	f.Add(good.Encode())
+	f.Add([]byte("HDSMCKPT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := checkpoint.Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := checkpoint.Decode(c.Encode()); err != nil {
+			t.Fatalf("accepted blob does not re-decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,375 @@
+package convert
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+)
+
+var (
+	lx  = platform.LinuxX86
+	sp  = platform.SolarisSPARC
+	lx6 = platform.LinuxX8664
+	sp6 = platform.SolarisSPARC64
+)
+
+// encodeInts lays out int32 values per platform p.
+func encodeInts(p *platform.Platform, vs []int32) []byte {
+	out := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		p.PutInt(out[i*4:], 4, int64(v))
+	}
+	return out
+}
+
+func decodeInts(p *platform.Platform, b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(p.Int(b[i*4:], 4))
+	}
+	return out
+}
+
+func TestScalarRunHomogeneousFastPath(t *testing.T) {
+	src := encodeInts(lx, []int32{1, -2, 3})
+	dst, st, err := ScalarRun(nil, lx, src, lx, platform.CInt, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FastPath {
+		t.Error("homogeneous conversion must take the fast path")
+	}
+	if !bytes.Equal(dst, src) {
+		t.Errorf("fast path altered bytes: % x vs % x", dst, src)
+	}
+}
+
+func TestScalarRunByteSwap(t *testing.T) {
+	vals := []int32{0, 1, -1, 0x12345678, -0x12345678, math.MaxInt32, math.MinInt32}
+	src := encodeInts(sp, vals)
+	dst, st, err := ScalarRun(nil, lx, src, sp, platform.CInt, len(vals), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FastPath {
+		t.Error("heterogeneous conversion must not take the fast path")
+	}
+	if got := decodeInts(lx, dst); !int32SliceEqual(got, vals) {
+		t.Errorf("converted values %v, want %v", got, vals)
+	}
+}
+
+func int32SliceEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScalarRunSignExtensionAcrossSizes(t *testing.T) {
+	// long is 4 bytes on ILP32 and 8 on LP64; converting a negative long
+	// must sign-extend.
+	src := make([]byte, 4)
+	lx.PutInt(src, 4, -42)
+	dst, _, err := ScalarRun(nil, lx6, src, lx, platform.CLong, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dst) != 8 {
+		t.Fatalf("LP64 long must be 8 bytes, got %d", len(dst))
+	}
+	if got := lx6.Int(dst, 8); got != -42 {
+		t.Errorf("widened long = %d, want -42", got)
+	}
+	// And back down: narrowing preserves in-range values.
+	back, _, err := ScalarRun(nil, lx, dst, lx6, platform.CLong, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lx.Int(back, 4); got != -42 {
+		t.Errorf("narrowed long = %d, want -42", got)
+	}
+}
+
+func TestScalarRunUnsignedWiden(t *testing.T) {
+	src := make([]byte, 4)
+	sp.PutUint(src, 4, 0xFFFFFFFF)
+	dst, _, err := ScalarRun(nil, lx6, src, sp, platform.CULong, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lx6.Uint(dst, 8); got != 0xFFFFFFFF {
+		t.Errorf("widened unsigned = %#x, want 0xFFFFFFFF (no sign extension)", got)
+	}
+}
+
+func TestScalarRunFloats(t *testing.T) {
+	vals := []float64{0, 1.5, -math.Pi, math.MaxFloat64, math.Inf(-1)}
+	src := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		sp.PutFloat64(src[i*8:], v)
+	}
+	dst, _, err := ScalarRun(nil, lx, src, sp, platform.CDouble, len(vals), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range vals {
+		if got := lx.Float64(dst[i*8:]); got != want {
+			t.Errorf("double %d = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestScalarRunPointerAnnul(t *testing.T) {
+	src := make([]byte, 4)
+	sp.PutUint(src, 4, 0x40058000)
+	dst, _, err := ScalarRun(nil, lx, src, sp, platform.CPtr, 1, Options{Ptr: PtrAnnul})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lx.Uint(dst, 4); got != 0 {
+		t.Errorf("annulled pointer = %#x, want 0", got)
+	}
+}
+
+type mapTranslator map[uint64]uint64
+
+func (m mapTranslator) Translate(remote uint64) (uint64, bool) {
+	local, ok := m[remote]
+	return local, ok
+}
+
+func TestScalarRunPointerTranslate(t *testing.T) {
+	src := make([]byte, 8)
+	sp.PutUint(src, 4, 0x40058000)
+	sp.PutUint(src[4:], 4, 0xdeadbeef) // unknown: must be annulled
+	tr := mapTranslator{0x40058000: 0x80010000}
+	dst, _, err := ScalarRun(nil, lx, src, sp, platform.CPtr, 2, Options{Ptr: PtrTranslate, Translator: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lx.Uint(dst, 4); got != 0x80010000 {
+		t.Errorf("translated pointer = %#x, want 0x80010000", got)
+	}
+	if got := lx.Uint(dst[4:], 4); got != 0 {
+		t.Errorf("unknown pointer = %#x, want 0 (annulled)", got)
+	}
+}
+
+func TestScalarRunPointerTranslateNeedsTranslator(t *testing.T) {
+	src := make([]byte, 4)
+	if _, _, err := ScalarRun(nil, lx, src, sp, platform.CPtr, 1, Options{Ptr: PtrTranslate}); err == nil {
+		t.Error("PtrTranslate without translator must fail")
+	}
+}
+
+func TestScalarRunShortSource(t *testing.T) {
+	if _, _, err := ScalarRun(nil, lx, make([]byte, 7), sp, platform.CInt, 2, Options{}); err == nil {
+		t.Error("short source must fail")
+	}
+	if _, _, err := ScalarRun(nil, lx, nil, sp, platform.CInt, -1, Options{}); err == nil {
+		t.Error("negative count must fail")
+	}
+}
+
+func TestScalarRunAppendsToExisting(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	src := encodeInts(sp, []int32{7})
+	dst, _, err := ScalarRun(prefix, lx, src, sp, platform.CInt, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dst) != 6 || dst[0] != 0xAA || dst[1] != 0xBB {
+		t.Errorf("append did not preserve prefix: % x", dst)
+	}
+	if got := lx.Int(dst[2:], 4); got != 7 {
+		t.Errorf("appended value = %d, want 7", got)
+	}
+}
+
+// buildValue constructs a struct value on platform p for the Value tests.
+func buildValue(p *platform.Platform) (tag.Struct, []byte) {
+	s := tag.Struct{Name: "mix", Fields: []tag.Field{
+		{Name: "c", T: tag.Char()},
+		{Name: "n", T: tag.Int()},
+		{Name: "d", T: tag.Double()},
+		{Name: "arr", T: tag.IntArray(5)},
+		{Name: "p", T: tag.Pointer{}},
+	}}
+	l := tag.MustLayout(s, p)
+	buf := make([]byte, l.Size)
+	off := func(name string) int {
+		o, err := l.Offset(name)
+		if err != nil {
+			panic(err)
+		}
+		return o
+	}
+	p.PutInt(buf[off("c"):], 1, -5)
+	p.PutInt(buf[off("n"):], 4, 123456)
+	p.PutFloat64(buf[off("d"):], 2.718281828)
+	for i := 0; i < 5; i++ {
+		p.PutInt(buf[off("arr")+i*4:], 4, int64(i*i-3))
+	}
+	p.PutUint(buf[off("p"):], p.PtrSize(), 0x40058000)
+	return s, buf
+}
+
+func TestValueHeterogeneous(t *testing.T) {
+	s, src := buildValue(sp)
+	srcL := tag.MustLayout(s, sp)
+	dstL := tag.MustLayout(s, lx)
+	out, st, err := Value(dstL, src, srcL, Options{Ptr: PtrAnnul})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FastPath {
+		t.Error("SPARC->x86 must not fast path")
+	}
+	off := func(name string) int { o, _ := dstL.Offset(name); return o }
+	if got := lx.Int(out[off("c"):], 1); got != -5 {
+		t.Errorf("c = %d, want -5", got)
+	}
+	if got := lx.Int(out[off("n"):], 4); got != 123456 {
+		t.Errorf("n = %d, want 123456", got)
+	}
+	if got := lx.Float64(out[off("d"):]); got != 2.718281828 {
+		t.Errorf("d = %g", got)
+	}
+	for i := 0; i < 5; i++ {
+		if got := lx.Int(out[off("arr")+i*4:], 4); got != int64(i*i-3) {
+			t.Errorf("arr[%d] = %d, want %d", i, got, i*i-3)
+		}
+	}
+	if got := lx.Uint(out[off("p"):], 4); got != 0 {
+		t.Errorf("pointer = %#x, want annulled", got)
+	}
+}
+
+func TestValueHomogeneousFastPath(t *testing.T) {
+	s, src := buildValue(lx)
+	l := tag.MustLayout(s, lx)
+	out, st, err := Value(l, src, l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FastPath {
+		t.Error("same platform must fast path")
+	}
+	if !bytes.Equal(out, src) {
+		t.Error("fast path altered bytes")
+	}
+}
+
+func TestValueAcrossWordSizes(t *testing.T) {
+	// ILP32 -> LP64: pointer and struct grow; values must survive.
+	s, src := buildValue(sp)
+	srcL := tag.MustLayout(s, sp)
+	dstL := tag.MustLayout(s, lx6)
+	out, _, err := Value(dstL, src, srcL, Options{Ptr: PtrAnnul})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := func(name string) int { o, _ := dstL.Offset(name); return o }
+	if got := lx6.Int(out[off("n"):], 4); got != 123456 {
+		t.Errorf("n = %d, want 123456", got)
+	}
+	if got := lx6.Float64(out[off("d"):]); got != 2.718281828 {
+		t.Errorf("d = %g", got)
+	}
+}
+
+func TestValueShapeMismatch(t *testing.T) {
+	a := tag.Struct{Name: "a", Fields: []tag.Field{{Name: "x", T: tag.Int()}}}
+	b := tag.Struct{Name: "b", Fields: []tag.Field{{Name: "x", T: tag.Int()}, {Name: "y", T: tag.Int()}}}
+	la := tag.MustLayout(a, lx)
+	lb := tag.MustLayout(b, sp)
+	if _, _, err := Value(lb, make([]byte, la.Size), la, Options{}); err == nil {
+		t.Error("mismatched shapes must fail")
+	}
+	if _, _, err := Value(la, make([]byte, 1), la, Options{}); err == nil {
+		t.Error("short source must fail")
+	}
+}
+
+// Property: int conversion A->B->A is the identity for every platform pair.
+func TestQuickIntRoundTripAllPairs(t *testing.T) {
+	plats := platform.All()
+	f := func(v int32, a, b uint8) bool {
+		pa := plats[int(a)%len(plats)]
+		pb := plats[int(b)%len(plats)]
+		src := encodeInts(pa, []int32{v})
+		mid, _, err := ScalarRun(nil, pb, src, pa, platform.CInt, 1, Options{})
+		if err != nil {
+			return false
+		}
+		back, _, err := ScalarRun(nil, pa, mid, pb, platform.CInt, 1, Options{})
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double conversion preserves exact bit patterns for normal
+// numbers across every pair.
+func TestQuickDoubleRoundTrip(t *testing.T) {
+	plats := platform.All()
+	f := func(v float64, a, b uint8) bool {
+		if math.IsNaN(v) {
+			return true // NaN payload compare is not meaningful via ==
+		}
+		pa := plats[int(a)%len(plats)]
+		pb := plats[int(b)%len(plats)]
+		src := make([]byte, 8)
+		pa.PutFloat64(src, v)
+		mid, _, err := ScalarRun(nil, pb, src, pa, platform.CDouble, 1, Options{})
+		if err != nil {
+			return false
+		}
+		return pb.Float64(mid) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: converting a whole random-typed value SPARC->Linux->SPARC is the
+// identity on the non-padding bytes (padding is zeroed, values preserved).
+func TestQuickValueRoundTripInts(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		n := 1 + r.Intn(64)
+		typ := tag.IntArray(n)
+		srcL := tag.MustLayout(typ, sp)
+		dstL := tag.MustLayout(typ, lx)
+		src := make([]byte, srcL.Size)
+		for j := 0; j < n; j++ {
+			sp.PutInt(src[j*4:], 4, int64(int32(r.Uint32())))
+		}
+		mid, _, err := Value(dstL, src, srcL, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, _, err := Value(srcL, mid, dstL, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, src) {
+			t.Fatalf("round trip of %d ints not identity", n)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package dsd
+
+import (
+	"testing"
+
+	"hetdsm/internal/platform"
+)
+
+// Synchronization round-trip costs of the DSD primitives themselves.
+
+func benchLockUnlock(b *testing.B, homeP, threadP *platform.Platform, dirty int) {
+	h, err := NewHome(testGThV(), homeP, 1, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := h.LocalThread(0, threadP, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr := th.Globals().MustVar("A")
+	vals := make([]int64, dirty)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.Lock(0); err != nil {
+			b.Fatal(err)
+		}
+		for j := range vals {
+			vals[j] = int64(i + j)
+		}
+		if dirty > 0 {
+			if err := arr.SetInts(0, vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := th.Unlock(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLockUnlockEmpty(b *testing.B) {
+	benchLockUnlock(b, platform.LinuxX86, platform.LinuxX86, 0)
+}
+
+func BenchmarkLockUnlockHomogeneousUpdate(b *testing.B) {
+	benchLockUnlock(b, platform.LinuxX86, platform.LinuxX86, 64)
+}
+
+func BenchmarkLockUnlockHeterogeneousUpdate(b *testing.B) {
+	benchLockUnlock(b, platform.SolarisSPARC, platform.LinuxX86, 64)
+}
+
+func BenchmarkBarrierThreeThreads(b *testing.B) {
+	h, err := NewHome(testGThV(), platform.LinuxX86, 3, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plats := []*platform.Platform{platform.LinuxX86, platform.SolarisSPARC, platform.LinuxX86}
+	threads := make([]*Thread, 3)
+	for i, p := range plats {
+		th, err := h.LocalThread(int32(i), p, DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		threads[i] = th
+	}
+	b.ResetTimer()
+	errs := make(chan error, 3)
+	for _, th := range threads {
+		go func(th *Thread) {
+			for i := 0; i < b.N; i++ {
+				if err := th.Barrier(0); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(th)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+}

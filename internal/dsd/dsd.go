@@ -1,0 +1,105 @@
+// Package dsd implements the paper's primary contribution: the Distributed
+// Shared Data layer (Section 4), a home-based release-consistency software
+// DSM for heterogeneous machines.
+//
+// One Home node holds the master copy of the single global structure GThV
+// and manages distributed mutexes, barriers and joins. Every worker thread
+// (local or remote, on any virtual platform) holds a replica of GThV in its
+// own platform's layout and synchronizes through the four primitives the
+// paper maps onto Pthreads:
+//
+//	Lock    (MTh_lock)    — acquire a distributed mutex; outstanding
+//	                        updates arrive with the grant.
+//	Unlock  (MTh_unlock)  — diff the write-protected globals, abstract the
+//	                        page diffs to index-table spans, tag them, and
+//	                        ship them home with the release.
+//	Barrier (MTh_barrier) — flush updates, wait for all threads, receive
+//	                        the merged updates of the phase.
+//	Join    (MTh_join)    — announce termination to the base thread.
+//
+// Write detection is page-granular (vmem software MMU), propagation is
+// object-granular (indextable spans + CGT-RMR tags), and conversion is
+// receiver-makes-right (convert package): homogeneous pairs memcpy,
+// heterogeneous pairs transform. Every stage is timed into a
+// stats.Breakdown following Eq. 1.
+package dsd
+
+import (
+	"fmt"
+
+	"hetdsm/internal/trace"
+	"hetdsm/internal/vmem"
+)
+
+// DefaultBase is the default GThV virtual base address, the address the
+// paper's Table 1 shows on the Linux machine.
+const DefaultBase uint64 = 0x40058000
+
+// Options tune the DSD pipeline; zero value is not useful — start from
+// DefaultOptions.
+type Options struct {
+	// Base is the virtual base address for the local GThV segment. It
+	// must be aligned to the platform page size.
+	Base uint64
+	// Coalesce groups consecutive modified array elements into single
+	// tags (paper Section 5); disabling it is the per-element ablation.
+	Coalesce bool
+	// WholeArrayThreshold widens a span to its entire entry when the
+	// span already covers at least this fraction of the entry's
+	// elements, letting large arrays be transferred and converted "as a
+	// whole" (paper Section 4). Zero disables widening.
+	WholeArrayThreshold float64
+	// Diff selects the twin comparison granularity.
+	Diff vmem.DiffGranularity
+	// Trace, when non-nil, records protocol events into the ring buffer
+	// for debugging; nil disables tracing.
+	Trace *trace.Log
+	// Protocol selects how the home propagates remote modifications. It
+	// is a home-side setting: threads adopt the home's protocol at
+	// registration.
+	Protocol Protocol
+}
+
+// Protocol is the consistency-propagation scheme.
+type Protocol uint8
+
+const (
+	// ProtocolUpdate is the paper's scheme: lock grants and barrier
+	// releases carry the modified data itself.
+	ProtocolUpdate Protocol = iota
+	// ProtocolInvalidate is the classic alternative: grants carry only
+	// invalidation spans; a thread that actually reads an invalidated
+	// element fetches its current value from the home on demand. Threads
+	// that never read each other's output skip the data movement
+	// entirely.
+	ProtocolInvalidate
+)
+
+// String returns "update" or "invalidate".
+func (p Protocol) String() string {
+	if p == ProtocolInvalidate {
+		return "invalidate"
+	}
+	return "update"
+}
+
+// DefaultOptions returns the configuration the paper describes: coalescing
+// on, whole-array transfers on at half coverage, byte-granular diffs.
+func DefaultOptions() Options {
+	return Options{
+		Base:                DefaultBase,
+		Coalesce:            true,
+		WholeArrayThreshold: 0.5,
+		Diff:                vmem.DiffByte,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Base == 0 {
+		return fmt.Errorf("dsd: options missing Base (use DefaultOptions)")
+	}
+	if o.WholeArrayThreshold < 0 || o.WholeArrayThreshold > 1 {
+		return fmt.Errorf("dsd: WholeArrayThreshold %v outside [0,1]", o.WholeArrayThreshold)
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package dsd
+
+import (
+	"fmt"
+
+	"hetdsm/internal/indextable"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/vmem"
+)
+
+// Globals is the typed view of one node's GThV replica. All stores go
+// through the segment's write-detection path, so the DSM sees them; loads
+// are free. A Globals belongs to one thread and is not safe for concurrent
+// use, matching the paper's model where each thread owns its address space.
+type Globals struct {
+	plat  *platform.Platform
+	table *indextable.Table
+	seg   *vmem.Segment
+	// ensure, when set, is invoked before reads to make the element range
+	// current (the invalidate protocol's demand fetch). nil on the home's
+	// master view and under the update protocol (where it is a no-op).
+	ensure func(entry, first, count int) error
+	// wrote, when set, records that the element range was overwritten
+	// locally: a stale marking no longer applies (the local value is the
+	// truth until the next release).
+	wrote func(entry, first, count int)
+}
+
+func newGlobals(p *platform.Platform, t *indextable.Table, s *vmem.Segment) *Globals {
+	return &Globals{plat: p, table: t, seg: s}
+}
+
+// Platform returns the platform the replica is laid out for.
+func (g *Globals) Platform() *platform.Platform { return g.plat }
+
+// Table returns the node's index table.
+func (g *Globals) Table() *indextable.Table { return g.table }
+
+// Var resolves a GThV member by its dotted path into a typed handle.
+func (g *Globals) Var(name string) (*Var, error) {
+	e, ok := g.table.EntryByName(name)
+	if !ok {
+		return nil, fmt.Errorf("dsd: GThV has no member %q", name)
+	}
+	return &Var{g: g, e: e}, nil
+}
+
+// MustVar is Var that panics on unknown members; for statically known
+// member names in workloads and examples.
+func (g *Globals) MustVar(name string) *Var {
+	v, err := g.Var(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Var is a typed handle on one GThV element (a scalar or an array of
+// scalars). Element indexes are 0-based.
+type Var struct {
+	g *Globals
+	e indextable.Entry
+}
+
+// Name returns the member path.
+func (v *Var) Name() string { return v.e.Name }
+
+// Len returns the element count (1 for scalars).
+func (v *Var) Len() int { return v.e.Count }
+
+// ElemSize returns the per-element size on this platform.
+func (v *Var) ElemSize() int { return v.e.ElemSize }
+
+func (v *Var) offsetOf(i int) (int, error) {
+	if i < 0 || i >= v.e.Count {
+		return 0, fmt.Errorf("dsd: %s[%d] out of range [0,%d)", v.e.Name, i, v.e.Count)
+	}
+	return v.e.Offset + i*v.e.ElemSize, nil
+}
+
+// ensureRead makes [first, first+count) current before a load.
+func (v *Var) ensureRead(first, count int) error {
+	if v.g.ensure == nil {
+		return nil
+	}
+	return v.g.ensure(v.e.Index, first, count)
+}
+
+// noteWrite marks [first, first+count) locally authoritative.
+func (v *Var) noteWrite(first, count int) {
+	if v.g.wrote != nil {
+		v.g.wrote(v.e.Index, first, count)
+	}
+}
+
+// SetInt stores a signed integer into element i in the platform's native
+// representation (size and byte order), trapping write detection.
+func (v *Var) SetInt(i int, x int64) error {
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, v.e.ElemSize)
+	v.g.plat.PutInt(buf, v.e.ElemSize, x)
+	v.noteWrite(i, 1)
+	return v.g.seg.Write(off, buf)
+}
+
+// Int loads element i as a signed integer.
+func (v *Var) Int(i int) (int64, error) {
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return 0, err
+	}
+	if err := v.ensureRead(i, 1); err != nil {
+		return 0, err
+	}
+	b, err := v.g.seg.View(off, v.e.ElemSize)
+	if err != nil {
+		return 0, err
+	}
+	return v.g.plat.Int(b, v.e.ElemSize), nil
+}
+
+// SetInts stores consecutive elements starting at first with one segment
+// write — the bulk store workloads use for matrix rows.
+func (v *Var) SetInts(first int, xs []int64) error {
+	if len(xs) == 0 {
+		return nil
+	}
+	if _, err := v.offsetOf(first); err != nil {
+		return err
+	}
+	if _, err := v.offsetOf(first + len(xs) - 1); err != nil {
+		return err
+	}
+	buf := make([]byte, len(xs)*v.e.ElemSize)
+	for i, x := range xs {
+		v.g.plat.PutInt(buf[i*v.e.ElemSize:], v.e.ElemSize, x)
+	}
+	v.noteWrite(first, len(xs))
+	return v.g.seg.Write(v.e.Offset+first*v.e.ElemSize, buf)
+}
+
+// Ints loads count consecutive elements starting at first.
+func (v *Var) Ints(first, count int) ([]int64, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	if _, err := v.offsetOf(first); err != nil {
+		return nil, err
+	}
+	if _, err := v.offsetOf(first + count - 1); err != nil {
+		return nil, err
+	}
+	if err := v.ensureRead(first, count); err != nil {
+		return nil, err
+	}
+	b, err := v.g.seg.View(v.e.Offset+first*v.e.ElemSize, count*v.e.ElemSize)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = v.g.plat.Int(b[i*v.e.ElemSize:], v.e.ElemSize)
+	}
+	return out, nil
+}
+
+// SetUint stores an unsigned integer into element i. Use this (not SetInt)
+// for unsigned C types so large values survive the round trip; SetInt on an
+// unsigned element stores the two's-complement bits, which read back
+// sign-extended through Int.
+func (v *Var) SetUint(i int, x uint64) error {
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, v.e.ElemSize)
+	v.g.plat.PutUint(buf, v.e.ElemSize, x)
+	v.noteWrite(i, 1)
+	return v.g.seg.Write(off, buf)
+}
+
+// Uint loads element i as an unsigned integer (zero-extended).
+func (v *Var) Uint(i int) (uint64, error) {
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return 0, err
+	}
+	if err := v.ensureRead(i, 1); err != nil {
+		return 0, err
+	}
+	b, err := v.g.seg.View(off, v.e.ElemSize)
+	if err != nil {
+		return 0, err
+	}
+	return v.g.plat.Uint(b, v.e.ElemSize), nil
+}
+
+// SetFloat64 stores a double into element i. The element's logical type
+// must be double.
+func (v *Var) SetFloat64(i int, x float64) error {
+	if err := v.requireKind(platform.CDouble); err != nil {
+		return err
+	}
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	v.g.plat.PutFloat64(buf, x)
+	v.noteWrite(i, 1)
+	return v.g.seg.Write(off, buf)
+}
+
+// Float64 loads element i as a double.
+func (v *Var) Float64(i int) (float64, error) {
+	if err := v.requireKind(platform.CDouble); err != nil {
+		return 0, err
+	}
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return 0, err
+	}
+	if err := v.ensureRead(i, 1); err != nil {
+		return 0, err
+	}
+	b, err := v.g.seg.View(off, 8)
+	if err != nil {
+		return 0, err
+	}
+	return v.g.plat.Float64(b), nil
+}
+
+// SetFloat64s stores consecutive doubles starting at first in one write.
+func (v *Var) SetFloat64s(first int, xs []float64) error {
+	if err := v.requireKind(platform.CDouble); err != nil {
+		return err
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	if _, err := v.offsetOf(first); err != nil {
+		return err
+	}
+	if _, err := v.offsetOf(first + len(xs) - 1); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		v.g.plat.PutFloat64(buf[i*8:], x)
+	}
+	v.noteWrite(first, len(xs))
+	return v.g.seg.Write(v.e.Offset+first*8, buf)
+}
+
+// Float64s loads count consecutive doubles starting at first.
+func (v *Var) Float64s(first, count int) ([]float64, error) {
+	if err := v.requireKind(platform.CDouble); err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if _, err := v.offsetOf(first); err != nil {
+		return nil, err
+	}
+	if _, err := v.offsetOf(first + count - 1); err != nil {
+		return nil, err
+	}
+	if err := v.ensureRead(first, count); err != nil {
+		return nil, err
+	}
+	b, err := v.g.seg.View(v.e.Offset+first*8, count*8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = v.g.plat.Float64(b[i*8:])
+	}
+	return out, nil
+}
+
+// SetPtr stores a pointer value (a local GThV address) into element i. The
+// element must be a pointer.
+func (v *Var) SetPtr(i int, addr uint64) error {
+	if !v.e.Pointer {
+		return fmt.Errorf("dsd: %s is not a pointer", v.e.Name)
+	}
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, v.e.ElemSize)
+	v.g.plat.PutUint(buf, v.e.ElemSize, addr)
+	v.noteWrite(i, 1)
+	return v.g.seg.Write(off, buf)
+}
+
+// Ptr loads element i as a pointer value.
+func (v *Var) Ptr(i int) (uint64, error) {
+	if !v.e.Pointer {
+		return 0, fmt.Errorf("dsd: %s is not a pointer", v.e.Name)
+	}
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return 0, err
+	}
+	if err := v.ensureRead(i, 1); err != nil {
+		return 0, err
+	}
+	b, err := v.g.seg.View(off, v.e.ElemSize)
+	if err != nil {
+		return 0, err
+	}
+	return v.g.plat.Uint(b, v.e.ElemSize), nil
+}
+
+// Addr returns the local virtual address of element i, the value one
+// stores into pointer members.
+func (v *Var) Addr(i int) (uint64, error) {
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return 0, err
+	}
+	return v.g.seg.Addr(off), nil
+}
+
+func (v *Var) requireKind(ct platform.CType) error {
+	if v.e.CType != ct {
+		return fmt.Errorf("dsd: %s is %v, not %v", v.e.Name, v.e.CType, ct)
+	}
+	return nil
+}
+
+// SetFloat32 stores a C float into element i. The element's logical type
+// must be float.
+func (v *Var) SetFloat32(i int, x float32) error {
+	if err := v.requireKind(platform.CFloat); err != nil {
+		return err
+	}
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	v.g.plat.PutFloat32(buf, x)
+	v.noteWrite(i, 1)
+	return v.g.seg.Write(off, buf)
+}
+
+// Float32 loads element i as a C float.
+func (v *Var) Float32(i int) (float32, error) {
+	if err := v.requireKind(platform.CFloat); err != nil {
+		return 0, err
+	}
+	off, err := v.offsetOf(i)
+	if err != nil {
+		return 0, err
+	}
+	if err := v.ensureRead(i, 1); err != nil {
+		return 0, err
+	}
+	b, err := v.g.seg.View(off, 4)
+	if err != nil {
+		return 0, err
+	}
+	return v.g.plat.Float32(b), nil
+}

@@ -1,0 +1,196 @@
+package dsd
+
+import (
+	"fmt"
+	"time"
+
+	"hetdsm/internal/indextable"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+	"hetdsm/internal/trace"
+	"hetdsm/internal/transport"
+	"hetdsm/internal/wire"
+)
+
+// Home-node handoff (paper Section 3.1): "If the master thread moves to a
+// default thread at a remote node, the latter will become the new home
+// node. Previous local threads become remote threads."
+//
+// The protocol has three phases, driven by the operator (or the migration
+// layer) rather than by the old home alone:
+//
+//  1. Detach: the old home freezes — new acquisitions, flushes, barriers
+//     and joins are answered with redirects once the redirect address is
+//     known — waits until no lock is held and no barrier generation is in
+//     flight (a release-consistent quiescent cut), and snapshots its state.
+//  2. NewHomeFromHandoff builds the successor anywhere, on any platform:
+//     the master image converts receiver-makes-right; pending-update
+//     queues and the joined set carry over unchanged because spans and
+//     ranks are architecture independent.
+//  3. RedirectTo publishes the successor's address; every thread's next
+//     request bounces with KindRedirect and the thread re-registers with
+//     the new home transparently (see Thread.call).
+
+// Handoff is the portable state of a home node at a quiescent point.
+type Handoff struct {
+	// Platform is the old home's platform name.
+	Platform string
+	// Base is the old home's GThV base address.
+	Base uint64
+	// Image is the master GThV image in the old home's layout.
+	Image []byte
+	// Tag is the image's CGT-RMR tag.
+	Tag string
+	// Pending carries each registered rank's outstanding update spans.
+	Pending map[int32][]indextable.Span
+	// Known lists the ranks registered at detach time; their replicas
+	// stay valid across the handoff (Pending is their exact catch-up).
+	Known []int32
+	// Joined lists the ranks that had already joined.
+	Joined []int32
+	// Dirty records whether any update was ever applied.
+	Dirty bool
+}
+
+// Detach freezes the home, waits for quiescence, and returns the handoff
+// state. After Detach, call RedirectTo to release waiting threads toward
+// the successor. Detach fails after timeout if the system never quiesces
+// (e.g. a thread holds a lock indefinitely).
+func (h *Home) Detach(timeout time.Duration) (*Handoff, error) {
+	h.mu.Lock()
+	if h.frozen {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("dsd: home already detached")
+	}
+	h.frozen = true
+	h.mu.Unlock()
+	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindDetach, -1, -1, 0, "")
+
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		if h.quiescentLocked() {
+			break // keep h.mu held for the snapshot
+		}
+		h.mu.Unlock()
+		if time.Now().After(deadline) {
+			h.mu.Lock()
+			h.frozen = false
+			h.mu.Unlock()
+			// Re-admit any lock requester that bounced during the
+			// failed freeze: they are blocked in redirect() waiting
+			// for an address that will never come... they are not —
+			// redirect() blocks on redirectReady; an aborted detach
+			// must release them to retry. Publishing an empty address
+			// is not possible, so a failed Detach leaves the home
+			// usable for non-redirected operations only. Callers
+			// should treat a Detach timeout as fatal for this home.
+			return nil, fmt.Errorf("dsd: home did not quiesce within %v", timeout)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	defer h.mu.Unlock()
+	h.snapshotted = true
+
+	img := make([]byte, h.layout.Size)
+	if _, err := h.master.Read(0, h.layout.Size, img); err != nil {
+		return nil, err
+	}
+	state := &Handoff{
+		Platform: h.plat.Name,
+		Base:     h.table.Base(),
+		Image:    img,
+		Tag:      tag.FromLayout(h.layout).String(),
+		Pending:  make(map[int32][]indextable.Span, len(h.pending)),
+		Dirty:    h.dirty,
+	}
+	for rank, spans := range h.pending {
+		state.Pending[rank] = indextable.MergeSpans(spans)
+	}
+	for rank := range h.peers {
+		state.Known = append(state.Known, rank)
+	}
+	for rank := range h.joined {
+		state.Joined = append(state.Joined, rank)
+	}
+	return state, nil
+}
+
+// quiescentLocked reports whether no lock is held and no barrier
+// generation is in flight. Caller holds h.mu.
+func (h *Home) quiescentLocked() bool {
+	for _, ls := range h.locks {
+		if ls.held {
+			return false
+		}
+	}
+	for _, bs := range h.barriers {
+		if bs.arrived != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RedirectTo publishes the successor's address; frozen handlers reply with
+// redirects from now on.
+func (h *Home) RedirectTo(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.redirectAddr == "" {
+		h.redirectAddr = addr
+		close(h.redirectReady)
+	}
+}
+
+// redirect answers one request with the successor's address, blocking
+// until RedirectTo has been called.
+func (h *Home) redirect(c transport.Conn, rank int32) error {
+	<-h.redirectReady
+	h.mu.Lock()
+	addr := h.redirectAddr
+	h.mu.Unlock()
+	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindRedirect, rank, -1, 0, addr)
+	return h.send(c, &wire.Message{Kind: wire.KindRedirect, Rank: rank, Addr: addr})
+}
+
+// frozenNow reports the freeze flag.
+func (h *Home) frozenNow() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.frozen
+}
+
+// NewHomeFromHandoff builds a successor home from a detached predecessor's
+// state, converting the master image receiver-makes-right. nthreads and
+// the GThV type must match the original application.
+func NewHomeFromHandoff(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options, state *Handoff) (*Home, error) {
+	h, err := NewHome(gthv, p, nthreads, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Restore(state.Image, state.Tag, state.Platform, state.Base); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dirty = state.Dirty || h.dirty
+	// Restore's own full-seed applies only to already-registered peers
+	// (none yet). Seed the carried pending queues: each known rank's
+	// replica is exactly as stale as its queue says.
+	h.pending = make(map[int32][]indextable.Span, len(state.Pending))
+	for rank, spans := range state.Pending {
+		h.pending[rank] = append([]indextable.Span(nil), spans...)
+	}
+	h.carried = make(map[int32]bool, len(state.Known))
+	for _, rank := range state.Known {
+		h.carried[rank] = true
+	}
+	for _, rank := range state.Joined {
+		h.joined[rank] = true
+	}
+	if len(h.joined) == h.nthreads {
+		close(h.done)
+	}
+	return h, nil
+}

@@ -1,0 +1,800 @@
+package dsd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetdsm/internal/convert"
+	"hetdsm/internal/indextable"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/stats"
+	"hetdsm/internal/tag"
+	"hetdsm/internal/trace"
+	"hetdsm/internal/transport"
+	"hetdsm/internal/vmem"
+	"hetdsm/internal/wire"
+)
+
+// Home is the base node of the DSD: it owns the master GThV copy, the
+// distributed mutexes, the barriers, and the per-thread pending-update
+// queues. One goroutine per connected thread acts as that thread's stub
+// (paper Figure 5), so Home methods are internally synchronized.
+type Home struct {
+	opts     Options
+	gthv     tag.Struct
+	plat     *platform.Platform
+	layout   *tag.Layout
+	table    *indextable.Table
+	nthreads int
+
+	mu       sync.Mutex
+	master   *vmem.Segment
+	locks    map[int32]*lockState
+	barriers map[int32]*barrierState
+	pending  map[int32][]indextable.Span
+	peers    map[int32]*peer
+	joined   map[int32]bool
+	done     chan struct{}
+	// dirty records that updates have ever been applied; a thread that
+	// registers after that point is queued the full GThV so its first
+	// acquire brings it up to date (late joiners, migration targets).
+	dirty bool
+	// frozen marks a home detached for handoff: new acquisitions bounce
+	// with redirects once redirectAddr is published. snapshotted marks
+	// the handoff state captured: from then on NO state mutation may be
+	// accepted (it would be lost), so update-bearing requests redirect.
+	frozen        bool
+	snapshotted   bool
+	redirectAddr  string
+	redirectReady chan struct{}
+	// carried marks ranks whose pending queues came from a handoff; they
+	// re-register without the late-joiner full-state seed.
+	carried map[int32]bool
+
+	bd stats.Breakdown
+
+	lmu       sync.Mutex
+	listeners []transport.Listener
+}
+
+type peer struct {
+	rank  int32
+	plat  *platform.Platform
+	table *indextable.Table
+}
+
+type lockState struct {
+	held    bool
+	holder  int32
+	waiters []lockWaiter
+}
+
+type lockWaiter struct {
+	ch   chan struct{}
+	rank int32
+}
+
+type barrierState struct {
+	arrived int
+	gen     chan struct{}
+}
+
+// NewHome builds the home node for a GThV type on the given platform.
+// nthreads is the total number of worker threads (local and remote) that
+// will participate in barriers and joins.
+func NewHome(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options) (*Home, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if nthreads <= 0 {
+		return nil, fmt.Errorf("dsd: nthreads %d must be positive", nthreads)
+	}
+	layout, err := tag.NewLayout(gthv, p)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Base%uint64(p.PageSize) != 0 {
+		return nil, fmt.Errorf("dsd: base %#x not aligned to %s page size %d", opts.Base, p, p.PageSize)
+	}
+	table, err := indextable.Build(layout, opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	master, err := vmem.NewSegment(opts.Base, layout.Size, p.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Home{
+		opts:          opts,
+		gthv:          gthv,
+		plat:          p,
+		layout:        layout,
+		table:         table,
+		nthreads:      nthreads,
+		master:        master,
+		locks:         make(map[int32]*lockState),
+		barriers:      make(map[int32]*barrierState),
+		pending:       make(map[int32][]indextable.Span),
+		peers:         make(map[int32]*peer),
+		joined:        make(map[int32]bool),
+		done:          make(chan struct{}),
+		carried:       make(map[int32]bool),
+		redirectReady: make(chan struct{}),
+	}, nil
+}
+
+// Platform returns the home platform.
+func (h *Home) Platform() *platform.Platform { return h.plat }
+
+// Table returns the home's index table.
+func (h *Home) Table() *indextable.Table { return h.table }
+
+// Stats returns the home-side Cshare breakdown (stub-thread work: tag and
+// pack on grants, unpack and conversion on releases).
+func (h *Home) Stats() *stats.Breakdown { return &h.bd }
+
+// Globals returns a typed view of the master copy. It is only safe to use
+// when no thread is active — before threads start or after Wait returns.
+func (h *Home) Globals() *Globals {
+	return newGlobals(h.plat, h.table, h.master)
+}
+
+// Checkpoint snapshots the master GThV image and its CGT-RMR tag — the
+// globals half of a whole-computation checkpoint (thread states are
+// captured by the migthread layer). Safe to call while threads run: the
+// snapshot is taken under the home mutex, i.e. between update applications,
+// which is a release-consistent cut.
+func (h *Home) Checkpoint() ([]byte, string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	img := make([]byte, h.layout.Size)
+	if _, err := h.master.Read(0, h.layout.Size, img); err != nil {
+		panic(fmt.Sprintf("dsd: master snapshot failed: %v", err))
+	}
+	return img, tag.FromLayout(h.layout).String()
+}
+
+// Restore loads a checkpointed GThV image taken on the platform named
+// srcPlatName into the master copy, converting receiver-makes-right.
+// srcBase is the checkpointed home's GThV base address, needed to translate
+// pointer members into this home's address space. Any thread that registers
+// afterwards receives the restored state in full.
+func (h *Home) Restore(img []byte, tagStr, srcPlatName string, srcBase uint64) error {
+	srcPlat := platform.ByName(srcPlatName)
+	if srcPlat == nil {
+		return fmt.Errorf("dsd: unknown checkpoint platform %q", srcPlatName)
+	}
+	srcLayout, err := tag.NewLayout(h.gthv, srcPlat)
+	if err != nil {
+		return err
+	}
+	if want := tag.FromLayout(srcLayout).String(); tagStr != want {
+		return fmt.Errorf("dsd: checkpoint tag %q does not match GThV (%q)", tagStr, want)
+	}
+	if len(img) != srcLayout.Size {
+		return fmt.Errorf("dsd: checkpoint image %d bytes, want %d", len(img), srcLayout.Size)
+	}
+	srcTable, err := indextable.Build(srcLayout, srcBase)
+	if err != nil {
+		return err
+	}
+	out, _, err := convert.Value(h.layout, img, srcLayout,
+		convert.Options{Ptr: convert.PtrTranslate, Translator: h.table.Translator(srcTable)})
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.master.RawWrite(0, out); err != nil {
+		return err
+	}
+	h.dirty = true
+	// Anything already-registered is now stale: queue the full image.
+	for rank := range h.peers {
+		for i := 0; i < h.table.Len(); i++ {
+			h.pending[rank] = append(h.pending[rank],
+				indextable.Span{Entry: i, First: 0, Count: h.table.Entry(i).Count})
+		}
+	}
+	return nil
+}
+
+// Serve accepts connections on l and runs a stub goroutine per thread until
+// the listener is closed.
+func (h *Home) Serve(l transport.Listener) {
+	h.lmu.Lock()
+	h.listeners = append(h.listeners, l)
+	h.lmu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go h.ServeConn(c)
+	}
+}
+
+// ServeConn runs the stub protocol for one thread connection until the
+// connection closes. Exported so in-process clusters can wire Pipe ends
+// directly.
+func (h *Home) ServeConn(c transport.Conn) {
+	defer c.Close()
+	p, err := h.handshake(c)
+	if err != nil {
+		return
+	}
+	// When the connection drops, the rank becomes free again so a
+	// migrated incarnation of the thread can re-register from another
+	// platform; its pending queue is discarded (the new replica is blank
+	// and will be seeded with the full state).
+	defer h.removePeer(p)
+	for {
+		msg, err := h.recv(c)
+		if err != nil {
+			return
+		}
+		switch msg.Kind {
+		case wire.KindLockReq:
+			// The freeze check is inside acquire, atomic with the
+			// grant: checking here first would race Detach's snapshot.
+			err = h.handleLock(c, p, msg)
+		case wire.KindUnlockReq:
+			// Releases are always processed: a holder must be able to
+			// drain so a detaching home can reach quiescence. (A held
+			// lock blocks the snapshot, so an unlock can never arrive
+			// after it.)
+			err = h.handleUnlock(c, p, msg)
+		case wire.KindBarrierReq:
+			err = h.handleBarrier(c, p, msg)
+		case wire.KindFlushReq:
+			err = h.handleFlush(c, p, msg)
+		case wire.KindFetchReq:
+			// Fetches are answered even while frozen: the data is
+			// consistent until the handoff snapshot, and a redirect
+			// would race the thread's critical section. (The successor
+			// serves later fetches after the thread's next acquire.)
+			err = h.handleFetch(c, p, msg)
+		case wire.KindJoinReq:
+			err = h.handleJoin(c, p, msg)
+		default:
+			err = fmt.Errorf("dsd: unexpected %v from rank %d", msg.Kind, p.rank)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (h *Home) removePeer(p *peer) {
+	h.mu.Lock()
+	if h.peers[p.rank] == p {
+		delete(h.peers, p.rank)
+		delete(h.pending, p.rank)
+		// Recover any mutex the dead thread still held: leaving it
+		// orphaned would deadlock every other thread. Its uncommitted
+		// writes are lost — the crashing-holder semantics every lock
+		// service chooses.
+		for idx, ls := range h.locks {
+			if ls.held && ls.holder == p.rank {
+				h.releaseLocked(idx)
+			}
+		}
+	}
+	h.mu.Unlock()
+}
+
+// LocalThread creates a worker thread served by this home over an
+// in-process pipe; used for the home node's own (non-migrated) thread and
+// by single-process clusters.
+func (h *Home) LocalThread(rank int32, p *platform.Platform, opts Options) (*Thread, error) {
+	a, b := transport.Pipe()
+	go h.ServeConn(b)
+	return Connect(a, p, rank, h.gthv, opts)
+}
+
+// Wait blocks until every thread has joined (MTh_join semantics for the
+// base thread: "this informs the base thread that it too should
+// terminate").
+func (h *Home) Wait() { <-h.done }
+
+// Close shuts down all listeners.
+func (h *Home) Close() {
+	h.lmu.Lock()
+	defer h.lmu.Unlock()
+	for _, l := range h.listeners {
+		l.Close()
+	}
+	h.listeners = nil
+}
+
+func (h *Home) handshake(c transport.Conn) (*peer, error) {
+	msg, err := h.recv(c)
+	if err != nil {
+		return nil, err
+	}
+	if msg.Kind != wire.KindHello {
+		return nil, fmt.Errorf("dsd: expected hello, got %v", msg.Kind)
+	}
+	plat := platform.ByName(msg.Platform)
+	if plat == nil {
+		return nil, fmt.Errorf("dsd: unknown platform %q", msg.Platform)
+	}
+	layout, err := tag.NewLayout(h.gthv, plat)
+	if err != nil {
+		return nil, err
+	}
+	ptable, err := indextable.Build(layout, msg.Base)
+	if err != nil {
+		return nil, err
+	}
+	if err := indextable.Compatible(h.table, ptable); err != nil {
+		return nil, err
+	}
+	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindHello, msg.Rank, -1, 0, msg.Platform)
+	p := &peer{rank: msg.Rank, plat: plat, table: ptable}
+	h.mu.Lock()
+	if _, dup := h.peers[p.rank]; dup {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("dsd: rank %d already registered", p.rank)
+	}
+	h.peers[p.rank] = p
+	if h.carried[p.rank] && msg.Flags&wire.FlagWarmReplica != 0 {
+		// Handoff-carried rank re-registering with its original
+		// replica: the carried pending queue is its exact catch-up.
+		delete(h.carried, p.rank)
+	} else if h.carried[p.rank] {
+		// Carried rank arriving with a FRESH replica (it migrated
+		// after the handoff): the carried queue is useless; seed the
+		// full state instead.
+		delete(h.carried, p.rank)
+		h.pending[p.rank] = nil
+		for i := 0; i < h.table.Len(); i++ {
+			h.pending[p.rank] = append(h.pending[p.rank],
+				indextable.Span{Entry: i, First: 0, Count: h.table.Entry(i).Count})
+		}
+	} else if h.dirty {
+		for i := 0; i < h.table.Len(); i++ {
+			h.pending[p.rank] = append(h.pending[p.rank],
+				indextable.Span{Entry: i, First: 0, Count: h.table.Entry(i).Count})
+		}
+	}
+	h.mu.Unlock()
+	return p, h.send(c, &wire.Message{
+		Kind:     wire.KindHelloAck,
+		Rank:     p.rank,
+		Platform: h.plat.Name,
+		Base:     h.table.Base(),
+		Proto:    uint8(h.opts.Protocol),
+	})
+}
+
+func (h *Home) handleLock(c transport.Conn, p *peer, msg *wire.Message) error {
+	if !h.acquire(msg.Mutex, p.rank) {
+		return h.redirect(c, p.rank)
+	}
+	updates := h.takePending(p)
+	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindLockGrant, p.rank, msg.Mutex, wire.UpdateBytes(updates), "")
+	if err := h.send(c, &wire.Message{
+		Kind:     wire.KindLockGrant,
+		Mutex:    msg.Mutex,
+		Rank:     p.rank,
+		Platform: h.plat.Name,
+		Base:     h.table.Base(),
+		Updates:  updates,
+	}); err != nil {
+		// The grantee vanished; put the lock back so others proceed.
+		h.release(msg.Mutex)
+		return err
+	}
+	ack, err := h.recv(c)
+	if err != nil {
+		h.release(msg.Mutex)
+		return err
+	}
+	if ack.Kind != wire.KindLockAck {
+		h.release(msg.Mutex)
+		return fmt.Errorf("dsd: expected lock-ack, got %v", ack.Kind)
+	}
+	return nil
+}
+
+func (h *Home) handleUnlock(c transport.Conn, p *peer, msg *wire.Message) error {
+	if err := h.applyUpdates(p, msg); err != nil {
+		if err == errMoved {
+			// Unreachable while the quiescence protocol holds (a held
+			// lock blocks the snapshot), but redirect defensively.
+			return h.redirect(c, p.rank)
+		}
+		return err
+	}
+	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindUnlock, p.rank, msg.Mutex, wire.UpdateBytes(msg.Updates), "")
+	h.release(msg.Mutex)
+	return h.send(c, &wire.Message{Kind: wire.KindUnlockAck, Mutex: msg.Mutex, Rank: p.rank})
+}
+
+func (h *Home) handleBarrier(c transport.Conn, p *peer, msg *wire.Message) error {
+	if err := h.applyUpdates(p, msg); err != nil {
+		if err == errMoved {
+			return h.redirect(c, p.rank)
+		}
+		return err
+	}
+	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindBarrierArrive, p.rank, msg.Mutex, wire.UpdateBytes(msg.Updates), "")
+	proceed, err := h.arrive(msg.Mutex)
+	if err != nil {
+		return err
+	}
+	if !proceed {
+		// The home handed off after this thread's updates were applied
+		// (idempotent value updates: re-applying at the successor is
+		// harmless); the whole barrier must re-run there.
+		return h.redirect(c, p.rank)
+	}
+	updates := h.takePending(p)
+	return h.send(c, &wire.Message{
+		Kind:     wire.KindBarrierRelease,
+		Mutex:    msg.Mutex,
+		Rank:     p.rank,
+		Platform: h.plat.Name,
+		Base:     h.table.Base(),
+		Updates:  updates,
+	})
+}
+
+func (h *Home) handleFlush(c transport.Conn, p *peer, msg *wire.Message) error {
+	if err := h.applyUpdates(p, msg); err != nil {
+		if err == errMoved {
+			return h.redirect(c, p.rank)
+		}
+		return err
+	}
+	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindFlush, p.rank, -1, wire.UpdateBytes(msg.Updates), "")
+	return h.send(c, &wire.Message{Kind: wire.KindFlushAck, Rank: p.rank})
+}
+
+// handleFetch materializes current master data for explicitly requested
+// spans (invalidate protocol): tags (t_tag) plus data (t_pack), exactly
+// like a grant, but demand-driven.
+func (h *Home) handleFetch(c transport.Conn, p *peer, msg *wire.Message) error {
+	spans := make([]indextable.Span, 0, len(msg.Updates))
+	for i := range msg.Updates {
+		u := &msg.Updates[i]
+		if int(u.Entry) >= h.table.Len() || u.First < 0 || u.Count <= 0 {
+			return fmt.Errorf("dsd: fetch span %d/%d/%d invalid", u.Entry, u.First, u.Count)
+		}
+		e := h.table.Entry(int(u.Entry))
+		if int(u.First)+int(u.Count) > e.Count {
+			return fmt.Errorf("dsd: fetch of %s[%d..%d) exceeds %d elements",
+				e.Name, u.First, int(u.First)+int(u.Count), e.Count)
+		}
+		spans = append(spans, indextable.Span{Entry: int(u.Entry), First: int(u.First), Count: int(u.Count)})
+	}
+	spans = indextable.MergeSpans(spans)
+
+	tagStart := time.Now()
+	tags := make([]string, len(spans))
+	for i, s := range spans {
+		tags[i] = h.table.SpanTag(s).String()
+	}
+	h.bd.Add(stats.Tag, time.Since(tagStart))
+
+	packStart := time.Now()
+	updates := make([]wire.Update, len(spans))
+	var packBytes int
+	h.mu.Lock()
+	for i, s := range spans {
+		n := h.table.SpanBytes(s)
+		buf := make([]byte, n)
+		if _, err := h.master.Read(h.table.SpanOffset(s), n, buf); err != nil {
+			h.mu.Unlock()
+			return err
+		}
+		packBytes += n
+		updates[i] = wire.Update{
+			Entry: int32(s.Entry), First: int32(s.First), Count: int32(s.Count),
+			Tag: tags[i], Data: buf,
+		}
+	}
+	h.mu.Unlock()
+	h.bd.AddBytes(stats.Pack, time.Since(packStart), packBytes)
+	return h.send(c, &wire.Message{
+		Kind:     wire.KindFetchReply,
+		Rank:     p.rank,
+		Platform: h.plat.Name,
+		Base:     h.table.Base(),
+		Updates:  updates,
+	})
+}
+
+func (h *Home) handleJoin(c transport.Conn, p *peer, msg *wire.Message) error {
+	if err := h.applyUpdates(p, msg); err != nil {
+		if err == errMoved {
+			return h.redirect(c, p.rank)
+		}
+		return err
+	}
+	h.mu.Lock()
+	if h.snapshotted {
+		// The successor owns the joined set now.
+		h.mu.Unlock()
+		return h.redirect(c, p.rank)
+	}
+	h.joined[p.rank] = true
+	if len(h.joined) == h.nthreads {
+		close(h.done)
+	}
+	h.mu.Unlock()
+	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindJoin, p.rank, -1, 0, "")
+	return h.send(c, &wire.Message{Kind: wire.KindJoinAck, Rank: p.rank})
+}
+
+// errMoved reports an update-bearing request arriving after the handoff
+// snapshot; the caller answers with a redirect.
+var errMoved = fmt.Errorf("dsd: home state already handed off")
+
+// acquire blocks until mutex idx is held by rank's thread, or reports
+// false when the home is frozen for handoff (the freeze check is atomic
+// with the grant — a check-then-acquire would race the detach snapshot).
+// A waiter enqueued before the freeze may still be granted afterwards via
+// release handoff; the unbroken held chain keeps the snapshot waiting
+// until that thread releases.
+func (h *Home) acquire(idx, rank int32) bool {
+	h.mu.Lock()
+	if h.frozen {
+		h.mu.Unlock()
+		return false
+	}
+	ls := h.locks[idx]
+	if ls == nil {
+		ls = &lockState{}
+		h.locks[idx] = ls
+	}
+	if !ls.held {
+		ls.held = true
+		ls.holder = rank
+		h.mu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	ls.waiters = append(ls.waiters, lockWaiter{ch: ch, rank: rank})
+	h.mu.Unlock()
+	<-ch // ownership handed off by release
+	return true
+}
+
+// release hands mutex idx to the oldest waiter, FIFO, or marks it free.
+func (h *Home) release(idx int32) {
+	h.mu.Lock()
+	h.releaseLocked(idx)
+	h.mu.Unlock()
+}
+
+// releaseLocked is release with h.mu held.
+func (h *Home) releaseLocked(idx int32) {
+	ls := h.locks[idx]
+	if ls == nil || !ls.held {
+		return
+	}
+	if len(ls.waiters) > 0 {
+		w := ls.waiters[0]
+		ls.waiters = ls.waiters[1:]
+		ls.holder = w.rank
+		close(w.ch)
+		return
+	}
+	ls.held = false
+}
+
+// arrive blocks in barrier idx until all nthreads threads have arrived.
+// proceed is false when the home has handed off: quiescence guarantees no
+// generation is in flight at the snapshot, so every post-snapshot arrival
+// belongs to the successor.
+func (h *Home) arrive(idx int32) (proceed bool, err error) {
+	h.mu.Lock()
+	if h.snapshotted {
+		h.mu.Unlock()
+		return false, nil
+	}
+	bs := h.barriers[idx]
+	if bs == nil {
+		bs = &barrierState{gen: make(chan struct{})}
+		h.barriers[idx] = bs
+	}
+	bs.arrived++
+	gen := bs.gen
+	if bs.arrived == h.nthreads {
+		bs.arrived = 0
+		bs.gen = make(chan struct{})
+		h.mu.Unlock()
+		h.opts.Trace.Record("home@"+h.plat.Name, trace.KindBarrierOpen, -1, idx, 0, "")
+		close(gen)
+		return true, nil
+	}
+	if bs.arrived > h.nthreads {
+		h.mu.Unlock()
+		return false, fmt.Errorf("dsd: barrier %d over-subscribed", idx)
+	}
+	h.mu.Unlock()
+	<-gen
+	return true, nil
+}
+
+// applyUpdates converts incoming updates to the home representation
+// (receiver makes right, t_conv), applies them to the master copy, and
+// queues the spans for every other thread.
+func (h *Home) applyUpdates(p *peer, msg *wire.Message) error {
+	if len(msg.Updates) == 0 {
+		return nil
+	}
+	if err := msg.Validate(); err != nil {
+		return err
+	}
+	type converted struct {
+		span indextable.Span
+		data []byte
+	}
+	convs := make([]converted, 0, len(msg.Updates))
+	copt := convert.Options{Ptr: convert.PtrTranslate, Translator: h.table.Translator(p.table)}
+
+	start := time.Now()
+	var convBytes int
+	for i := range msg.Updates {
+		u := &msg.Updates[i]
+		if int(u.Entry) >= h.table.Len() {
+			return fmt.Errorf("dsd: update entry %d out of range", u.Entry)
+		}
+		e := h.table.Entry(int(u.Entry))
+		if int(u.First)+int(u.Count) > e.Count {
+			return fmt.Errorf("dsd: update %s[%d..%d) exceeds %d elements",
+				e.Name, u.First, int(u.First)+int(u.Count), e.Count)
+		}
+		srcSize := len(u.Data) / int(u.Count)
+		if want := p.plat.CSizeOf(e.CType); srcSize != want {
+			return fmt.Errorf("dsd: update %s element size %d, want %d on %s",
+				e.Name, srcSize, want, p.plat)
+		}
+		data, _, err := convert.ScalarRun(nil, h.plat, u.Data, p.plat, e.CType, int(u.Count), copt)
+		if err != nil {
+			return err
+		}
+		convBytes += len(u.Data)
+		convs = append(convs, converted{
+			span: indextable.Span{Entry: int(u.Entry), First: int(u.First), Count: int(u.Count)},
+			data: data,
+		})
+	}
+	h.bd.AddBytes(stats.Conv, time.Since(start), convBytes)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.snapshotted {
+		// The handoff state is already captured; accepting this update
+		// would lose it. The successor must take it instead.
+		return errMoved
+	}
+	h.dirty = true
+	for _, cv := range convs {
+		if err := h.master.RawWrite(h.table.SpanOffset(cv.span), cv.data); err != nil {
+			return err
+		}
+		for rank := range h.peers {
+			if rank == p.rank {
+				continue
+			}
+			h.pending[rank] = append(h.pending[rank], cv.span)
+		}
+		// Handoff-carried ranks that have not re-registered yet must
+		// accrue updates too: their carried queue is their exact
+		// catch-up, and missing this window would lose updates.
+		for rank := range h.carried {
+			if rank == p.rank {
+				continue
+			}
+			if _, registered := h.peers[rank]; registered {
+				continue
+			}
+			h.pending[rank] = append(h.pending[rank], cv.span)
+		}
+	}
+	return nil
+}
+
+// takePending drains and materializes the pending updates for one thread:
+// coalesce spans, form tags (t_tag), copy master data (t_pack's gather
+// half). The encode half of t_pack is charged in send. Under the
+// invalidate protocol only the spans travel, as data-less records.
+func (h *Home) takePending(p *peer) []wire.Update {
+	h.mu.Lock()
+	spans := indextable.MergeSpans(h.pending[p.rank])
+	h.pending[p.rank] = nil
+	if len(spans) == 0 {
+		h.mu.Unlock()
+		return nil
+	}
+	if h.opts.Protocol == ProtocolInvalidate {
+		h.mu.Unlock()
+		updates := make([]wire.Update, len(spans))
+		for i, s := range spans {
+			updates[i] = wire.Update{Entry: int32(s.Entry), First: int32(s.First), Count: int32(s.Count)}
+		}
+		return updates
+	}
+	spans = widenSpans(h.table, spans, h.opts.WholeArrayThreshold)
+
+	tagStart := time.Now()
+	tags := make([]string, len(spans))
+	for i, s := range spans {
+		tags[i] = h.table.SpanTag(s).String()
+	}
+	h.bd.Add(stats.Tag, time.Since(tagStart))
+
+	packStart := time.Now()
+	updates := make([]wire.Update, len(spans))
+	var packBytes int
+	for i, s := range spans {
+		n := h.table.SpanBytes(s)
+		buf := make([]byte, n)
+		if _, err := h.master.Read(h.table.SpanOffset(s), n, buf); err != nil {
+			// Spans come from our own table; a read failure is a bug.
+			panic(fmt.Sprintf("dsd: master read of own span failed: %v", err))
+		}
+		packBytes += n
+		updates[i] = wire.Update{
+			Entry: int32(s.Entry),
+			First: int32(s.First),
+			Count: int32(s.Count),
+			Tag:   tags[i],
+			Data:  buf,
+		}
+	}
+	h.bd.AddBytes(stats.Pack, time.Since(packStart), packBytes)
+	h.mu.Unlock()
+	return updates
+}
+
+// widenSpans applies the whole-array transfer rule: a span covering at
+// least threshold of its entry grows to the full entry.
+func widenSpans(t *indextable.Table, spans []indextable.Span, threshold float64) []indextable.Span {
+	if threshold <= 0 {
+		return spans
+	}
+	widened := false
+	for i, s := range spans {
+		e := t.Entry(s.Entry)
+		if e.Count > 1 && float64(s.Count) >= threshold*float64(e.Count) && s.Count < e.Count {
+			spans[i] = indextable.Span{Entry: s.Entry, First: 0, Count: e.Count}
+			widened = true
+		}
+	}
+	if widened {
+		return indextable.MergeSpans(spans)
+	}
+	return spans
+}
+
+// send encodes (t_pack) and transmits a message.
+func (h *Home) send(c transport.Conn, m *wire.Message) error {
+	start := time.Now()
+	frame, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	h.bd.Add(stats.Pack, time.Since(start))
+	return c.SendFrame(frame)
+}
+
+// recv receives and decodes (t_unpack) a message.
+func (h *Home) recv(c transport.Conn) (*wire.Message, error) {
+	frame, err := c.RecvFrame()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m, err := wire.Decode(frame)
+	if err != nil {
+		return nil, err
+	}
+	h.bd.AddBytes(stats.Unpack, time.Since(start), wire.UpdateBytes(m.Updates))
+	return m, nil
+}

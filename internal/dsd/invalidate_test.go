@@ -1,0 +1,291 @@
+package dsd
+
+import (
+	"sync"
+	"testing"
+
+	"hetdsm/internal/platform"
+	"hetdsm/internal/stats"
+)
+
+func invalidateCluster(t *testing.T, plats []*platform.Platform) (*Home, []*Thread) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Protocol = ProtocolInvalidate
+	h, err := NewHome(testGThV(), platform.LinuxX86, len(plats), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := make([]*Thread, len(plats))
+	for i, p := range plats {
+		th, err := h.LocalThread(int32(i), p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if th.Protocol() != ProtocolInvalidate {
+			t.Fatalf("thread did not adopt invalidate protocol: %v", th.Protocol())
+		}
+		threads[i] = th
+	}
+	return h, threads
+}
+
+func TestInvalidateFetchOnRead(t *testing.T) {
+	_, ths := invalidateCluster(t, []*platform.Platform{platform.SolarisSPARC, platform.LinuxX86})
+	a, b := ths[0], ths[1]
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Globals().MustVar("sum").SetInt(0, -777); err != nil {
+		t.Fatal(err)
+	}
+	arr := a.Globals().MustVar("A")
+	for i := 0; i < 20; i++ {
+		if err := arr.SetInt(i, int64(3*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := b.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	// The grant carried only invalidations; reads now fetch on demand and
+	// must see the exact values across the endianness boundary.
+	v, err := b.Globals().MustVar("sum").Int(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != -777 {
+		t.Errorf("fetched sum = %d, want -777", v)
+	}
+	got, err := b.Globals().MustVar("A").Ints(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != int64(3*i) {
+			t.Errorf("A[%d] = %d, want %d", i, got[i], 3*i)
+		}
+	}
+	// A second read of the same range must NOT fetch again: the conv
+	// byte counter stays put.
+	before := b.Stats().Bytes(stats.Conv)
+	if _, err := b.Globals().MustVar("A").Ints(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if after := b.Stats().Bytes(stats.Conv); after != before {
+		t.Errorf("second read re-fetched: conv bytes %d -> %d", before, after)
+	}
+	if err := b.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidateWriteWithoutReadWins(t *testing.T) {
+	// B's element is invalidated by A's write; B then overwrites it
+	// WITHOUT reading. B's value must survive (no fetch may clobber it)
+	// and must reach the master at release.
+	h, ths := invalidateCluster(t, []*platform.Platform{platform.LinuxX86, platform.SolarisSPARC})
+	a, b := ths[0], ths[1]
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Globals().MustVar("sum").SetInt(0, 111); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := b.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Globals().MustVar("sum").SetInt(0, 222); err != nil {
+		t.Fatal(err)
+	}
+	// Read AFTER the local write: must see 222, not fetch 111.
+	v, err := b.Globals().MustVar("sum").Int(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 222 {
+		t.Errorf("local write clobbered by fetch: sum = %d", v)
+	}
+	if err := b.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	v, err = a.Globals().MustVar("sum").Int(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 222 {
+		t.Errorf("master missed B's write: sum = %d", v)
+	}
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+	_ = h
+}
+
+func TestInvalidateMutualExclusionCounter(t *testing.T) {
+	plats := []*platform.Platform{
+		platform.LinuxX86, platform.SolarisSPARC, platform.LinuxX8664,
+	}
+	h, ths := invalidateCluster(t, plats)
+	const perThread = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ths))
+	for _, th := range ths {
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			sum := th.Globals().MustVar("sum")
+			for i := 0; i < perThread; i++ {
+				if err := th.Lock(0); err != nil {
+					errs <- err
+					return
+				}
+				v, err := sum.Int(0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := sum.SetInt(0, v+1); err != nil {
+					errs <- err
+					return
+				}
+				if err := th.Unlock(0); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- th.Join()
+		}(th)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Wait()
+	v, err := h.Globals().MustVar("sum").Int(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(perThread * len(plats)); v != want {
+		t.Errorf("counter = %d, want %d", v, want)
+	}
+}
+
+func TestInvalidateSkipsUnreadData(t *testing.T) {
+	// The protocol's payoff: A writes a large array B never reads; under
+	// invalidate the data never crosses to B.
+	runWith := func(proto Protocol) uint64 {
+		opts := DefaultOptions()
+		opts.Protocol = proto
+		h, err := NewHome(testGThV(), platform.LinuxX86, 2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := h.LocalThread(0, platform.SolarisSPARC, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := h.LocalThread(1, platform.LinuxX86, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Lock(0); err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]int64, 64)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		if err := a.Globals().MustVar("A").SetInts(0, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Unlock(0); err != nil {
+			t.Fatal(err)
+		}
+		// B acquires (receiving updates or invalidations) and releases
+		// without ever reading A.
+		if err := b.Lock(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Unlock(0); err != nil {
+			t.Fatal(err)
+		}
+		return b.Stats().Bytes(stats.Conv)
+	}
+	updateBytes := runWith(ProtocolUpdate)
+	invalidateBytes := runWith(ProtocolInvalidate)
+	if invalidateBytes != 0 {
+		t.Errorf("invalidate moved %d bytes to a non-reader", invalidateBytes)
+	}
+	if updateBytes == 0 {
+		t.Error("update protocol moved no bytes (test is vacuous)")
+	}
+}
+
+func TestInvalidateBarriers(t *testing.T) {
+	plats := []*platform.Platform{platform.LinuxX86, platform.SolarisSPARC}
+	_, ths := invalidateCluster(t, plats)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ths))
+	for r, th := range ths {
+		wg.Add(1)
+		go func(r int, th *Thread) {
+			defer wg.Done()
+			a := th.Globals().MustVar("A")
+			for i := r * 16; i < (r+1)*16; i++ {
+				if err := a.SetInt(i, int64(100+i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := th.Barrier(0); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 32; i++ {
+				v, err := a.Int(i)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != int64(100+i) {
+					errs <- errInvalid(r, i, v)
+					return
+				}
+			}
+			errs <- th.Join()
+		}(r, th)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errInvalidT struct {
+	r, i int
+	v    int64
+}
+
+func errInvalid(r, i int, v int64) error { return errInvalidT{r, i, v} }
+func (e errInvalidT) Error() string {
+	return "invalidate barrier: wrong value"
+}

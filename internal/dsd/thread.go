@@ -1,0 +1,506 @@
+package dsd
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hetdsm/internal/convert"
+	"hetdsm/internal/indextable"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/stats"
+	"hetdsm/internal/tag"
+	"hetdsm/internal/trace"
+	"hetdsm/internal/transport"
+	"hetdsm/internal/vmem"
+	"hetdsm/internal/wire"
+)
+
+// Thread is one DSD worker: a rank, a platform, a GThV replica in that
+// platform's layout, and a connection to its stub at the home node. All
+// methods must be called from the single goroutine that owns the thread
+// (the paper's one-thread-one-address-space model).
+type Thread struct {
+	rank int32
+	plat *platform.Platform
+	opts Options
+	gthv tag.Struct
+	conn transport.Conn
+
+	layout     *tag.Layout
+	table      *indextable.Table
+	seg        *vmem.Segment
+	globals    *Globals
+	homePlat   *platform.Platform
+	homeTable  *indextable.Table
+	translator convert.Translator
+
+	bd  stats.Breakdown
+	seq atomic.Uint64
+
+	// proto is the home's propagation protocol, adopted at registration.
+	proto Protocol
+	// warm marks that the replica already holds state synchronized with a
+	// previous home; set before redirect re-registrations.
+	warm bool
+	// invalid tracks element spans whose local copies are stale under the
+	// invalidate protocol; reads overlapping them fetch from the home.
+	invalid []indextable.Span
+
+	// nw and addr are set by Dial-created threads and enable transparent
+	// home-handoff redirect following; Connect-created threads (raw
+	// conns, in-process pipes) cannot follow redirects.
+	nw   transport.Network
+	addr string
+}
+
+// Connect performs the hello handshake over an established connection and
+// returns a ready thread with an armed (write-protected) replica.
+func Connect(conn transport.Conn, p *platform.Platform, rank int32, gthv tag.Struct, opts Options) (*Thread, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Base%uint64(p.PageSize) != 0 {
+		return nil, fmt.Errorf("dsd: base %#x not aligned to %s page size %d", opts.Base, p, p.PageSize)
+	}
+	layout, err := tag.NewLayout(gthv, p)
+	if err != nil {
+		return nil, err
+	}
+	table, err := indextable.Build(layout, opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := vmem.NewSegment(opts.Base, layout.Size, p.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	t := &Thread{
+		rank:   rank,
+		plat:   p,
+		opts:   opts,
+		gthv:   gthv,
+		conn:   conn,
+		layout: layout,
+		table:  table,
+		seg:    seg,
+	}
+	t.globals = newGlobals(p, table, seg)
+	t.globals.ensure = t.ensureValid
+	t.globals.wrote = t.noteLocalWrite
+	if err := t.handshake(); err != nil {
+		return nil, err
+	}
+	t.seg.ProtectAll()
+	return t, nil
+}
+
+// handshake registers the thread with its (possibly new, after a redirect)
+// home and learns the home's platform and base for conversions.
+func (t *Thread) handshake() error {
+	var flags uint8
+	if t.warm {
+		flags |= wire.FlagWarmReplica
+	}
+	if err := t.send(&wire.Message{
+		Kind:     wire.KindHello,
+		Rank:     t.rank,
+		Platform: t.plat.Name,
+		Base:     t.opts.Base,
+		Flags:    flags,
+	}); err != nil {
+		return err
+	}
+	ack, err := t.recv(wire.KindHelloAck)
+	if err != nil {
+		return err
+	}
+	t.homePlat = platform.ByName(ack.Platform)
+	if t.homePlat == nil {
+		return fmt.Errorf("dsd: home reported unknown platform %q", ack.Platform)
+	}
+	homeLayout, err := tag.NewLayout(t.gthv, t.homePlat)
+	if err != nil {
+		return err
+	}
+	t.homeTable, err = indextable.Build(homeLayout, ack.Base)
+	if err != nil {
+		return err
+	}
+	t.translator = t.table.Translator(t.homeTable)
+	t.proto = Protocol(ack.Proto)
+	return nil
+}
+
+// Protocol returns the propagation protocol in force (the home's choice).
+func (t *Thread) Protocol() Protocol { return t.proto }
+
+// noteLocalWrite drops a stale marking: the local write is authoritative
+// until the next release point.
+func (t *Thread) noteLocalWrite(entry, first, count int) {
+	if len(t.invalid) == 0 {
+		return
+	}
+	t.invalid = indextable.SubtractSpan(t.invalid, indextable.Span{Entry: entry, First: first, Count: count})
+}
+
+// ensureValid makes [first, first+count) of entry current before a read:
+// under the invalidate protocol, any overlap with the invalid set is
+// fetched from the home on demand.
+func (t *Thread) ensureValid(entry, first, count int) error {
+	if len(t.invalid) == 0 {
+		return nil
+	}
+	want := indextable.Span{Entry: entry, First: first, Count: count}
+	need := indextable.IntersectSpans(t.invalid, want)
+	if len(need) == 0 {
+		return nil
+	}
+	req := make([]wire.Update, len(need))
+	for i, s := range need {
+		req[i] = wire.Update{Entry: int32(s.Entry), First: int32(s.First), Count: int32(s.Count)}
+	}
+	reply, err := t.call(&wire.Message{
+		Kind:    wire.KindFetchReq,
+		Rank:    t.rank,
+		Updates: req,
+	}, wire.KindFetchReply)
+	if err != nil {
+		return err
+	}
+	if err := t.applyIncoming(reply); err != nil {
+		return err
+	}
+	for _, s := range need {
+		t.invalid = indextable.SubtractSpan(t.invalid, s)
+	}
+	return nil
+}
+
+// Dial connects to a home node over a network and returns a ready thread.
+func Dial(nw transport.Network, addr string, p *platform.Platform, rank int32, gthv tag.Struct, opts Options) (*Thread, error) {
+	conn, err := nw.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Connect(conn, p, rank, gthv, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t.nw = nw
+	t.addr = addr
+	return t, nil
+}
+
+// Rank returns the thread's iso-computing rank.
+func (t *Thread) Rank() int32 { return t.rank }
+
+// Platform returns the thread's virtual platform.
+func (t *Thread) Platform() *platform.Platform { return t.plat }
+
+// Globals returns the typed view of the replica.
+func (t *Thread) Globals() *Globals { return t.globals }
+
+// Stats returns this thread's Cshare breakdown (index/tag/pack on release,
+// unpack/conversion on acquire).
+func (t *Thread) Stats() *stats.Breakdown { return &t.bd }
+
+// Segment exposes the underlying replica segment for inspection (fault
+// counts, twin bytes); tests and the migration layer use it.
+func (t *Thread) Segment() *vmem.Segment { return t.seg }
+
+// Close tears down the connection.
+func (t *Thread) Close() error { return t.conn.Close() }
+
+// call sends a request and receives the expected reply, transparently
+// following home-handoff redirects (KindRedirect) when the thread was
+// created with Dial: it reconnects to the new home, re-registers, and
+// re-sends the request.
+func (t *Thread) call(m *wire.Message, want wire.Kind) (*wire.Message, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		if err := t.send(m); err != nil {
+			return nil, err
+		}
+		reply, err := t.recvAny()
+		if err != nil {
+			return nil, err
+		}
+		if reply.Kind == wire.KindRedirect {
+			if err := t.followRedirect(reply.Addr); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if reply.Kind != want {
+			return nil, fmt.Errorf("dsd: expected %v, got %v", want, reply.Kind)
+		}
+		return reply, nil
+	}
+	return nil, fmt.Errorf("dsd: too many home redirects")
+}
+
+// followRedirect reconnects to a moved home and re-registers.
+func (t *Thread) followRedirect(addr string) error {
+	if t.nw == nil {
+		return fmt.Errorf("dsd: home moved to %q but this thread cannot redial (created with Connect, not Dial)", addr)
+	}
+	if addr == "" {
+		return fmt.Errorf("dsd: redirect without an address")
+	}
+	conn, err := t.nw.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("dsd: following redirect to %q: %w", addr, err)
+	}
+	t.conn.Close()
+	t.conn = conn
+	t.addr = addr
+	// The replica carries its state to the new home. (A crashed-and-
+	// reincarnated rank that reaches the successor through the old
+	// address would wrongly claim warmth; distinguishing that would need
+	// replica generation numbers. Migration, the supported path, closes
+	// the connection instead and re-registers cold.)
+	t.warm = true
+	t.opts.Trace.Record(t.traceName(), trace.KindRedirect, t.rank, -1, 0, "to "+addr)
+	return t.handshake()
+}
+
+// Lock acquires distributed mutex idx (MTh_lock): the grant carries all
+// outstanding updates, which are converted receiver-makes-right and applied
+// before Lock returns.
+func (t *Thread) Lock(idx int) error {
+	grant, err := t.call(&wire.Message{Kind: wire.KindLockReq, Mutex: int32(idx), Rank: t.rank}, wire.KindLockGrant)
+	if err != nil {
+		return err
+	}
+	if err := t.applyIncoming(grant); err != nil {
+		return err
+	}
+	return t.send(&wire.Message{Kind: wire.KindLockAck, Mutex: int32(idx), Rank: t.rank})
+}
+
+// Unlock releases mutex idx (MTh_unlock): dirty pages are diffed, the
+// diffs abstracted to index spans (t_index), tagged (t_tag), packed and
+// shipped home with the release.
+func (t *Thread) Unlock(idx int) error {
+	updates := t.collectUpdates()
+	if _, err := t.call(&wire.Message{
+		Kind:     wire.KindUnlockReq,
+		Mutex:    int32(idx),
+		Rank:     t.rank,
+		Platform: t.plat.Name,
+		Base:     t.opts.Base,
+		Updates:  updates,
+	}, wire.KindUnlockAck); err != nil {
+		return err
+	}
+	t.rearm()
+	return nil
+}
+
+// Barrier enters barrier idx (MTh_barrier): local updates are flushed like
+// an unlock, the thread waits for all participants, and the merged updates
+// of the phase are applied before Barrier returns.
+func (t *Thread) Barrier(idx int) error {
+	updates := t.collectUpdates()
+	release, err := t.call(&wire.Message{
+		Kind:     wire.KindBarrierReq,
+		Mutex:    int32(idx),
+		Rank:     t.rank,
+		Platform: t.plat.Name,
+		Base:     t.opts.Base,
+		Updates:  updates,
+	}, wire.KindBarrierRelease)
+	if err != nil {
+		return err
+	}
+	if err := t.applyIncoming(release); err != nil {
+		return err
+	}
+	t.rearm()
+	return nil
+}
+
+// Flush pushes the current detection window's dirty updates home without
+// touching any lock. The migration protocol calls it at the capture safe
+// point so writes made since the last release survive the replica being
+// abandoned; well-synchronized programs never need it directly.
+func (t *Thread) Flush() error {
+	updates := t.collectUpdates()
+	if _, err := t.call(&wire.Message{
+		Kind:     wire.KindFlushReq,
+		Rank:     t.rank,
+		Platform: t.plat.Name,
+		Base:     t.opts.Base,
+		Updates:  updates,
+	}, wire.KindFlushAck); err != nil {
+		return err
+	}
+	t.rearm()
+	return nil
+}
+
+// Join announces termination (MTh_join), flushing any remaining updates so
+// the final state reaches the base thread.
+func (t *Thread) Join() error {
+	updates := t.collectUpdates()
+	_, err := t.call(&wire.Message{
+		Kind:     wire.KindJoinReq,
+		Rank:     t.rank,
+		Platform: t.plat.Name,
+		Base:     t.opts.Base,
+		Updates:  updates,
+	}, wire.KindJoinAck)
+	return err
+}
+
+// rearm restarts the write-detection window after a release point.
+func (t *Thread) rearm() {
+	t.seg.ProtectAll()
+}
+
+// collectUpdates runs the release-side pipeline: twin/diff plus index
+// mapping (t_index), tag formation (t_tag), and data gathering (the copy
+// half of t_pack; the encode half is charged in send).
+func (t *Thread) collectUpdates() []wire.Update {
+	indexStart := time.Now()
+	ranges := t.seg.Diff(t.opts.Diff)
+	var spans []indextable.Span
+	if t.opts.Coalesce {
+		spans = t.table.MapRanges(ranges)
+	} else {
+		spans = t.table.MapRangesNoCoalesce(ranges)
+	}
+	spans = widenSpans(t.table, spans, t.opts.WholeArrayThreshold)
+	t.bd.Add(stats.Index, time.Since(indexStart))
+	if len(spans) == 0 {
+		return nil
+	}
+
+	tagStart := time.Now()
+	tags := make([]string, len(spans))
+	for i, s := range spans {
+		tags[i] = t.table.SpanTag(s).String()
+	}
+	t.bd.Add(stats.Tag, time.Since(tagStart))
+
+	packStart := time.Now()
+	updates := make([]wire.Update, len(spans))
+	var packBytes int
+	for i, s := range spans {
+		n := t.table.SpanBytes(s)
+		buf := make([]byte, n)
+		if _, err := t.seg.Read(t.table.SpanOffset(s), n, buf); err != nil {
+			panic(fmt.Sprintf("dsd: replica read of own span failed: %v", err))
+		}
+		packBytes += n
+		updates[i] = wire.Update{
+			Entry: int32(s.Entry),
+			First: int32(s.First),
+			Count: int32(s.Count),
+			Tag:   tags[i],
+			Data:  buf,
+		}
+	}
+	t.bd.AddBytes(stats.Pack, time.Since(packStart), packBytes)
+	return updates
+}
+
+// applyIncoming converts a grant's or release's updates to the local
+// representation (t_conv) and applies them to the replica without
+// disturbing local write detection.
+func (t *Thread) applyIncoming(msg *wire.Message) error {
+	if len(msg.Updates) == 0 {
+		return nil
+	}
+	if err := msg.Validate(); err != nil {
+		return err
+	}
+	srcP := t.homePlat
+	if msg.Platform != "" && msg.Platform != srcP.Name {
+		srcP = platform.ByName(msg.Platform)
+		if srcP == nil {
+			return fmt.Errorf("dsd: update from unknown platform %q", msg.Platform)
+		}
+	}
+	copt := convert.Options{Ptr: convert.PtrTranslate, Translator: t.translator}
+	start := time.Now()
+	var convBytes int
+	for i := range msg.Updates {
+		u := &msg.Updates[i]
+		if int(u.Entry) >= t.table.Len() {
+			return fmt.Errorf("dsd: update entry %d out of range", u.Entry)
+		}
+		e := t.table.Entry(int(u.Entry))
+		if int(u.First)+int(u.Count) > e.Count {
+			return fmt.Errorf("dsd: update %s[%d..%d) exceeds %d elements",
+				e.Name, u.First, int(u.First)+int(u.Count), e.Count)
+		}
+		if len(u.Data) == 0 {
+			// Invalidation record (invalidate protocol): mark stale.
+			t.invalid = indextable.MergeSpans(append(t.invalid,
+				indextable.Span{Entry: int(u.Entry), First: int(u.First), Count: int(u.Count)}))
+			continue
+		}
+		if srcSize := len(u.Data) / int(u.Count); srcSize != srcP.CSizeOf(e.CType) {
+			return fmt.Errorf("dsd: update %s element size %d, want %d on %s",
+				e.Name, srcSize, srcP.CSizeOf(e.CType), srcP)
+		}
+		data, _, err := convert.ScalarRun(nil, t.plat, u.Data, srcP, e.CType, int(u.Count), copt)
+		if err != nil {
+			return err
+		}
+		convBytes += len(u.Data)
+		off := e.Offset + int(u.First)*e.ElemSize
+		if err := t.seg.ApplyRemote(off, data); err != nil {
+			return err
+		}
+	}
+	t.bd.AddBytes(stats.Conv, time.Since(start), convBytes)
+	t.opts.Trace.Record(t.traceName(), trace.KindApply, t.rank, -1, convBytes, "from "+srcP.Name)
+	return nil
+}
+
+// traceName labels this thread's trace events.
+func (t *Thread) traceName() string {
+	return fmt.Sprintf("rank-%d@%s", t.rank, t.plat.Name)
+}
+
+// send encodes (t_pack) and transmits.
+func (t *Thread) send(m *wire.Message) error {
+	m.Seq = t.seq.Add(1)
+	start := time.Now()
+	frame, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	t.bd.Add(stats.Pack, time.Since(start))
+	return t.conn.SendFrame(frame)
+}
+
+// recvAny receives and decodes (t_unpack) the next message.
+func (t *Thread) recvAny() (*wire.Message, error) {
+	frame, err := t.conn.RecvFrame()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m, err := wire.Decode(frame)
+	if err != nil {
+		return nil, err
+	}
+	t.bd.AddBytes(stats.Unpack, time.Since(start), wire.UpdateBytes(m.Updates))
+	return m, nil
+}
+
+// recv receives, decodes (t_unpack) and checks the message kind.
+func (t *Thread) recv(want wire.Kind) (*wire.Message, error) {
+	m, err := t.recvAny()
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind != want {
+		return nil, fmt.Errorf("dsd: expected %v, got %v", want, m.Kind)
+	}
+	return m, nil
+}

@@ -1,0 +1,470 @@
+package indextable
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+	"hetdsm/internal/vmem"
+)
+
+// gthv is the Figure 4 structure.
+func gthv() tag.Struct {
+	const n = 237 * 237
+	return tag.Struct{
+		Name: "GThV_t",
+		Fields: []tag.Field{
+			{Name: "GThP", T: tag.Pointer{}},
+			{Name: "A", T: tag.IntArray(n)},
+			{Name: "B", T: tag.IntArray(n)},
+			{Name: "C", T: tag.IntArray(n)},
+			{Name: "n", T: tag.Int()},
+		},
+	}
+}
+
+// TestTable1IndexTable reproduces Table 1 of the paper exactly: the index
+// table generated from the Figure 4 struct at base 0x40058000 on the Linux
+// machine.
+func TestTable1IndexTable(t *testing.T) {
+	l := tag.MustLayout(gthv(), platform.LinuxX86)
+	tb := MustBuild(l, 0x40058000)
+	want := []Row{
+		{Addr: 0x40058000, Size: 4, Number: -1},
+		{Addr: 0x40058004, Size: 0, Number: 0},
+		{Addr: 0x40058004, Size: 4, Number: 56169},
+		{Addr: 0x4008eda8, Size: 0, Number: 0},
+		{Addr: 0x4008eda8, Size: 4, Number: 56169},
+		{Addr: 0x400c5b4c, Size: 0, Number: 0},
+		{Addr: 0x400c5b4c, Size: 4, Number: 56169},
+		{Addr: 0x400fc8f0, Size: 0, Number: 0},
+		{Addr: 0x400fc8f0, Size: 4, Number: 1},
+		{Addr: 0x400fc8f4, Size: 0, Number: 0},
+	}
+	rows := tb.Rows()
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d:\n%s", len(rows), len(want), tb.Format())
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+}
+
+func TestIndexesArchitectureIndependent(t *testing.T) {
+	// Entry indexes must coincide on every platform even when addresses
+	// and sizes differ (paper: "the indexes of each element will remain
+	// the same").
+	base := uint64(0x40058000)
+	var tables []*Table
+	for _, p := range platform.All() {
+		tables = append(tables, MustBuild(tag.MustLayout(gthv(), p), base))
+	}
+	first := tables[0]
+	for _, tb := range tables[1:] {
+		if err := Compatible(first, tb); err != nil {
+			t.Errorf("tables incompatible: %v", err)
+		}
+		for i := 0; i < first.Len(); i++ {
+			if first.Entry(i).Name != tb.Entry(i).Name {
+				t.Errorf("entry %d name %q vs %q", i, first.Entry(i).Name, tb.Entry(i).Name)
+			}
+		}
+	}
+	// Pointer entry size differs between ILP32 and LP64 tables.
+	t32 := MustBuild(tag.MustLayout(gthv(), platform.LinuxX86), base)
+	t64 := MustBuild(tag.MustLayout(gthv(), platform.LinuxX8664), base)
+	if t32.Entry(0).ElemSize != 4 || t64.Entry(0).ElemSize != 8 {
+		t.Errorf("pointer sizes = %d/%d, want 4/8", t32.Entry(0).ElemSize, t64.Entry(0).ElemSize)
+	}
+}
+
+func TestEntryLookup(t *testing.T) {
+	tb := MustBuild(tag.MustLayout(gthv(), platform.LinuxX86), 0x40058000)
+	e, ok := tb.EntryByName("B")
+	if !ok {
+		t.Fatal("entry B not found")
+	}
+	if e.Index != 2 || e.Count != 56169 || e.CType != platform.CInt {
+		t.Errorf("B = %+v", e)
+	}
+	if _, ok := tb.EntryByName("zzz"); ok {
+		t.Error("bogus name found")
+	}
+}
+
+func TestMapOffset(t *testing.T) {
+	tb := MustBuild(tag.MustLayout(gthv(), platform.LinuxX86), 0x40058000)
+	// Offset 4 is A[0]; offset 4+4*10 is A[10].
+	entry, elem, ok := tb.MapOffset(4 + 4*10)
+	if !ok || entry != 1 || elem != 10 {
+		t.Errorf("MapOffset(A[10]) = %d,%d,%v", entry, elem, ok)
+	}
+	// Mid-element offsets map to the containing element.
+	entry, elem, ok = tb.MapOffset(4 + 4*10 + 3)
+	if !ok || entry != 1 || elem != 10 {
+		t.Errorf("MapOffset(A[10]+3) = %d,%d,%v", entry, elem, ok)
+	}
+	// Before everything.
+	if _, _, ok := tb.MapOffset(-1); ok {
+		t.Error("negative offset mapped")
+	}
+	// Past the end.
+	if _, _, ok := tb.MapOffset(tb.Size() + 100); ok {
+		t.Error("out-of-range offset mapped")
+	}
+}
+
+func TestMapAddrAndTranslator(t *testing.T) {
+	lx := MustBuild(tag.MustLayout(gthv(), platform.LinuxX86), 0x40058000)
+	sp := MustBuild(tag.MustLayout(gthv(), platform.SolarisSPARC), 0x80000000)
+	// A[5] on sparc -> same element on linux.
+	spA, _ := sp.EntryByName("A")
+	lxA, _ := lx.EntryByName("A")
+	remote := spA.Addr + uint64(5*spA.ElemSize)
+	tr := lx.Translator(sp)
+	local, ok := tr.Translate(remote)
+	if !ok {
+		t.Fatal("translate failed")
+	}
+	if want := lxA.Addr + uint64(5*lxA.ElemSize); local != want {
+		t.Errorf("translated = %#x, want %#x", local, want)
+	}
+	if _, ok := tr.Translate(0xdeadbeef); ok {
+		t.Error("address outside remote table translated")
+	}
+}
+
+func TestMapRangesWholeElementWidening(t *testing.T) {
+	tb := MustBuild(tag.MustLayout(gthv(), platform.LinuxX86), 0x40058000)
+	// One byte inside A[7] dirties the whole element.
+	spans := tb.MapRanges([]vmem.Range{{Start: 4 + 4*7 + 2, End: 4 + 4*7 + 3}})
+	if len(spans) != 1 || spans[0] != (Span{Entry: 1, First: 7, Count: 1}) {
+		t.Errorf("spans = %v", spans)
+	}
+}
+
+func TestMapRangesCoalescing(t *testing.T) {
+	tb := MustBuild(tag.MustLayout(gthv(), platform.LinuxX86), 0x40058000)
+	// A contiguous byte range across A[10..19] coalesces to one span.
+	spans := tb.MapRanges([]vmem.Range{{Start: 4 + 4*10, End: 4 + 4*20}})
+	if len(spans) != 1 || spans[0] != (Span{Entry: 1, First: 10, Count: 10}) {
+		t.Fatalf("spans = %v", spans)
+	}
+	if got := tb.SpanTag(spans[0]).String(); got != "(4,10)" {
+		t.Errorf("span tag = %q, want (4,10)", got)
+	}
+	// Two adjacent ranges also merge.
+	spans = tb.MapRanges([]vmem.Range{
+		{Start: 4 + 4*10, End: 4 + 4*15},
+		{Start: 4 + 4*15, End: 4 + 4*20},
+	})
+	if len(spans) != 1 || spans[0].Count != 10 {
+		t.Errorf("adjacent ranges did not merge: %v", spans)
+	}
+	// Disjoint ranges stay separate.
+	spans = tb.MapRanges([]vmem.Range{
+		{Start: 4 + 4*10, End: 4 + 4*11},
+		{Start: 4 + 4*100, End: 4 + 4*101},
+	})
+	if len(spans) != 2 {
+		t.Errorf("disjoint ranges merged: %v", spans)
+	}
+}
+
+func TestMapRangesNoCoalesce(t *testing.T) {
+	tb := MustBuild(tag.MustLayout(gthv(), platform.LinuxX86), 0x40058000)
+	spans := tb.MapRangesNoCoalesce([]vmem.Range{{Start: 4 + 4*10, End: 4 + 4*20}})
+	if len(spans) != 10 {
+		t.Fatalf("got %d spans, want 10", len(spans))
+	}
+	for i, s := range spans {
+		if s != (Span{Entry: 1, First: 10 + i, Count: 1}) {
+			t.Errorf("span %d = %v", i, s)
+		}
+	}
+}
+
+func TestMapRangesSpanningEntries(t *testing.T) {
+	tb := MustBuild(tag.MustLayout(gthv(), platform.LinuxX86), 0x40058000)
+	aEnd := 4 + 4*56169
+	// A range covering the last element of A and the first two of B.
+	spans := tb.MapRanges([]vmem.Range{{Start: aEnd - 4, End: aEnd + 8}})
+	want := []Span{
+		{Entry: 1, First: 56168, Count: 1},
+		{Entry: 2, First: 0, Count: 2},
+	}
+	if len(spans) != 2 || spans[0] != want[0] || spans[1] != want[1] {
+		t.Errorf("spans = %v, want %v", spans, want)
+	}
+}
+
+func TestMapRangesSkipsPadding(t *testing.T) {
+	// struct { char c; int x; } has 3 bytes of padding after c.
+	s := tag.Struct{Name: "p", Fields: []tag.Field{
+		{Name: "c", T: tag.Char()},
+		{Name: "x", T: tag.Int()},
+	}}
+	tb := MustBuild(tag.MustLayout(s, platform.LinuxX86), 0x1000)
+	// Dirty the padding plus x.
+	spans := tb.MapRanges([]vmem.Range{{Start: 1, End: 8}})
+	if len(spans) != 1 || spans[0] != (Span{Entry: 1, First: 0, Count: 1}) {
+		t.Errorf("spans = %v", spans)
+	}
+	// Purely padding: nothing.
+	if spans := tb.MapRanges([]vmem.Range{{Start: 2, End: 3}}); len(spans) != 0 {
+		t.Errorf("padding-only range produced %v", spans)
+	}
+}
+
+func TestNestedStructFlattening(t *testing.T) {
+	inner := tag.Struct{Name: "in", Fields: []tag.Field{
+		{Name: "a", T: tag.Int()},
+		{Name: "b", T: tag.Double()},
+	}}
+	outer := tag.Struct{Name: "out", Fields: []tag.Field{
+		{Name: "hdr", T: inner},
+		{Name: "n", T: tag.Int()},
+	}}
+	tb := MustBuild(tag.MustLayout(outer, platform.LinuxX86), 0x1000)
+	if tb.Len() != 3 {
+		t.Fatalf("got %d entries, want 3:\n%s", tb.Len(), tb.Format())
+	}
+	if e, _ := tb.EntryByName("hdr.b"); e.CType != platform.CDouble {
+		t.Errorf("hdr.b = %+v", e)
+	}
+}
+
+func TestArrayOfStructFlattening(t *testing.T) {
+	inner := tag.Struct{Name: "pt", Fields: []tag.Field{
+		{Name: "x", T: tag.Int()},
+		{Name: "y", T: tag.Int()},
+	}}
+	outer := tag.Struct{Name: "out", Fields: []tag.Field{
+		{Name: "pts", T: tag.Array{Elem: inner, N: 3}},
+	}}
+	tb := MustBuild(tag.MustLayout(outer, platform.LinuxX86), 0x1000)
+	if tb.Len() != 6 {
+		t.Fatalf("got %d entries, want 6", tb.Len())
+	}
+	if e, ok := tb.EntryByName("pts[2].y"); !ok || e.Offset != 20 {
+		t.Errorf("pts[2].y = %+v ok=%v", e, ok)
+	}
+}
+
+func TestBuildRejectsNonStruct(t *testing.T) {
+	if _, err := Build(tag.MustLayout(tag.Int(), platform.LinuxX86), 0); err == nil {
+		t.Error("non-struct GThV must fail")
+	}
+}
+
+func TestFormatShape(t *testing.T) {
+	tb := MustBuild(tag.MustLayout(gthv(), platform.LinuxX86), 0x40058000)
+	out := tb.Format()
+	if !strings.Contains(out, "0x40058000") || !strings.Contains(out, "56169") {
+		t.Errorf("Format output missing expected cells:\n%s", out)
+	}
+}
+
+func TestMergeSpans(t *testing.T) {
+	in := []Span{
+		{Entry: 1, First: 20, Count: 5},
+		{Entry: 0, First: 0, Count: 1},
+		{Entry: 1, First: 10, Count: 10}, // adjacent to the first
+		{Entry: 1, First: 22, Count: 2},  // contained
+		{Entry: 2, First: 0, Count: 3},
+	}
+	got := MergeSpans(in)
+	want := []Span{
+		{Entry: 0, First: 0, Count: 1},
+		{Entry: 1, First: 10, Count: 15},
+		{Entry: 2, First: 0, Count: 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("MergeSpans = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("span %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Input order preserved: MergeSpans must not mutate its argument.
+	if in[0] != (Span{Entry: 1, First: 20, Count: 5}) {
+		t.Error("MergeSpans mutated its input")
+	}
+	if out := MergeSpans(nil); len(out) != 0 {
+		t.Errorf("MergeSpans(nil) = %v", out)
+	}
+}
+
+// Property: MapOffset is the inverse of entry/element arithmetic for every
+// element of a random flat struct, on every platform.
+func TestQuickMapOffsetInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		nf := 1 + r.Intn(6)
+		fields := make([]tag.Field, nf)
+		for i := range fields {
+			var ft tag.Type
+			switch r.Intn(4) {
+			case 0:
+				ft = tag.Char()
+			case 1:
+				ft = tag.Int()
+			case 2:
+				ft = tag.Pointer{}
+			default:
+				ft = tag.IntArray(1 + r.Intn(50))
+			}
+			fields[i] = tag.Field{Name: string(rune('a' + i)), T: ft}
+		}
+		s := tag.Struct{Name: "s", Fields: fields}
+		for _, p := range platform.All() {
+			tb := MustBuild(tag.MustLayout(s, p), 0x10000)
+			for i := 0; i < tb.Len(); i++ {
+				e := tb.Entry(i)
+				for elem := 0; elem < e.Count; elem++ {
+					off := e.Offset + elem*e.ElemSize
+					gi, ge, ok := tb.MapOffset(off)
+					if !ok || gi != i || ge != elem {
+						t.Fatalf("%s: MapOffset(%d) = %d,%d,%v want %d,%d",
+							p, off, gi, ge, ok, i, elem)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: coalesced and non-coalesced mappings cover exactly the same
+// element sets.
+func TestQuickCoalesceEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	tb := MustBuild(tag.MustLayout(gthv(), platform.LinuxX86), 0x40058000)
+	for trial := 0; trial < 100; trial++ {
+		var ranges []vmem.Range
+		for i := 0; i < 1+r.Intn(5); i++ {
+			start := r.Intn(tb.Size() - 64)
+			ranges = append(ranges, vmem.Range{Start: start, End: start + 1 + r.Intn(63)})
+		}
+		cover := func(spans []Span) map[[2]int]bool {
+			m := make(map[[2]int]bool)
+			for _, s := range spans {
+				for k := 0; k < s.Count; k++ {
+					m[[2]int{s.Entry, s.First + k}] = true
+				}
+			}
+			return m
+		}
+		a := cover(tb.MapRanges(ranges))
+		b := cover(tb.MapRangesNoCoalesce(ranges))
+		if len(a) != len(b) {
+			t.Fatalf("coverage sizes differ: %d vs %d (ranges %v)", len(a), len(b), ranges)
+		}
+		for k := range a {
+			if !b[k] {
+				t.Fatalf("element %v missing from non-coalesced cover", k)
+			}
+		}
+	}
+}
+
+func TestIntersectSpans(t *testing.T) {
+	spans := []Span{
+		{Entry: 1, First: 10, Count: 10}, // [10,20)
+		{Entry: 1, First: 30, Count: 5},  // [30,35)
+		{Entry: 2, First: 0, Count: 100},
+	}
+	got := IntersectSpans(spans, Span{Entry: 1, First: 15, Count: 17}) // [15,32)
+	want := []Span{{Entry: 1, First: 15, Count: 5}, {Entry: 1, First: 30, Count: 2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("part %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := IntersectSpans(spans, Span{Entry: 3, First: 0, Count: 10}); len(out) != 0 {
+		t.Errorf("foreign entry intersected: %v", out)
+	}
+	if out := IntersectSpans(spans, Span{Entry: 1, First: 20, Count: 10}); len(out) != 0 {
+		t.Errorf("gap intersected: %v", out)
+	}
+}
+
+func TestSubtractSpan(t *testing.T) {
+	spans := []Span{
+		{Entry: 1, First: 10, Count: 10}, // [10,20)
+		{Entry: 2, First: 0, Count: 4},
+	}
+	// Carve a hole in the middle.
+	got := SubtractSpan(spans, Span{Entry: 1, First: 13, Count: 4}) // remove [13,17)
+	want := []Span{
+		{Entry: 1, First: 10, Count: 3},
+		{Entry: 1, First: 17, Count: 3},
+		{Entry: 2, First: 0, Count: 4},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("part %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Remove everything.
+	got = SubtractSpan(got, Span{Entry: 1, First: 0, Count: 100})
+	if len(got) != 1 || got[0].Entry != 2 {
+		t.Errorf("after full removal: %v", got)
+	}
+	// Removing from an unrelated entry is a no-op.
+	got2 := SubtractSpan(spans, Span{Entry: 9, First: 0, Count: 5})
+	if len(got2) != len(spans) {
+		t.Errorf("no-op subtraction changed spans: %v", got2)
+	}
+}
+
+// Property: subtract(s) then intersect(s) is empty, and intersect + subtract
+// partition the original coverage.
+func TestQuickSubtractIntersectPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		var spans []Span
+		for i := 0; i < 1+r.Intn(5); i++ {
+			spans = append(spans, Span{Entry: r.Intn(3), First: r.Intn(100), Count: 1 + r.Intn(30)})
+		}
+		spans = MergeSpans(spans)
+		s := Span{Entry: r.Intn(3), First: r.Intn(100), Count: 1 + r.Intn(40)}
+		inter := IntersectSpans(spans, s)
+		rest := SubtractSpan(spans, s)
+		if again := IntersectSpans(rest, s); len(again) != 0 {
+			t.Fatalf("residual overlap after subtraction: %v", again)
+		}
+		cover := func(list []Span) map[[2]int]bool {
+			m := map[[2]int]bool{}
+			for _, sp := range list {
+				for k := 0; k < sp.Count; k++ {
+					m[[2]int{sp.Entry, sp.First + k}] = true
+				}
+			}
+			return m
+		}
+		orig := cover(spans)
+		parts := cover(inter)
+		for k := range cover(rest) {
+			parts[k] = true
+		}
+		if len(orig) != len(parts) {
+			t.Fatalf("partition lost elements: %d vs %d", len(orig), len(parts))
+		}
+		for k := range orig {
+			if !parts[k] {
+				t.Fatalf("element %v lost", k)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package migio
+
+import (
+	"testing"
+
+	"hetdsm/internal/platform"
+	"hetdsm/internal/transport"
+)
+
+func BenchmarkTableCaptureRestore(b *testing.B) {
+	fs := NewSharedFS()
+	tb := NewTable(fs)
+	for i := 0; i < 16; i++ {
+		fs.WriteFile(pathFor(i), make([]byte, 128))
+		if _, err := tb.Open(pathFor(i), ModeReadWrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, tagStr, err := tb.Capture(platform.SolarisSPARC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RestoreTable(fs, platform.LinuxX86, platform.SolarisSPARC.Name, tagStr, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func pathFor(i int) string { return "/data/file-" + string(rune('a'+i)) }
+
+func BenchmarkSessionRoundTrip(b *testing.B) {
+	nw := transport.NewInproc()
+	srv, err := NewSessionServer(nw, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		ss, err := srv.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			p, err := ss.Recv()
+			if err != nil {
+				return
+			}
+			if err := ss.Send(p); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := DialSession(nw, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

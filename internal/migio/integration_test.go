@@ -1,0 +1,190 @@
+package migio_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/migio"
+	"hetdsm/internal/migthread"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+	"hetdsm/internal/transport"
+)
+
+// fileWork streams a shared input file in chunks, folding a checksum. The
+// open file's descriptor table travels with the thread when it migrates:
+// CaptureExtra serializes it with CGT-RMR tags, Restore reopens it on the
+// destination platform at the exact offset. This is the paper's
+// "supporting file I/O migration" future-work item, end to end.
+type fileWork struct {
+	fs    *migio.SharedFS
+	path  string
+	chunk int
+
+	table *migio.Table
+	fd    int32
+	hook  func(pc int64)
+}
+
+func (w *fileWork) FrameType() tag.Struct {
+	return tag.Struct{Name: "frame", Fields: []tag.Field{
+		{Name: "fd", T: tag.Int()},
+		{Name: "sum", T: tag.LongLong()},
+	}}
+}
+
+func (w *fileWork) Init(ctx *migthread.Ctx) error {
+	w.table = migio.NewTable(w.fs)
+	fd, err := w.table.Open(w.path, migio.ModeRead)
+	if err != nil {
+		return err
+	}
+	w.fd = fd
+	if err := ctx.Frame().SetInt("fd", int64(fd)); err != nil {
+		return err
+	}
+	return ctx.Frame().SetInt("sum", 0)
+}
+
+// CaptureExtra ships the descriptor table with the thread state.
+func (w *fileWork) CaptureExtra(ctx *migthread.Ctx) ([]byte, string, error) {
+	return w.table.Capture(ctx.Platform())
+}
+
+// Restore rebuilds the descriptor table on the destination platform.
+func (w *fileWork) Restore(ctx *migthread.Ctx) error {
+	payload, tagStr, srcPlat := ctx.Extra()
+	table, err := migio.RestoreTable(w.fs, ctx.Platform(), srcPlat, tagStr, payload)
+	if err != nil {
+		return err
+	}
+	w.table = table
+	fd, err := ctx.Frame().Int("fd")
+	if err != nil {
+		return err
+	}
+	w.fd = int32(fd)
+	return nil
+}
+
+func (w *fileWork) Step(ctx *migthread.Ctx) (bool, error) {
+	f, err := w.table.File(w.fd)
+	if err != nil {
+		return false, err
+	}
+	sum, err := ctx.Frame().Int("sum")
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, w.chunk)
+	n, err := f.Read(buf)
+	for i := 0; i < n; i++ {
+		sum = sum*31 + int64(buf[i])
+	}
+	if err := ctx.Frame().SetInt("sum", sum); err != nil {
+		return false, err
+	}
+	if w.hook != nil {
+		w.hook(ctx.PC())
+	}
+	if err == io.EOF || n < w.chunk {
+		// Publish the checksum and finish.
+		if err := ctx.T.Lock(0); err != nil {
+			return false, err
+		}
+		if err := ctx.T.Globals().MustVar("sum").SetInt(0, sum); err != nil {
+			return false, err
+		}
+		if err := ctx.T.Unlock(0); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if err != nil && err != io.EOF {
+		return false, err
+	}
+	return false, nil
+}
+
+func TestFileIOMigratesWithThread(t *testing.T) {
+	fs := migio.NewSharedFS()
+	data := make([]byte, 64*1024)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	fs.WriteFile("/input.bin", data)
+
+	// Ground truth checksum.
+	var want int64
+	for _, b := range data {
+		want = want*31 + int64(b)
+	}
+
+	gthv := tag.Struct{Name: "GThV_t", Fields: []tag.Field{
+		{Name: "sum", T: tag.LongLong()},
+	}}
+	nw := transport.NewInproc()
+	home, err := dsd.NewHome(gthv, platform.LinuxX86, 1, dsd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := nw.Listen("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go home.Serve(hl)
+	defer home.Close()
+
+	n1 := migthread.NewNode("x86", platform.LinuxX86, nw, "home", gthv, dsd.DefaultOptions())
+	n2 := migthread.NewNode("sparc", platform.SolarisSPARC, nw, "home", gthv, dsd.DefaultOptions())
+	if err := n1.ListenMigrations("x86-mig"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.ListenMigrations("sparc-mig"); err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	defer n2.Close()
+
+	var once sync.Once
+	w := &fileWork{fs: fs, path: "/input.bin", chunk: 1024}
+	w.hook = func(pc int64) {
+		if pc >= 10 {
+			once.Do(func() {
+				if err := n1.RequestMigration(0, n2.MigrationAddr()); err != nil {
+					t.Errorf("request: %v", err)
+				}
+			})
+		}
+	}
+	if _, err := n2.StartSkeleton(0, &fileWork{fs: fs, path: "/input.bin", chunk: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n1.StartThread(0, w, migthread.RoleLocal); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	home.Wait()
+
+	if len(n1.Migrations()) != 1 {
+		t.Fatalf("expected 1 migration, got %d", len(n1.Migrations()))
+	}
+	got, err := home.Globals().MustVar("sum").Int(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("checksum = %d, want %d — file offset did not survive migration", got, want)
+	}
+	role, _ := n2.Role(0)
+	if role != migthread.RoleDone {
+		t.Errorf("destination role = %v", role)
+	}
+}

@@ -1,0 +1,244 @@
+package migio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"hetdsm/internal/platform"
+)
+
+func TestSharedFSBasics(t *testing.T) {
+	fs := NewSharedFS()
+	fs.WriteFile("/data/in.txt", []byte("hello"))
+	got, err := fs.ReadFile("/data/in.txt")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if _, err := fs.ReadFile("/nope"); err == nil {
+		t.Error("missing file must fail")
+	}
+	if sz, _ := fs.Size("/data/in.txt"); sz != 5 {
+		t.Errorf("Size = %d", sz)
+	}
+	fs.WriteFile("/a", nil)
+	if got := fs.List(); len(got) != 2 || got[0] != "/a" {
+		t.Errorf("List = %v", got)
+	}
+	if err := fs.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/a"); err == nil {
+		t.Error("double remove must fail")
+	}
+}
+
+func TestFileReadWriteSeek(t *testing.T) {
+	fs := NewSharedFS()
+	fs.WriteFile("/f", []byte("0123456789"))
+	tb := NewTable(fs)
+	fd, err := tb.Open("/f", ModeReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := tb.File(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if n, err := f.Read(buf); err != nil || n != 4 || string(buf) != "0123" {
+		t.Fatalf("Read = %d %q %v", n, buf, err)
+	}
+	if f.Offset() != 4 {
+		t.Errorf("offset = %d", f.Offset())
+	}
+	if _, err := f.Write([]byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	all := make([]byte, 10)
+	if _, err := io.ReadFull(f, all); err != nil {
+		t.Fatal(err)
+	}
+	if string(all) != "0123XY6789" {
+		t.Errorf("content = %q", all)
+	}
+	// EOF at end.
+	if _, err := f.Read(buf); err != io.EOF {
+		t.Errorf("read at EOF = %v", err)
+	}
+	// Seek end + extend by write.
+	if pos, err := f.Seek(0, io.SeekEnd); err != nil || pos != 10 {
+		t.Fatalf("seek end = %d %v", pos, err)
+	}
+	if _, err := f.Write([]byte("!!")); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := fs.Size("/f"); sz != 12 {
+		t.Errorf("size after extend = %d", sz)
+	}
+	// Negative seek rejected.
+	if _, err := f.Seek(-1, io.SeekStart); err == nil {
+		t.Error("negative seek must fail")
+	}
+	if err := tb.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(buf); err == nil {
+		t.Error("read after close must fail")
+	}
+	if err := tb.Close(fd); err == nil {
+		t.Error("double close must fail")
+	}
+}
+
+func TestModeEnforcement(t *testing.T) {
+	fs := NewSharedFS()
+	fs.WriteFile("/r", []byte("x"))
+	tb := NewTable(fs)
+	rfd, err := tb.Open("/r", ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := tb.File(rfd)
+	if _, err := rf.Write([]byte("y")); err == nil {
+		t.Error("write on read-only must fail")
+	}
+	wfd, err := tb.Open("/w", ModeWrite) // created on open
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, _ := tb.File(wfd)
+	if _, err := wf.Read(make([]byte, 1)); err == nil {
+		t.Error("read on write-only must fail")
+	}
+	if _, err := tb.Open("/missing", ModeRead); err == nil {
+		t.Error("read-open of missing file must fail")
+	}
+}
+
+func TestTableCaptureRestoreHeterogeneous(t *testing.T) {
+	fs := NewSharedFS()
+	fs.WriteFile("/input.dat", bytes.Repeat([]byte("abcdefgh"), 100))
+	fs.WriteFile("/log", nil)
+
+	// Thread on SPARC opens two files and reads part of one.
+	src := NewTable(fs)
+	in, err := src.Open("/input.dat", ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logFD, err := src.Open("/log", ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inF, _ := src.File(in)
+	if _, err := io.ReadFull(inF, make([]byte, 300)); err != nil {
+		t.Fatal(err)
+	}
+	logF, _ := src.File(logFD)
+	if _, err := logF.Write([]byte("progress=300\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture on SPARC, restore on x86 — file-I/O migration.
+	img, tagStr, err := src.Capture(platform.SolarisSPARC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := RestoreTable(fs, platform.LinuxX86, platform.SolarisSPARC.Name, tagStr, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("restored %d descriptors, want 2", dst.Len())
+	}
+	// Same fds, same offsets, same modes.
+	inF2, err := dst.File(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inF2.Offset() != 300 || inF2.Mode() != ModeRead || inF2.Path() != "/input.dat" {
+		t.Errorf("restored input fd = %q %v off=%d", inF2.Path(), inF2.Mode(), inF2.Offset())
+	}
+	// Reading continues exactly where the source stopped.
+	next := make([]byte, 8)
+	if _, err := io.ReadFull(inF2, next); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := fs.ReadFile("/input.dat")
+	if !bytes.Equal(next, want[300:308]) {
+		t.Errorf("post-migration read = %q, want %q", next, want[300:308])
+	}
+	// The write-side descriptor appends where it left off.
+	logF2, err := dst.File(logFD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := logF2.Write([]byte("resumed\n")); err != nil {
+		t.Fatal(err)
+	}
+	logData, _ := fs.ReadFile("/log")
+	if string(logData) != "progress=300\nresumed\n" {
+		t.Errorf("log = %q", logData)
+	}
+	// New opens on the restored table do not collide with old fds.
+	fd3, err := dst.Open("/input.dat", ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd3 == in || fd3 == logFD {
+		t.Errorf("fd collision: %d", fd3)
+	}
+}
+
+func TestTableCaptureEmpty(t *testing.T) {
+	fs := NewSharedFS()
+	img, tagStr, err := NewTable(fs).Capture(platform.LinuxX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := RestoreTable(fs, platform.SolarisSPARC, platform.LinuxX86.Name, tagStr, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 0 {
+		t.Errorf("restored %d descriptors", dst.Len())
+	}
+}
+
+func TestRestoreTableValidation(t *testing.T) {
+	fs := NewSharedFS()
+	fs.WriteFile("/f", []byte("x"))
+	tb := NewTable(fs)
+	if _, err := tb.Open("/f", ModeRead); err != nil {
+		t.Fatal(err)
+	}
+	img, tagStr, err := tb.Capture(platform.LinuxX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreTable(fs, platform.SolarisSPARC, "vax", tagStr, img); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := RestoreTable(fs, platform.SolarisSPARC, platform.LinuxX86.Name, "(4,1)(0,0)", img); err == nil {
+		t.Error("wrong tag accepted")
+	}
+	if _, err := RestoreTable(fs, platform.SolarisSPARC, platform.LinuxX86.Name, tagStr, img[:8]); err == nil {
+		t.Error("short image accepted")
+	}
+	if _, err := RestoreTable(fs, platform.SolarisSPARC, platform.LinuxX86.Name, tagStr, nil); err == nil {
+		t.Error("empty image accepted")
+	}
+}
+
+func TestPathTooLongRejected(t *testing.T) {
+	fs := NewSharedFS()
+	tb := NewTable(fs)
+	long := "/" + string(bytes.Repeat([]byte("a"), pathCap))
+	if _, err := tb.Open(long, ModeWrite); err == nil {
+		t.Error("oversized path accepted")
+	}
+}

@@ -1,0 +1,446 @@
+package migio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"hetdsm/internal/transport"
+)
+
+// Socket migration. A Session is a logical connection that survives the
+// loss of its physical transport: both sides number their data frames, the
+// server retains unacknowledged output, and a migrated client re-attaches
+// with its receive cursor so the server can replay exactly the frames it
+// missed. This is the standard construction for TCP connection migration,
+// reproduced over this repo's transports.
+
+// Session protocol opcodes.
+const (
+	opOpen uint8 = iota + 1
+	opOpenOK
+	opResume
+	opResumeOK
+	opData
+	opAck
+	opDetach
+	opDetachOK
+)
+
+// sframe is one session-layer frame.
+type sframe struct {
+	op      uint8
+	id      uint64
+	seq     uint64
+	payload []byte
+}
+
+func encodeFrame(f sframe) []byte {
+	out := make([]byte, 1+8+8+4+len(f.payload))
+	out[0] = f.op
+	binary.BigEndian.PutUint64(out[1:], f.id)
+	binary.BigEndian.PutUint64(out[9:], f.seq)
+	binary.BigEndian.PutUint32(out[17:], uint32(len(f.payload)))
+	copy(out[21:], f.payload)
+	return out
+}
+
+func decodeFrame(b []byte) (sframe, error) {
+	if len(b) < 21 {
+		return sframe{}, fmt.Errorf("migio: session frame of %d bytes is too short", len(b))
+	}
+	n := binary.BigEndian.Uint32(b[17:])
+	if int(n) != len(b)-21 {
+		return sframe{}, fmt.Errorf("migio: session frame length %d does not match payload %d", n, len(b)-21)
+	}
+	return sframe{
+		op:      b[0],
+		id:      binary.BigEndian.Uint64(b[1:]),
+		seq:     binary.BigEndian.Uint64(b[9:]),
+		payload: b[21:],
+	}, nil
+}
+
+// SessionServer accepts resumable sessions at one address.
+type SessionServer struct {
+	l transport.Listener
+
+	mu       sync.Mutex
+	sessions map[uint64]*ServerSession
+	nextID   uint64
+	accepts  chan *ServerSession
+	closed   bool
+}
+
+// NewSessionServer listens on nw at addr.
+func NewSessionServer(nw transport.Network, addr string) (*SessionServer, error) {
+	l, err := nw.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &SessionServer{
+		l:        l,
+		sessions: make(map[uint64]*ServerSession),
+		accepts:  make(chan *ServerSession, 16),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *SessionServer) Addr() string { return s.l.Addr() }
+
+// Accept blocks for the next new session (resumed sessions do not reappear
+// here).
+func (s *SessionServer) Accept() (*ServerSession, error) {
+	ss, ok := <-s.accepts
+	if !ok {
+		return nil, transport.ErrClosed
+	}
+	return ss, nil
+}
+
+// Close stops the listener and ends Accept.
+func (s *SessionServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.l.Close()
+	close(s.accepts)
+}
+
+func (s *SessionServer) acceptLoop() {
+	for {
+		c, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		go s.handshake(c)
+	}
+}
+
+func (s *SessionServer) handshake(c transport.Conn) {
+	raw, err := c.RecvFrame()
+	if err != nil {
+		c.Close()
+		return
+	}
+	f, err := decodeFrame(raw)
+	if err != nil {
+		c.Close()
+		return
+	}
+	switch f.op {
+	case opOpen:
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.nextID++
+		ss := &ServerSession{id: s.nextID, conn: c, inbox: make(chan []byte, 64)}
+		s.sessions[ss.id] = ss
+		s.mu.Unlock()
+		if c.SendFrame(encodeFrame(sframe{op: opOpenOK, id: ss.id})) != nil {
+			c.Close()
+			return
+		}
+		s.accepts <- ss
+		ss.readLoop(c)
+	case opResume:
+		s.mu.Lock()
+		ss := s.sessions[f.id]
+		s.mu.Unlock()
+		if ss == nil {
+			c.Close()
+			return
+		}
+		ss.resume(c, f.seq)
+		ss.readLoop(c)
+	default:
+		c.Close()
+	}
+}
+
+// ServerSession is the server end of a resumable session.
+type ServerSession struct {
+	id uint64
+
+	mu       sync.Mutex
+	conn     transport.Conn
+	sendSeq  uint64
+	recvSeq  uint64
+	retained []sframe
+
+	inbox chan []byte
+}
+
+// ID returns the session id a client resumes with.
+func (ss *ServerSession) ID() uint64 { return ss.id }
+
+// Send transmits a payload; it is retained until the client acknowledges,
+// so a client that migrates mid-stream loses nothing.
+func (ss *ServerSession) Send(payload []byte) error {
+	ss.mu.Lock()
+	ss.sendSeq++
+	f := sframe{op: opData, id: ss.id, seq: ss.sendSeq, payload: append([]byte(nil), payload...)}
+	ss.retained = append(ss.retained, f)
+	conn := ss.conn
+	ss.mu.Unlock()
+	if conn != nil {
+		// A transport error just detaches; the frame stays retained for
+		// replay on resume.
+		if err := conn.SendFrame(encodeFrame(f)); err != nil {
+			ss.detach(conn)
+		}
+	}
+	return nil
+}
+
+// Recv blocks for the next client payload.
+func (ss *ServerSession) Recv() ([]byte, error) {
+	p, ok := <-ss.inbox
+	if !ok {
+		return nil, transport.ErrClosed
+	}
+	return p, nil
+}
+
+func (ss *ServerSession) detach(old transport.Conn) {
+	ss.mu.Lock()
+	if ss.conn == old {
+		ss.conn = nil
+	}
+	ss.mu.Unlock()
+}
+
+// resume swaps in a new physical connection and replays everything the
+// client reports not having seen.
+func (ss *ServerSession) resume(c transport.Conn, clientRecvSeq uint64) {
+	ss.mu.Lock()
+	ss.conn = c
+	// Drop what the client has, replay the rest.
+	keep := ss.retained[:0]
+	var replay []sframe
+	for _, f := range ss.retained {
+		if f.seq > clientRecvSeq {
+			keep = append(keep, f)
+			replay = append(replay, f)
+		}
+	}
+	ss.retained = keep
+	ss.mu.Unlock()
+
+	ok := encodeFrame(sframe{op: opResumeOK, id: ss.id, seq: ss.recvSeq})
+	if c.SendFrame(ok) != nil {
+		ss.detach(c)
+		return
+	}
+	for _, f := range replay {
+		if c.SendFrame(encodeFrame(f)) != nil {
+			ss.detach(c)
+			return
+		}
+	}
+}
+
+// readLoop consumes client frames on one physical connection until it
+// drops.
+func (ss *ServerSession) readLoop(c transport.Conn) {
+	for {
+		raw, err := c.RecvFrame()
+		if err != nil {
+			ss.detach(c)
+			return
+		}
+		f, err := decodeFrame(raw)
+		if err != nil {
+			ss.detach(c)
+			c.Close()
+			return
+		}
+		switch f.op {
+		case opData:
+			ss.mu.Lock()
+			dup := f.seq <= ss.recvSeq
+			if !dup {
+				ss.recvSeq = f.seq
+			}
+			ss.mu.Unlock()
+			if !dup {
+				ss.inbox <- f.payload
+			}
+		case opAck:
+			ss.mu.Lock()
+			keep := ss.retained[:0]
+			for _, r := range ss.retained {
+				if r.seq > f.seq {
+					keep = append(keep, r)
+				}
+			}
+			ss.retained = keep
+			ss.mu.Unlock()
+		case opDetach:
+			// Quiesce: every client frame before the detach has been
+			// processed (the transport is ordered), so the receive
+			// cursor is final for this attachment. Confirm and detach.
+			_ = c.SendFrame(encodeFrame(sframe{op: opDetachOK, id: ss.id, seq: ss.recvSeq}))
+			ss.detach(c)
+			return
+		default:
+			// Ignore unexpected ops on an established session.
+		}
+	}
+}
+
+// SocketState is the migratable state of a client session: everything a
+// destination node needs to re-attach.
+type SocketState struct {
+	// Addr is the server's session address.
+	Addr string
+	// ID identifies the session at the server.
+	ID uint64
+	// SendSeq is the last sequence number this client sent.
+	SendSeq uint64
+	// RecvSeq is the last sequence number this client received; the
+	// server replays everything after it.
+	RecvSeq uint64
+}
+
+// MigSocket is the client end of a resumable session.
+type MigSocket struct {
+	nw   transport.Network
+	addr string
+	conn transport.Conn
+
+	id      uint64
+	sendSeq uint64
+	recvSeq uint64
+}
+
+// DialSession opens a new session with the server at addr.
+func DialSession(nw transport.Network, addr string) (*MigSocket, error) {
+	c, err := nw.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SendFrame(encodeFrame(sframe{op: opOpen})); err != nil {
+		c.Close()
+		return nil, err
+	}
+	raw, err := c.RecvFrame()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	f, err := decodeFrame(raw)
+	if err != nil || f.op != opOpenOK {
+		c.Close()
+		return nil, fmt.Errorf("migio: bad open reply")
+	}
+	return &MigSocket{nw: nw, addr: addr, conn: c, id: f.id}, nil
+}
+
+// ResumeSession re-attaches to a session from (possibly) another node: the
+// heart of socket migration.
+func ResumeSession(nw transport.Network, st SocketState) (*MigSocket, error) {
+	c, err := nw.Dial(st.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SendFrame(encodeFrame(sframe{op: opResume, id: st.ID, seq: st.RecvSeq})); err != nil {
+		c.Close()
+		return nil, err
+	}
+	raw, err := c.RecvFrame()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	f, err := decodeFrame(raw)
+	if err != nil || f.op != opResumeOK || f.id != st.ID {
+		c.Close()
+		return nil, fmt.Errorf("migio: bad resume reply")
+	}
+	s := &MigSocket{nw: nw, addr: st.Addr, conn: c, id: st.ID, sendSeq: st.SendSeq, recvSeq: st.RecvSeq}
+	// f.seq is the server's receive cursor for our direction; with a
+	// reliable transport and a clean capture it matches SendSeq, but a
+	// crash-capture may have lost in-flight frames — trust the server.
+	if f.seq < s.sendSeq {
+		s.sendSeq = f.seq
+	}
+	return s, nil
+}
+
+// ID returns the session id.
+func (s *MigSocket) ID() uint64 { return s.id }
+
+// Send transmits a payload to the server.
+func (s *MigSocket) Send(payload []byte) error {
+	s.sendSeq++
+	return s.conn.SendFrame(encodeFrame(sframe{op: opData, id: s.id, seq: s.sendSeq, payload: payload}))
+}
+
+// Recv blocks for the next server payload (replays included, duplicates
+// suppressed) and acknowledges it.
+func (s *MigSocket) Recv() ([]byte, error) {
+	for {
+		raw, err := s.conn.RecvFrame()
+		if err != nil {
+			return nil, err
+		}
+		f, err := decodeFrame(raw)
+		if err != nil {
+			return nil, err
+		}
+		if f.op != opData {
+			continue
+		}
+		if f.seq <= s.recvSeq {
+			continue // duplicate from an overlapping replay
+		}
+		s.recvSeq = f.seq
+		if err := s.conn.SendFrame(encodeFrame(sframe{op: opAck, id: s.id, seq: f.seq})); err != nil {
+			// The data is delivered; a lost ack only costs retention.
+			return f.payload, nil
+		}
+		return f.payload, nil
+	}
+}
+
+// Capture freezes the session for migration: the connection is quiesced
+// with a detach handshake (so every frame already sent is processed by the
+// server — migrating mid-conversation loses nothing), then abandoned. The
+// returned state re-attaches from anywhere. Server frames that race the
+// detach are deliberately NOT acknowledged: the server retains them and
+// replays them on resume.
+func (s *MigSocket) Capture() SocketState {
+	st := SocketState{Addr: s.addr, ID: s.id, SendSeq: s.sendSeq, RecvSeq: s.recvSeq}
+	if err := s.conn.SendFrame(encodeFrame(sframe{op: opDetach, id: s.id})); err == nil {
+		for {
+			raw, err := s.conn.RecvFrame()
+			if err != nil {
+				break
+			}
+			f, err := decodeFrame(raw)
+			if err != nil {
+				break
+			}
+			if f.op == opDetachOK {
+				break
+			}
+			// opData racing the detach: discard without acking; the
+			// server will replay it after resume.
+		}
+	}
+	s.conn.Close()
+	return st
+}
+
+// Close ends the session's physical connection.
+func (s *MigSocket) Close() error { return s.conn.Close() }

@@ -1,0 +1,261 @@
+package migio
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hetdsm/internal/transport"
+)
+
+// echoServer accepts one session and echoes payloads with a prefix, then
+// pushes extra unsolicited frames when asked.
+func startServer(t *testing.T, nw transport.Network, addr string) *SessionServer {
+	t.Helper()
+	srv, err := NewSessionServer(nw, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSessionEcho(t *testing.T) {
+	nw := transport.NewInproc()
+	srv := startServer(t, nw, "svc")
+	done := make(chan error, 1)
+	go func() {
+		ss, err := srv.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		for i := 0; i < 5; i++ {
+			p, err := ss.Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			if err := ss.Send(append([]byte("echo:"), p...)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	c, err := DialSession(nw, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		msg := fmt.Sprintf("m%d", i)
+		if err := c.Send([]byte(msg)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "echo:"+msg {
+			t.Errorf("recv = %q", got)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSocketMigrationReplaysUnseen(t *testing.T) {
+	nw := transport.NewInproc()
+	srv := startServer(t, nw, "stream")
+
+	// The server streams 20 numbered messages as fast as it can.
+	const total = 20
+	go func() {
+		ss, err := srv.Accept()
+		if err != nil {
+			return
+		}
+		for i := 0; i < total; i++ {
+			_ = ss.Send([]byte(fmt.Sprintf("msg-%02d", i)))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// The client consumes a few, then "migrates": captures its state and
+	// abandons the connection, exactly as a thread leaving the node.
+	c, err := DialSession(nw, "stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for i := 0; i < 5; i++ {
+		p, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(p))
+	}
+	state := c.Capture()
+
+	// Give the server time to stream into the void (frames are retained).
+	time.Sleep(50 * time.Millisecond)
+
+	// Re-attach "from the destination node" and drain the rest. Nothing
+	// is lost and nothing duplicated.
+	c2, err := ResumeSession(nw, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	deadline := time.After(10 * time.Second)
+	for len(got) < total {
+		ch := make(chan []byte, 1)
+		errCh := make(chan error, 1)
+		go func() {
+			p, err := c2.Recv()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			ch <- p
+		}()
+		select {
+		case p := <-ch:
+			got = append(got, string(p))
+		case err := <-errCh:
+			t.Fatal(err)
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d messages: %v", len(got), total, got)
+		}
+	}
+	for i, msg := range got {
+		if want := fmt.Sprintf("msg-%02d", i); msg != want {
+			t.Errorf("message %d = %q, want %q", i, msg, want)
+		}
+	}
+}
+
+func TestClientSendsSurviveMigration(t *testing.T) {
+	nw := transport.NewInproc()
+	srv := startServer(t, nw, "up")
+
+	received := make(chan string, 64)
+	go func() {
+		ss, err := srv.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			p, err := ss.Recv()
+			if err != nil {
+				return
+			}
+			received <- string(p)
+		}
+	}()
+
+	c, err := DialSession(nw, "up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Send([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := c.Capture()
+	c2, err := ResumeSession(nw, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for i := 0; i < 3; i++ {
+		if err := c2.Send([]byte(fmt.Sprintf("post-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"pre-0", "pre-1", "pre-2", "post-0", "post-1", "post-2"}
+	for _, w := range want {
+		select {
+		case got := <-received:
+			if got != w {
+				t.Errorf("server received %q, want %q", got, w)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("server never received %q", w)
+		}
+	}
+}
+
+func TestAckPrunesRetention(t *testing.T) {
+	nw := transport.NewInproc()
+	srv := startServer(t, nw, "ack")
+	sessCh := make(chan *ServerSession, 1)
+	go func() {
+		ss, err := srv.Accept()
+		if err == nil {
+			sessCh <- ss
+		}
+	}()
+	c, err := DialSession(nw, "ack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ss := <-sessCh
+	for i := 0; i < 10; i++ {
+		if err := ss.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Acks are processed asynchronously by the server's read loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ss.mu.Lock()
+		n := len(ss.retained)
+		ss.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d frames still retained after all acks", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestResumeUnknownSessionFails(t *testing.T) {
+	nw := transport.NewInproc()
+	startServer(t, nw, "svc2")
+	_, err := ResumeSession(nw, SocketState{Addr: "svc2", ID: 999, RecvSeq: 0})
+	if err == nil {
+		t.Error("resume of unknown session must fail")
+	}
+}
+
+func TestFrameCodec(t *testing.T) {
+	f := sframe{op: opData, id: 7, seq: 42, payload: []byte("hello")}
+	got, err := decodeFrame(encodeFrame(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.op != f.op || got.id != f.id || got.seq != f.seq || string(got.payload) != "hello" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := decodeFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("short frame accepted")
+	}
+	bad := encodeFrame(f)
+	bad[17] = 0xFF // corrupt the length
+	if _, err := decodeFrame(bad); err == nil {
+		t.Error("bad length accepted")
+	}
+}

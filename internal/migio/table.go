@@ -1,0 +1,225 @@
+package migio
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hetdsm/internal/convert"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+)
+
+// pathCap is the fixed path capacity in the serialized descriptor record,
+// like PATH_MAX in the C original this models.
+const pathCap = 128
+
+// Table is a thread's open-file descriptor table. It is the migratable
+// unit of file I/O state: capture produces a platform-laid-out image plus
+// its CGT-RMR tag; restore reopens every descriptor against the shared
+// filesystem at the recorded offset.
+type Table struct {
+	fs   *SharedFS
+	next int32
+	open map[int32]*File
+}
+
+// NewTable returns an empty table over a shared filesystem. Descriptors
+// start at 3, after the conventional stdio range.
+func NewTable(fs *SharedFS) *Table {
+	return &Table{fs: fs, next: 3, open: make(map[int32]*File)}
+}
+
+// Open opens path with the given mode and returns its descriptor.
+func (t *Table) Open(path string, mode Mode) (int32, error) {
+	if len(path) >= pathCap {
+		return 0, fmt.Errorf("migio: path %q exceeds %d bytes", path, pathCap-1)
+	}
+	f, err := t.fs.open(path, mode)
+	if err != nil {
+		return 0, err
+	}
+	fd := t.next
+	t.next++
+	t.open[fd] = f
+	return fd, nil
+}
+
+// File resolves a descriptor.
+func (t *Table) File(fd int32) (*File, error) {
+	f, ok := t.open[fd]
+	if !ok {
+		return nil, fmt.Errorf("migio: bad descriptor %d", fd)
+	}
+	return f, nil
+}
+
+// Close closes and releases a descriptor.
+func (t *Table) Close(fd int32) error {
+	f, ok := t.open[fd]
+	if !ok {
+		return fmt.Errorf("migio: bad descriptor %d", fd)
+	}
+	delete(t.open, fd)
+	return f.Close()
+}
+
+// Len returns the number of open descriptors.
+func (t *Table) Len() int { return len(t.open) }
+
+// FDs returns the open descriptors in ascending order.
+func (t *Table) FDs() []int32 {
+	out := make([]int32, 0, len(t.open))
+	for fd := range t.open {
+		out = append(out, fd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// recordType is the serialized per-descriptor record:
+//
+//	struct { int fd; int mode; long long offset; char path[128]; }
+func recordType() tag.Struct {
+	return tag.Struct{Name: "fdrec", Fields: []tag.Field{
+		{Name: "fd", T: tag.Int()},
+		{Name: "mode", T: tag.Int()},
+		{Name: "offset", T: tag.LongLong()},
+		{Name: "path", T: tag.Array{Elem: tag.Char(), N: pathCap}},
+	}}
+}
+
+// imageType is the whole table image: struct { int count; fdrec e[count]; }
+func imageType(count int) tag.Struct {
+	fields := []tag.Field{{Name: "count", T: tag.Int()}}
+	if count > 0 {
+		fields = append(fields, tag.Field{Name: "entries", T: tag.Array{Elem: recordType(), N: count}})
+	}
+	return tag.Struct{Name: "fdtable", Fields: fields}
+}
+
+// Capture serializes the table into p's byte layout, returning the image
+// and its CGT-RMR tag string — the same portable form MigThread uses for
+// every other piece of thread state.
+func (t *Table) Capture(p *platform.Platform) ([]byte, string, error) {
+	fds := t.FDs()
+	typ := imageType(len(fds))
+	layout, err := tag.NewLayout(typ, p)
+	if err != nil {
+		return nil, "", err
+	}
+	img := make([]byte, layout.Size)
+	countOff, err := layout.Offset("count")
+	if err != nil {
+		return nil, "", err
+	}
+	p.PutInt(img[countOff:], 4, int64(len(fds)))
+	if len(fds) > 0 {
+		entriesOff, err := layout.Offset("entries")
+		if err != nil {
+			return nil, "", err
+		}
+		recLayout, err := tag.NewLayout(recordType(), p)
+		if err != nil {
+			return nil, "", err
+		}
+		fdOff, _ := recLayout.Offset("fd")
+		modeOff, _ := recLayout.Offset("mode")
+		offOff, _ := recLayout.Offset("offset")
+		pathOff, _ := recLayout.Offset("path")
+		for i, fd := range fds {
+			f := t.open[fd]
+			base := entriesOff + i*recLayout.Size
+			p.PutInt(img[base+fdOff:], 4, int64(fd))
+			p.PutInt(img[base+modeOff:], 4, int64(f.mode))
+			p.PutInt(img[base+offOff:], 8, f.off)
+			copy(img[base+pathOff:base+pathOff+pathCap-1], f.path)
+		}
+	}
+	return img, tag.FromLayout(layout).String(), nil
+}
+
+// RestoreTable rebuilds a descriptor table on destPlat from an image
+// captured on the platform named srcPlatName, converting receiver-makes-
+// right and reopening every file against fs at its recorded offset.
+func RestoreTable(fs *SharedFS, destPlat *platform.Platform, srcPlatName, tagStr string, img []byte) (*Table, error) {
+	srcPlat := platform.ByName(srcPlatName)
+	if srcPlat == nil {
+		return nil, fmt.Errorf("migio: unknown source platform %q", srcPlatName)
+	}
+	// The record count is the leading int; everything else follows from
+	// it. Reading it needs only the source byte order.
+	if len(img) < 4 {
+		return nil, fmt.Errorf("migio: table image of %d bytes is too short", len(img))
+	}
+	count := int(srcPlat.Int(img, 4))
+	if count < 0 || count > 1<<20 {
+		return nil, fmt.Errorf("migio: implausible descriptor count %d", count)
+	}
+	typ := imageType(count)
+	srcLayout, err := tag.NewLayout(typ, srcPlat)
+	if err != nil {
+		return nil, err
+	}
+	if want := tag.FromLayout(srcLayout).String(); tagStr != want {
+		return nil, fmt.Errorf("migio: table tag %q does not match expected %q", tagStr, want)
+	}
+	if len(img) != srcLayout.Size {
+		return nil, fmt.Errorf("migio: table image %d bytes, want %d", len(img), srcLayout.Size)
+	}
+	dstLayout, err := tag.NewLayout(typ, destPlat)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := convert.Value(dstLayout, img, srcLayout, convert.Options{Ptr: convert.PtrAnnul})
+	if err != nil {
+		return nil, err
+	}
+
+	t := NewTable(fs)
+	if count == 0 {
+		return t, nil
+	}
+	entriesOff, err := dstLayout.Offset("entries")
+	if err != nil {
+		return nil, err
+	}
+	recLayout, err := tag.NewLayout(recordType(), destPlat)
+	if err != nil {
+		return nil, err
+	}
+	fdOff, _ := recLayout.Offset("fd")
+	modeOff, _ := recLayout.Offset("mode")
+	offOff, _ := recLayout.Offset("offset")
+	pathOff, _ := recLayout.Offset("path")
+	for i := 0; i < count; i++ {
+		base := entriesOff + i*recLayout.Size
+		fd := int32(destPlat.Int(out[base+fdOff:], 4))
+		mode := Mode(destPlat.Int(out[base+modeOff:], 4))
+		off := destPlat.Int(out[base+offOff:], 8)
+		raw := out[base+pathOff : base+pathOff+pathCap]
+		path := cString(raw)
+		f, err := fs.open(path, mode)
+		if err != nil {
+			return nil, fmt.Errorf("migio: reopening fd %d: %w", fd, err)
+		}
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("migio: reseeking fd %d: %w", fd, err)
+		}
+		t.open[fd] = f
+		if fd >= t.next {
+			t.next = fd + 1
+		}
+	}
+	return t, nil
+}
+
+// cString trims a zero-padded C string buffer.
+func cString(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,235 @@
+// Package migio implements the paper's stated future work (Section 6):
+// "supporting file I/O migration and socket migration ... as both will be
+// necessary for a truly portable heterogeneous system."
+//
+// Three pieces:
+//
+//   - SharedFS: an in-memory filesystem visible to every node (the NFS-like
+//     shared storage heterogeneous clusters of the paper's era assumed).
+//     File *content* stays put; what migrates with a thread is its
+//     descriptor state.
+//
+//   - Table: a thread's open-file descriptor table. Capture serializes the
+//     descriptors — fds, modes, offsets, paths — into the source platform's
+//     byte layout with a CGT-RMR tag, exactly like any other thread state;
+//     Restore converts receiver-makes-right and reopens against the shared
+//     filesystem.
+//
+//   - Session (session.go): a resumable connection layer. A migrating
+//     thread captures its session state (id, receive cursor), abandons the
+//     physical connection, and re-attaches from the destination node; the
+//     peer replays anything unacknowledged. This is socket migration in the
+//     form production systems use: sequence-numbered sessions over
+//     plain transports.
+package migio
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// SharedFS is a concurrency-safe in-memory filesystem shared by all nodes
+// of a cluster.
+type SharedFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewSharedFS returns an empty filesystem.
+func NewSharedFS() *SharedFS {
+	return &SharedFS{files: make(map[string][]byte)}
+}
+
+// WriteFile creates or replaces a file.
+func (fs *SharedFS) WriteFile(path string, data []byte) {
+	fs.mu.Lock()
+	fs.files[path] = append([]byte(nil), data...)
+	fs.mu.Unlock()
+}
+
+// ReadFile returns a copy of a file's content.
+func (fs *SharedFS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("migio: no such file %q", path)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Remove deletes a file.
+func (fs *SharedFS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("migio: no such file %q", path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// List returns all paths in sorted order.
+func (fs *SharedFS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns a file's length in bytes.
+func (fs *SharedFS) Size(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("migio: no such file %q", path)
+	}
+	return int64(len(data)), nil
+}
+
+// Mode is a descriptor's access mode.
+type Mode int32
+
+const (
+	// ModeRead permits reads only.
+	ModeRead Mode = iota
+	// ModeWrite permits writes only (creating the file if needed).
+	ModeWrite
+	// ModeReadWrite permits both.
+	ModeReadWrite
+)
+
+// String returns "r", "w" or "rw".
+func (m Mode) String() string {
+	switch m {
+	case ModeRead:
+		return "r"
+	case ModeWrite:
+		return "w"
+	case ModeReadWrite:
+		return "rw"
+	default:
+		return fmt.Sprintf("Mode(%d)", int32(m))
+	}
+}
+
+// File is an open handle: a path, a mode and a cursor. Handles are owned by
+// a single thread, like POSIX descriptors before dup.
+type File struct {
+	fs   *SharedFS
+	path string
+	mode Mode
+	off  int64
+	open bool
+}
+
+// open opens or creates the file per mode.
+func (fs *SharedFS) open(path string, mode Mode) (*File, error) {
+	fs.mu.Lock()
+	_, exists := fs.files[path]
+	if !exists {
+		if mode == ModeRead {
+			fs.mu.Unlock()
+			return nil, fmt.Errorf("migio: no such file %q", path)
+		}
+		fs.files[path] = nil
+	}
+	fs.mu.Unlock()
+	return &File{fs: fs, path: path, mode: mode, open: true}, nil
+}
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.path }
+
+// Offset returns the cursor position.
+func (f *File) Offset() int64 { return f.off }
+
+// Mode returns the access mode.
+func (f *File) Mode() Mode { return f.mode }
+
+// Read reads from the cursor, advancing it; io.EOF at end.
+func (f *File) Read(p []byte) (int, error) {
+	if !f.open {
+		return 0, fmt.Errorf("migio: read on closed file %q", f.path)
+	}
+	if f.mode == ModeWrite {
+		return 0, fmt.Errorf("migio: %q opened write-only", f.path)
+	}
+	f.fs.mu.Lock()
+	data := f.fs.files[f.path]
+	if f.off >= int64(len(data)) {
+		f.fs.mu.Unlock()
+		return 0, io.EOF
+	}
+	n := copy(p, data[f.off:])
+	f.fs.mu.Unlock()
+	f.off += int64(n)
+	return n, nil
+}
+
+// Write writes at the cursor, extending the file as needed.
+func (f *File) Write(p []byte) (int, error) {
+	if !f.open {
+		return 0, fmt.Errorf("migio: write on closed file %q", f.path)
+	}
+	if f.mode == ModeRead {
+		return 0, fmt.Errorf("migio: %q opened read-only", f.path)
+	}
+	f.fs.mu.Lock()
+	data := f.fs.files[f.path]
+	end := f.off + int64(len(p))
+	if int64(len(data)) < end {
+		grown := make([]byte, end)
+		copy(grown, data)
+		data = grown
+	}
+	copy(data[f.off:end], p)
+	f.fs.files[f.path] = data
+	f.fs.mu.Unlock()
+	f.off = end
+	return len(p), nil
+}
+
+// Seek repositions the cursor (io.SeekStart/Current/End).
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if !f.open {
+		return 0, fmt.Errorf("migio: seek on closed file %q", f.path)
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		sz, err := f.fs.Size(f.path)
+		if err != nil {
+			return 0, err
+		}
+		base = sz
+	default:
+		return 0, fmt.Errorf("migio: bad whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("migio: negative seek to %d", pos)
+	}
+	f.off = pos
+	return pos, nil
+}
+
+// Close invalidates the handle.
+func (f *File) Close() error {
+	if !f.open {
+		return fmt.Errorf("migio: double close of %q", f.path)
+	}
+	f.open = false
+	return nil
+}

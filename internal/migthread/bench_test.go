@@ -1,0 +1,77 @@
+package migthread
+
+import (
+	"testing"
+
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+)
+
+// Capture/restore costs of the migration machinery itself.
+
+func benchFrameType(fields int) tag.Struct {
+	fs := make([]tag.Field, fields)
+	for i := range fs {
+		switch i % 3 {
+		case 0:
+			fs[i] = tag.Field{Name: fieldName(i), T: tag.LongLong()}
+		case 1:
+			fs[i] = tag.Field{Name: fieldName(i), T: tag.Double()}
+		default:
+			fs[i] = tag.Field{Name: fieldName(i), T: tag.IntArray(16)}
+		}
+	}
+	return tag.Struct{Name: "frame", Fields: fs}
+}
+
+func fieldName(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func BenchmarkFrameCapture(b *testing.B) {
+	f, err := NewFrame(benchFrameType(12), platform.LinuxX86)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tag := f.TagString(); len(tag) == 0 {
+			b.Fatal("empty tag")
+		}
+		if img := f.Bytes(); len(img) == 0 {
+			b.Fatal("empty image")
+		}
+	}
+}
+
+func BenchmarkFrameRestoreHeterogeneous(b *testing.B) {
+	typ := benchFrameType(12)
+	src, err := NewFrame(typ, platform.SolarisSPARC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tagStr := src.TagString()
+	img := src.Bytes()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RestoreFrame(typ, platform.LinuxX86, platform.SolarisSPARC.Name, tagStr, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameRestoreHomogeneous(b *testing.B) {
+	typ := benchFrameType(12)
+	src, err := NewFrame(typ, platform.LinuxX86)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tagStr := src.TagString()
+	img := src.Bytes()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RestoreFrame(typ, platform.LinuxX86, platform.LinuxX86.Name, tagStr, img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package migthread
+
+import (
+	"sync"
+	"testing"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/transport"
+)
+
+// TestChainedMigration moves one thread twice: x86 -> SPARC -> x86-64,
+// crossing byte order on the first hop and word size on the second. The
+// paper: "Threads can migrate again if the hosting node is overloaded."
+func TestChainedMigration(t *testing.T) {
+	nw := transport.NewInproc()
+	home, err := dsd.NewHome(testGThV(), platform.LinuxX86, 1, dsd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := nw.Listen("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go home.Serve(hl)
+	defer home.Close()
+
+	nodes := []*Node{
+		NewNode("hop0", platform.LinuxX86, nw, "home", testGThV(), dsd.DefaultOptions()),
+		NewNode("hop1", platform.SolarisSPARC, nw, "home", testGThV(), dsd.DefaultOptions()),
+		NewNode("hop2", platform.LinuxX8664, nw, "home", testGThV(), dsd.DefaultOptions()),
+	}
+	for i, n := range nodes {
+		if err := n.ListenMigrations(n.Name() + "-mig"); err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		_ = i
+	}
+
+	const total = 200000
+	mkWork := func() *sumWork { return &sumWork{Total: total, Chunk: 1000} }
+
+	// RequestMigration is non-blocking (it only marks the slot), so the
+	// hooks may call it synchronously: the request is then guaranteed to
+	// be visible at the thread's next safe point. Each work instance only
+	// ever runs on its own node, so each gets its own hop trigger.
+	var once0, once1 sync.Once
+	w0 := mkWork()
+	w0.hook = func(pc int64) {
+		if pc >= 5 {
+			once0.Do(func() {
+				if err := nodes[0].RequestMigration(0, nodes[1].MigrationAddr()); err != nil {
+					t.Errorf("hop0 request: %v", err)
+				}
+			})
+		}
+	}
+	w1 := mkWork()
+	w1.hook = func(pc int64) {
+		if pc >= 50 {
+			once1.Do(func() {
+				if err := nodes[1].RequestMigration(0, nodes[2].MigrationAddr()); err != nil {
+					t.Errorf("hop1 request: %v", err)
+				}
+			})
+		}
+	}
+	w2 := mkWork()
+
+	if _, err := nodes[1].StartSkeleton(0, w1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[2].StartSkeleton(0, w2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].StartThread(0, w0, RoleLocal); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if err := n.WaitAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	home.Wait()
+
+	if got, want := masterSum(t, home), int64(total)*(total+1)/2; got != want {
+		t.Errorf("sum after two hops = %d, want %d", got, want)
+	}
+	// Role trail: hop0 stub, hop1 stub (migrated away again), hop2 done.
+	for i, want := range []Role{RoleStub, RoleStub, RoleDone} {
+		got, err := nodes[i].Role(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("hop%d role = %v, want %v", i, got, want)
+		}
+	}
+	if len(nodes[0].Migrations()) != 1 || len(nodes[1].Migrations()) != 1 {
+		t.Errorf("migration records = %d/%d, want 1/1",
+			len(nodes[0].Migrations()), len(nodes[1].Migrations()))
+	}
+}
+
+// TestConcurrentMigrations moves two different ranks between two nodes at
+// the same time, in opposite directions.
+func TestConcurrentMigrations(t *testing.T) {
+	nw := transport.NewInproc()
+	home, err := dsd.NewHome(testGThV(), platform.LinuxX86, 2, dsd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := nw.Listen("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go home.Serve(hl)
+	defer home.Close()
+
+	a := NewNode("a", platform.LinuxX86, nw, "home", testGThV(), dsd.DefaultOptions())
+	b := NewNode("b", platform.SolarisSPARC, nw, "home", testGThV(), dsd.DefaultOptions())
+	for _, n := range []*Node{a, b} {
+		if err := n.ListenMigrations(n.Name() + "-mig"); err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+	}
+
+	const total = 100000
+	// sumWork publishes into the single shared "sum" slot under lock 0 —
+	// with two threads both adding their totals we need them to
+	// accumulate, not overwrite. Use distinct flags slots per rank via
+	// sumPublishWork below.
+	mk := func(rank int32) *publishWork {
+		return &publishWork{sumWork: sumWork{Total: total, Chunk: 500}, slot: int(rank)}
+	}
+
+	var once0, once1 sync.Once
+	w0 := mk(0)
+	w0.hook = func(pc int64) {
+		if pc >= 5 {
+			once0.Do(func() {
+				if err := a.RequestMigration(0, b.MigrationAddr()); err != nil {
+					t.Errorf("request 0: %v", err)
+				}
+			})
+		}
+	}
+	w1 := mk(1)
+	w1.hook = func(pc int64) {
+		if pc >= 5 {
+			once1.Do(func() {
+				if err := b.RequestMigration(1, a.MigrationAddr()); err != nil {
+					t.Errorf("request 1: %v", err)
+				}
+			})
+		}
+	}
+	if _, err := b.StartSkeleton(0, mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.StartSkeleton(1, mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.StartThread(0, w0, RoleLocal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.StartThread(1, w1, RoleLocal); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	home.Wait()
+
+	g := home.Globals()
+	sum := int64(total) * (total + 1) / 2
+	want := int64(int32(sum)) // stored as C int (wraps)
+	for slot := 0; slot < 2; slot++ {
+		v, err := g.MustVar("flags").Int(slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Errorf("flags[%d] = %d, want %d", slot, v, want)
+		}
+	}
+}
+
+// publishWork is sumWork that publishes its result into flags[slot]
+// instead of the shared sum scalar, so concurrent instances don't collide.
+type publishWork struct {
+	sumWork
+	slot int
+}
+
+func (w *publishWork) Step(ctx *Ctx) (bool, error) {
+	f := ctx.Frame()
+	i, err := f.Int("i")
+	if err != nil {
+		return false, err
+	}
+	acc, err := f.Int("acc")
+	if err != nil {
+		return false, err
+	}
+	for k := int64(0); k < w.Chunk && i <= w.Total; k++ {
+		acc += i
+		i++
+	}
+	if err := f.SetInt("i", i); err != nil {
+		return false, err
+	}
+	if err := f.SetInt("acc", acc); err != nil {
+		return false, err
+	}
+	if w.hook != nil {
+		w.hook(ctx.PC())
+	}
+	if i > w.Total {
+		if err := ctx.T.Lock(0); err != nil {
+			return false, err
+		}
+		if err := ctx.T.Globals().MustVar("flags").SetInt(w.slot, acc); err != nil {
+			return false, err
+		}
+		if err := ctx.T.Unlock(0); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,142 @@
+package migthread
+
+import (
+	"fmt"
+
+	"hetdsm/internal/checkpoint"
+	"hetdsm/internal/dsd"
+)
+
+// Thread-level checkpointing: the same state capture migration performs,
+// but written to a portable blob while the thread keeps running. Together
+// with dsd.Home.Checkpoint (the globals image) this gives whole-computation
+// checkpoints restorable on any platform — the MigThread checkpointing
+// facility the paper's Section 3.1 builds on.
+
+// RequestCheckpoint captures slot rank's state at its next safe point and
+// returns the portable checkpoint. The thread continues running. It fails
+// if the slot is not actively computing or exits before the next safe
+// point.
+func (n *Node) RequestCheckpoint(rank int32) (*checkpoint.Checkpoint, error) {
+	n.mu.Lock()
+	s := n.slots[rank]
+	n.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("migthread: node %s has no slot %d", n.name, rank)
+	}
+	s.mu.Lock()
+	switch s.role {
+	case RoleMaster, RoleLocal, RoleRemote:
+	default:
+		s.mu.Unlock()
+		return nil, fmt.Errorf("migthread: slot %d is %v; nothing to checkpoint", rank, s.role)
+	}
+	reply := make(chan *checkpoint.Checkpoint, 1)
+	s.chkReqs = append(s.chkReqs, reply)
+	s.mu.Unlock()
+
+	select {
+	case ck := <-reply:
+		if ck == nil {
+			return nil, fmt.Errorf("migthread: slot %d exited before the checkpoint", rank)
+		}
+		return ck, nil
+	case <-s.done:
+		// The thread finished; a capture may still have been delivered.
+		select {
+		case ck := <-reply:
+			if ck != nil {
+				return ck, nil
+			}
+		default:
+		}
+		return nil, fmt.Errorf("migthread: slot %d exited before the checkpoint", rank)
+	}
+}
+
+// StartFromCheckpoint launches a thread in slot rank resuming a portable
+// checkpoint — crash recovery, possibly on a different platform than the
+// one that wrote the blob. The rank must be free at the home (the original
+// incarnation gone). The home's globals are NOT taken from the checkpoint;
+// restore them separately with dsd.Home.Restore before starting threads.
+func (n *Node) StartFromCheckpoint(rank int32, work Work, ck *checkpoint.Checkpoint) (*Slot, error) {
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := n.addSlot(rank, work, RoleRemote)
+	if err != nil {
+		return nil, err
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer close(s.done)
+		s.err = s.runFromCheckpoint(ck)
+	}()
+	return s, nil
+}
+
+func (s *Slot) runFromCheckpoint(ck *checkpoint.Checkpoint) error {
+	frame, err := RestoreFrame(s.work.FrameType(), s.node.plat, ck.Platform, ck.FrameTag, ck.Frame)
+	if err != nil {
+		return err
+	}
+	th, err := dsd.Dial(s.node.nw, s.node.homeAddr, s.node.plat, s.rank, s.node.gthv, s.node.opts)
+	if err != nil {
+		return err
+	}
+	defer th.Close()
+	ctx := &Ctx{
+		T: th, frame: frame, pc: ck.PC, slot: s,
+		extra: ck.Extra, extraTag: ck.ExtraTag, extraSrcPlat: ck.Platform,
+	}
+	if r, ok := s.work.(Restorer); ok {
+		if err := r.Restore(ctx); err != nil {
+			return err
+		}
+	}
+	return s.stepLoop(ctx)
+}
+
+// serviceCheckpoints runs pending checkpoint requests at a safe point.
+func (s *Slot) serviceCheckpoints(ctx *Ctx) error {
+	s.mu.Lock()
+	reqs := s.chkReqs
+	s.chkReqs = nil
+	s.mu.Unlock()
+	if len(reqs) == 0 {
+		return nil
+	}
+	// Push dirty shared writes home first so the blob pairs with a
+	// consistent home image.
+	if err := ctx.T.Flush(); err != nil {
+		failCheckpoints(reqs)
+		return err
+	}
+	ck := &checkpoint.Checkpoint{
+		Platform: s.node.plat.Name,
+		PC:       ctx.pc,
+		FrameTag: ctx.frame.TagString(),
+		Frame:    ctx.frame.Bytes(),
+	}
+	if cap, ok := s.work.(Capturer); ok {
+		payload, tagStr, err := cap.CaptureExtra(ctx)
+		if err != nil {
+			failCheckpoints(reqs)
+			return err
+		}
+		ck.Extra = payload
+		ck.ExtraTag = tagStr
+	}
+	for _, ch := range reqs {
+		ch <- ck
+	}
+	return nil
+}
+
+// failCheckpoints tells waiting requesters there is no capture coming.
+func failCheckpoints(reqs []chan *checkpoint.Checkpoint) {
+	for _, ch := range reqs {
+		ch <- nil
+	}
+}

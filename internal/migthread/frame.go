@@ -1,0 +1,170 @@
+// Package migthread reproduces the MigThread substrate of paper Section 3:
+// application-level thread state capture, heterogeneous restoration via
+// CGT-RMR, iso-computing thread slots, and the home/local/stub/skeleton/
+// remote role bookkeeping of Figure 1.
+//
+// The original system lifts C thread stacks to the application level with a
+// preprocessor. Go's runtime owns goroutine stacks (the repro gate noted in
+// DESIGN.md), so workloads here are written in the form the preprocessor
+// would have produced: all migratable locals live in a typed Frame laid out
+// per the host platform's ABI, and execution advances in Steps between safe
+// points. Capturing a thread is then exactly what MigThread does: serialize
+// the frame with its CGT-RMR tag and restore it receiver-makes-right on the
+// destination platform.
+package migthread
+
+import (
+	"fmt"
+
+	"hetdsm/internal/convert"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+)
+
+// Frame is the MThV-equivalent: one thread's migratable local variables,
+// stored in the host platform's byte representation. A Frame belongs to a
+// single thread goroutine.
+type Frame struct {
+	typ    tag.Struct
+	plat   *platform.Platform
+	layout *tag.Layout
+	data   []byte
+}
+
+// NewFrame allocates a zeroed frame of the given type on a platform.
+func NewFrame(typ tag.Struct, p *platform.Platform) (*Frame, error) {
+	layout, err := tag.NewLayout(typ, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{typ: typ, plat: p, layout: layout, data: make([]byte, layout.Size)}, nil
+}
+
+// Platform returns the platform the frame is laid out for.
+func (f *Frame) Platform() *platform.Platform { return f.plat }
+
+// Size returns the frame's storage size on this platform.
+func (f *Frame) Size() int { return len(f.data) }
+
+// TagString returns the frame's CGT-RMR tag in the paper's grammar.
+func (f *Frame) TagString() string { return tag.FromLayout(f.layout).String() }
+
+// Bytes returns a copy of the frame image; the capture payload.
+func (f *Frame) Bytes() []byte {
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out
+}
+
+func (f *Frame) field(name string) (tag.FieldLayout, error) {
+	fl, ok := f.layout.FieldByName(name)
+	if !ok {
+		return tag.FieldLayout{}, fmt.Errorf("migthread: frame has no field %q", name)
+	}
+	return fl, nil
+}
+
+func (f *Frame) scalarAt(name string, i int) (off, size int, kind platform.Kind, err error) {
+	fl, err := f.field(name)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	l := fl.Layout
+	off = fl.Offset
+	if l.Elem != nil {
+		if i < 0 || i >= l.N {
+			return 0, 0, 0, fmt.Errorf("migthread: %s[%d] out of range [0,%d)", name, i, l.N)
+		}
+		off += i * l.Elem.Size
+		l = l.Elem
+	} else if i != 0 {
+		return 0, 0, 0, fmt.Errorf("migthread: %s is scalar, index %d invalid", name, i)
+	}
+	if !l.IsScalar() {
+		return 0, 0, 0, fmt.Errorf("migthread: %s is not a scalar", name)
+	}
+	return off, l.Size, l.Kind, nil
+}
+
+// SetInt stores a signed integer into a scalar field.
+func (f *Frame) SetInt(name string, v int64) error { return f.SetIntAt(name, 0, v) }
+
+// Int loads a signed integer from a scalar field.
+func (f *Frame) Int(name string) (int64, error) { return f.IntAt(name, 0) }
+
+// SetIntAt stores into element i of an integer array field.
+func (f *Frame) SetIntAt(name string, i int, v int64) error {
+	off, size, _, err := f.scalarAt(name, i)
+	if err != nil {
+		return err
+	}
+	f.plat.PutInt(f.data[off:], size, v)
+	return nil
+}
+
+// IntAt loads element i of an integer array field.
+func (f *Frame) IntAt(name string, i int) (int64, error) {
+	off, size, _, err := f.scalarAt(name, i)
+	if err != nil {
+		return 0, err
+	}
+	return f.plat.Int(f.data[off:], size), nil
+}
+
+// SetFloat64 stores a double field.
+func (f *Frame) SetFloat64(name string, v float64) error {
+	off, size, kind, err := f.scalarAt(name, 0)
+	if err != nil {
+		return err
+	}
+	if kind != platform.Float64 || size != 8 {
+		return fmt.Errorf("migthread: %s is not a double", name)
+	}
+	f.plat.PutFloat64(f.data[off:], v)
+	return nil
+}
+
+// Float64 loads a double field.
+func (f *Frame) Float64(name string) (float64, error) {
+	off, size, kind, err := f.scalarAt(name, 0)
+	if err != nil {
+		return 0, err
+	}
+	if kind != platform.Float64 || size != 8 {
+		return 0, fmt.Errorf("migthread: %s is not a double", name)
+	}
+	return f.plat.Float64(f.data[off:]), nil
+}
+
+// RestoreFrame rebuilds a frame on destPlat from a captured image produced
+// on the platform named srcPlatName: the receiver-makes-right path of
+// thread migration. The source tag must match the tag the source layout
+// implies — a mismatch means the two sides disagree about the frame type.
+func RestoreFrame(typ tag.Struct, destPlat *platform.Platform, srcPlatName, srcTag string, srcBytes []byte) (*Frame, error) {
+	srcPlat := platform.ByName(srcPlatName)
+	if srcPlat == nil {
+		return nil, fmt.Errorf("migthread: unknown source platform %q", srcPlatName)
+	}
+	srcLayout, err := tag.NewLayout(typ, srcPlat)
+	if err != nil {
+		return nil, err
+	}
+	if want := tag.FromLayout(srcLayout).String(); srcTag != want {
+		return nil, fmt.Errorf("migthread: frame tag %q does not match expected %q", srcTag, want)
+	}
+	if len(srcBytes) != srcLayout.Size {
+		return nil, fmt.Errorf("migthread: frame image %d bytes, want %d", len(srcBytes), srcLayout.Size)
+	}
+	dst, err := NewFrame(typ, destPlat)
+	if err != nil {
+		return nil, err
+	}
+	// Frames hold only values; pointers in frames are MThP business and
+	// are annulled here (the paper re-derives them on the destination).
+	out, _, err := convert.Value(dst.layout, srcBytes, srcLayout, convert.Options{Ptr: convert.PtrAnnul})
+	if err != nil {
+		return nil, err
+	}
+	dst.data = out
+	return dst, nil
+}

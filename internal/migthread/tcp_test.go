@@ -1,0 +1,70 @@
+package migthread
+
+import (
+	"sync"
+	"testing"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/transport"
+)
+
+// TestMigrationOverTCP runs the full stack — DSD home, two migthread nodes,
+// a live migration — over real TCP sockets instead of in-process pipes.
+func TestMigrationOverTCP(t *testing.T) {
+	var nw transport.TCP
+	home, err := dsd.NewHome(testGThV(), platform.LinuxX86, 1, dsd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := nw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go home.Serve(hl)
+	defer home.Close()
+	homeAddr := hl.Addr()
+
+	n1 := NewNode("tcp-x86", platform.LinuxX86, nw, homeAddr, testGThV(), dsd.DefaultOptions())
+	n2 := NewNode("tcp-sparc", platform.SolarisSPARC, nw, homeAddr, testGThV(), dsd.DefaultOptions())
+	if err := n1.ListenMigrations("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.ListenMigrations("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	defer n2.Close()
+
+	const total = 100000
+	var once sync.Once
+	w := &sumWork{Total: total, Chunk: 1000}
+	w.hook = func(pc int64) {
+		if pc >= 5 {
+			once.Do(func() {
+				if err := n1.RequestMigration(0, n2.MigrationAddr()); err != nil {
+					t.Errorf("request: %v", err)
+				}
+			})
+		}
+	}
+	if _, err := n2.StartSkeleton(0, &sumWork{Total: total, Chunk: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n1.StartThread(0, w, RoleLocal); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	home.Wait()
+	if got, want := masterSum(t, home), int64(total)*(total+1)/2; got != want {
+		t.Errorf("sum over TCP = %d, want %d", got, want)
+	}
+	if len(n1.Migrations()) != 1 {
+		t.Errorf("migrations = %d, want 1", len(n1.Migrations()))
+	}
+}

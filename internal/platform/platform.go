@@ -1,0 +1,338 @@
+// Package platform models the heterogeneous machines the paper evaluates on.
+//
+// The DSM in the paper (Walters, Jiang, Chaudhary, ICPP Workshops 2006) ran
+// across a big-endian Sun Fire V440 (Solaris/SPARC) and a little-endian
+// Pentium 4 (Linux/x86). What the DSM layer actually depends on is not the
+// silicon but the ABI surface: byte order, scalar sizes, alignment rules and
+// the hardware page size. A Platform captures exactly that surface, so a
+// single Go process can host several virtual nodes whose memory images are
+// laid out — and must be converted — exactly as they would be between the
+// paper's real machines.
+package platform
+
+import "fmt"
+
+// Endianness is the byte order of a platform.
+type Endianness int
+
+const (
+	// Little means least-significant byte first (x86).
+	Little Endianness = iota
+	// Big means most-significant byte first (SPARC).
+	Big
+)
+
+// String returns "little" or "big".
+func (e Endianness) String() string {
+	switch e {
+	case Little:
+		return "little"
+	case Big:
+		return "big"
+	default:
+		return fmt.Sprintf("Endianness(%d)", int(e))
+	}
+}
+
+// Kind enumerates the physical scalar kinds a platform knows how to lay out.
+// These are physical storage classes, not C type names: the mapping from
+// logical C types (int, long, pointer...) to Kinds is platform-specific and
+// performed by CType.Kind.
+type Kind int
+
+const (
+	// Int8 is a signed 8-bit integer (C signed char).
+	Int8 Kind = iota
+	// Uint8 is an unsigned 8-bit integer (C unsigned char).
+	Uint8
+	// Int16 is a signed 16-bit integer.
+	Int16
+	// Uint16 is an unsigned 16-bit integer.
+	Uint16
+	// Int32 is a signed 32-bit integer.
+	Int32
+	// Uint32 is an unsigned 32-bit integer.
+	Uint32
+	// Int64 is a signed 64-bit integer.
+	Int64
+	// Uint64 is an unsigned 64-bit integer.
+	Uint64
+	// Float32 is an IEEE-754 single-precision float.
+	Float32
+	// Float64 is an IEEE-754 double-precision float.
+	Float64
+	// Ptr is a data pointer; its width is platform-dependent.
+	Ptr
+	numKinds
+)
+
+var kindNames = [...]string{
+	Int8: "int8", Uint8: "uint8",
+	Int16: "int16", Uint16: "uint16",
+	Int32: "int32", Uint32: "uint32",
+	Int64: "int64", Uint64: "uint64",
+	Float32: "float32", Float64: "float64",
+	Ptr: "ptr",
+}
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Signed reports whether the kind is a signed integer. Floats and pointers
+// return false.
+func (k Kind) Signed() bool {
+	switch k {
+	case Int8, Int16, Int32, Int64:
+		return true
+	}
+	return false
+}
+
+// Integer reports whether the kind is an integer (signed or unsigned).
+func (k Kind) Integer() bool {
+	switch k {
+	case Int8, Uint8, Int16, Uint16, Int32, Uint32, Int64, Uint64:
+		return true
+	}
+	return false
+}
+
+// Float reports whether the kind is a floating-point kind.
+func (k Kind) Float() bool {
+	return k == Float32 || k == Float64
+}
+
+// CType is a logical C scalar type whose physical width varies by platform.
+// The paper's preprocessor emits tags from C declarations; this enumeration
+// is the piece of C's type system the tags depend on.
+type CType int
+
+const (
+	// CChar is C "char" (1 byte everywhere; signedness per platform).
+	CChar CType = iota
+	// CShort is C "short" (2 bytes on both paper platforms).
+	CShort
+	// CInt is C "int" (4 bytes on both paper platforms).
+	CInt
+	// CLong is C "long" (4 bytes on ILP32, 8 on LP64).
+	CLong
+	// CLongLong is C "long long" (8 bytes).
+	CLongLong
+	// CFloat is C "float".
+	CFloat
+	// CDouble is C "double".
+	CDouble
+	// CPtr is any C data pointer.
+	CPtr
+	// CUInt is C "unsigned int".
+	CUInt
+	// CULong is C "unsigned long".
+	CULong
+	numCTypes
+)
+
+var ctypeNames = [...]string{
+	CChar: "char", CShort: "short", CInt: "int", CLong: "long",
+	CLongLong: "long long", CFloat: "float", CDouble: "double",
+	CPtr: "ptr", CUInt: "unsigned int", CULong: "unsigned long",
+}
+
+// String returns the C spelling of the type.
+func (t CType) String() string {
+	if t >= 0 && int(t) < len(ctypeNames) {
+		return ctypeNames[t]
+	}
+	return fmt.Sprintf("CType(%d)", int(t))
+}
+
+// Model is the data model of a platform: it decides the width of the
+// varying C types.
+type Model int
+
+const (
+	// ILP32 gives 4-byte int, long and pointers (the paper's machines in
+	// their 32-bit ABIs).
+	ILP32 Model = iota
+	// LP64 gives 4-byte int, 8-byte long and pointers.
+	LP64
+)
+
+// String returns "ILP32" or "LP64".
+func (m Model) String() string {
+	if m == ILP32 {
+		return "ILP32"
+	}
+	return "LP64"
+}
+
+// Platform describes one virtual machine's ABI surface. Platforms are
+// immutable after construction; the package-level variables LinuxX86 etc.
+// are shared and must not be mutated.
+type Platform struct {
+	// Name identifies the platform in reports, e.g. "linux-x86".
+	Name string
+	// ShortName is the single letter used by the paper's pair labels
+	// ("L" for Linux, "S" for Solaris).
+	ShortName string
+	// Order is the platform's byte order.
+	Order Endianness
+	// Model is the platform's data model (ILP32 or LP64).
+	Model Model
+	// PageSize is the MMU page size in bytes; it must be a power of two.
+	PageSize int
+	// CharSigned reports whether plain C "char" is signed.
+	CharSigned bool
+	// MaxAlign caps structure field alignment (like #pragma pack); both
+	// paper platforms use natural alignment, so this equals the largest
+	// scalar size.
+	MaxAlign int
+
+	sizes  [numKinds]int
+	aligns [numKinds]int
+}
+
+// New constructs a platform with natural alignment for the given byte order,
+// data model and page size. It panics if pageSize is not a power of two,
+// since a misconfigured MMU would corrupt every experiment built on top.
+func New(name, short string, order Endianness, model Model, pageSize int, charSigned bool) *Platform {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("platform: page size %d is not a power of two", pageSize))
+	}
+	p := &Platform{
+		Name:       name,
+		ShortName:  short,
+		Order:      order,
+		Model:      model,
+		PageSize:   pageSize,
+		CharSigned: charSigned,
+	}
+	ptr := 4
+	if model == LP64 {
+		ptr = 8
+	}
+	set := func(k Kind, size int) {
+		p.sizes[k] = size
+		p.aligns[k] = size
+	}
+	set(Int8, 1)
+	set(Uint8, 1)
+	set(Int16, 2)
+	set(Uint16, 2)
+	set(Int32, 4)
+	set(Uint32, 4)
+	set(Int64, 8)
+	set(Uint64, 8)
+	set(Float32, 4)
+	set(Float64, 8)
+	set(Ptr, ptr)
+	p.MaxAlign = 8
+	return p
+}
+
+// SizeOf returns the storage size in bytes of a physical kind.
+func (p *Platform) SizeOf(k Kind) int { return p.sizes[k] }
+
+// AlignOf returns the required alignment in bytes of a physical kind.
+func (p *Platform) AlignOf(k Kind) int { return p.aligns[k] }
+
+// Kind maps a logical C type to the physical kind this platform stores it
+// as. This is where ILP32 vs LP64 (and char signedness) is resolved.
+func (p *Platform) Kind(t CType) Kind {
+	switch t {
+	case CChar:
+		if p.CharSigned {
+			return Int8
+		}
+		return Uint8
+	case CShort:
+		return Int16
+	case CInt:
+		return Int32
+	case CUInt:
+		return Uint32
+	case CLong:
+		if p.Model == LP64 {
+			return Int64
+		}
+		return Int32
+	case CULong:
+		if p.Model == LP64 {
+			return Uint64
+		}
+		return Uint32
+	case CLongLong:
+		return Int64
+	case CFloat:
+		return Float32
+	case CDouble:
+		return Float64
+	case CPtr:
+		return Ptr
+	default:
+		panic(fmt.Sprintf("platform: unknown C type %v", t))
+	}
+}
+
+// CSizeOf returns the storage size of a logical C type on this platform.
+func (p *Platform) CSizeOf(t CType) int { return p.SizeOf(p.Kind(t)) }
+
+// PtrSize returns the pointer width in bytes.
+func (p *Platform) PtrSize() int { return p.sizes[Ptr] }
+
+// SameABI reports whether two platforms produce identical memory images
+// for all data: same byte order, same data model, same char signedness.
+// When SameABI holds, the DSM takes the paper's homogeneous memcpy fast
+// path; page size may still differ without affecting data layout.
+func (p *Platform) SameABI(q *Platform) bool {
+	return p.Order == q.Order && p.Model == q.Model && p.CharSigned == q.CharSigned
+}
+
+// String returns the platform name.
+func (p *Platform) String() string { return p.Name }
+
+// PairLabel returns the paper's two-letter label for a platform pair, e.g.
+// "SL" for Solaris/Linux, "LL" for Linux/Linux.
+func PairLabel(a, b *Platform) string { return a.ShortName + b.ShortName }
+
+// The paper's evaluation platforms, plus 64-bit variants used by the
+// extension experiments. The page sizes follow the historical defaults:
+// 4 KiB on x86 Linux, 8 KiB on UltraSPARC Solaris.
+var (
+	// LinuxX86 models the paper's 2.4 GHz Pentium 4 running Linux:
+	// little-endian ILP32 with 4 KiB pages ("L" in the pair labels).
+	LinuxX86 = New("linux-x86", "L", Little, ILP32, 4096, true)
+	// SolarisSPARC models the paper's Sun Fire V440 running Solaris:
+	// big-endian ILP32 with 8 KiB pages ("S" in the pair labels).
+	SolarisSPARC = New("solaris-sparc", "S", Big, ILP32, 8192, true)
+	// LinuxX8664 is a little-endian LP64 variant for the heterogeneous
+	// word-size extension experiments.
+	LinuxX8664 = New("linux-x86-64", "l", Little, LP64, 4096, true)
+	// SolarisSPARC64 is a big-endian LP64 variant.
+	SolarisSPARC64 = New("solaris-sparc64", "s", Big, LP64, 8192, true)
+)
+
+// ByName returns a built-in platform by its Name, or nil when unknown.
+func ByName(name string) *Platform {
+	switch name {
+	case LinuxX86.Name:
+		return LinuxX86
+	case SolarisSPARC.Name:
+		return SolarisSPARC
+	case LinuxX8664.Name:
+		return LinuxX8664
+	case SolarisSPARC64.Name:
+		return SolarisSPARC64
+	default:
+		return nil
+	}
+}
+
+// All returns the built-in platforms in a fixed order.
+func All() []*Platform {
+	return []*Platform{LinuxX86, SolarisSPARC, LinuxX8664, SolarisSPARC64}
+}

@@ -1,0 +1,226 @@
+// Package sched is the adaptive layer of the system: it watches node loads
+// and redistributes running threads, which is what makes the DSM of the
+// paper's title *adaptive*. The paper's motivation (Section 1) is harvesting
+// idle workstations: "parallel computing jobs can be dispatched to newly
+// added machines by migrating running threads dynamically".
+//
+// The balancer implements the classic double-threshold policy: a node whose
+// load exceeds the high watermark sheds one thread per tick to the
+// least-loaded node below the low watermark that holds a matching skeleton
+// slot (iso-computing restricts each thread to its own rank's slots).
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetdsm/internal/migthread"
+)
+
+// LoadSource reports the current load of a node, in arbitrary units
+// (typically normalized CPU utilization). Implementations must be safe for
+// concurrent use.
+type LoadSource interface {
+	// Load returns the node's load; higher means busier.
+	Load(node string) float64
+}
+
+// LoadFunc adapts a function to LoadSource.
+type LoadFunc func(node string) float64
+
+// Load implements LoadSource.
+func (f LoadFunc) Load(node string) float64 { return f(node) }
+
+// ScriptedLoad replays per-node load traces, one sample per Advance call —
+// the synthetic stand-in for the paper's dynamically changing machine set.
+type ScriptedLoad struct {
+	mu     sync.Mutex
+	traces map[string][]float64
+	tick   int
+}
+
+// NewScriptedLoad builds a trace source. Each node's slice is sampled at
+// the current tick; past-the-end ticks repeat the last sample.
+func NewScriptedLoad(traces map[string][]float64) *ScriptedLoad {
+	c := make(map[string][]float64, len(traces))
+	for k, v := range traces {
+		c[k] = append([]float64(nil), v...)
+	}
+	return &ScriptedLoad{traces: c}
+}
+
+// Load implements LoadSource.
+func (s *ScriptedLoad) Load(node string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := s.traces[node]
+	if len(tr) == 0 {
+		return 0
+	}
+	i := s.tick
+	if i >= len(tr) {
+		i = len(tr) - 1
+	}
+	return tr[i]
+}
+
+// Advance moves to the next trace sample.
+func (s *ScriptedLoad) Advance() {
+	s.mu.Lock()
+	s.tick++
+	s.mu.Unlock()
+}
+
+// Decision records one migration the balancer ordered.
+type Decision struct {
+	// Rank is the thread being moved.
+	Rank int32
+	// From and To are node names.
+	From, To string
+	// FromLoad and ToLoad are the loads that justified the move.
+	FromLoad, ToLoad float64
+}
+
+// Policy holds the balancer thresholds.
+type Policy struct {
+	// HighWater is the load above which a node sheds threads.
+	HighWater float64
+	// LowWater is the load below which a node accepts threads.
+	LowWater float64
+	// MaxMovesPerTick caps migrations per evaluation to avoid
+	// thrashing; zero means one.
+	MaxMovesPerTick int
+}
+
+// DefaultPolicy sheds above 0.75 utilization onto nodes below 0.25.
+func DefaultPolicy() Policy {
+	return Policy{HighWater: 0.75, LowWater: 0.25, MaxMovesPerTick: 1}
+}
+
+func (p Policy) validate() error {
+	if p.HighWater <= p.LowWater {
+		return fmt.Errorf("sched: high water %v must exceed low water %v", p.HighWater, p.LowWater)
+	}
+	return nil
+}
+
+// Balancer evaluates loads and orders migrations among a fixed set of
+// nodes.
+type Balancer struct {
+	policy Policy
+	loads  LoadSource
+
+	mu        sync.Mutex
+	nodes     []*migthread.Node
+	decisions []Decision
+}
+
+// NewBalancer builds a balancer over the given nodes.
+func NewBalancer(policy Policy, loads LoadSource, nodes ...*migthread.Node) (*Balancer, error) {
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	if loads == nil {
+		return nil, fmt.Errorf("sched: nil load source")
+	}
+	return &Balancer{policy: policy, loads: loads, nodes: nodes}, nil
+}
+
+// AddNode registers a newly joined machine — the paper's "newly added
+// machines" scenario.
+func (b *Balancer) AddNode(n *migthread.Node) {
+	b.mu.Lock()
+	b.nodes = append(b.nodes, n)
+	b.mu.Unlock()
+}
+
+// Decisions returns every migration ordered so far.
+func (b *Balancer) Decisions() []Decision {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Decision, len(b.decisions))
+	copy(out, b.decisions)
+	return out
+}
+
+// Tick evaluates the policy once and issues migration requests; it returns
+// the decisions made this tick. Requests are asynchronous: the thread moves
+// at its next safe point.
+func (b *Balancer) Tick() []Decision {
+	b.mu.Lock()
+	nodes := append([]*migthread.Node(nil), b.nodes...)
+	b.mu.Unlock()
+
+	maxMoves := b.policy.MaxMovesPerTick
+	if maxMoves <= 0 {
+		maxMoves = 1
+	}
+	var made []Decision
+	for _, src := range nodes {
+		if len(made) >= maxMoves {
+			break
+		}
+		srcLoad := b.loads.Load(src.Name())
+		if srcLoad <= b.policy.HighWater {
+			continue
+		}
+		for _, rank := range src.ActiveRanks() {
+			dst := b.pickDestination(nodes, src, rank)
+			if dst == nil {
+				continue
+			}
+			if err := src.RequestMigration(rank, dst.MigrationAddr()); err != nil {
+				continue
+			}
+			d := Decision{
+				Rank: rank, From: src.Name(), To: dst.Name(),
+				FromLoad: srcLoad, ToLoad: b.loads.Load(dst.Name()),
+			}
+			made = append(made, d)
+			break // at most one shed per overloaded node per tick
+		}
+	}
+	b.mu.Lock()
+	b.decisions = append(b.decisions, made...)
+	b.mu.Unlock()
+	return made
+}
+
+// pickDestination returns the least-loaded node below the low watermark
+// holding an idle skeleton for rank, or nil.
+func (b *Balancer) pickDestination(nodes []*migthread.Node, src *migthread.Node, rank int32) *migthread.Node {
+	var best *migthread.Node
+	bestLoad := b.policy.LowWater
+	for _, n := range nodes {
+		if n == src || n.MigrationAddr() == "" {
+			continue
+		}
+		load := b.loads.Load(n.Name())
+		if load >= bestLoad {
+			continue
+		}
+		for _, r := range n.SkeletonRanks() {
+			if r == rank {
+				best = n
+				bestLoad = load
+				break
+			}
+		}
+	}
+	return best
+}
+
+// Run evaluates the policy every interval until stop is closed.
+func (b *Balancer) Run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			b.Tick()
+		}
+	}
+}

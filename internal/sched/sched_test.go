@@ -1,0 +1,296 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/migthread"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+	"hetdsm/internal/transport"
+)
+
+func testGThV() tag.Struct {
+	return tag.Struct{Name: "GThV_t", Fields: []tag.Field{
+		{Name: "sum", T: tag.Scalar{T: platform.CLongLong}},
+	}}
+}
+
+// slowWork is a long-running migratable workload for balancer tests.
+type slowWork struct {
+	steps int64
+}
+
+func (w *slowWork) FrameType() tag.Struct {
+	return tag.Struct{Name: "frame", Fields: []tag.Field{
+		{Name: "i", T: tag.Scalar{T: platform.CLongLong}},
+	}}
+}
+
+func (w *slowWork) Init(ctx *migthread.Ctx) error { return ctx.Frame().SetInt("i", 0) }
+
+func (w *slowWork) Step(ctx *migthread.Ctx) (bool, error) {
+	i, err := ctx.Frame().Int("i")
+	if err != nil {
+		return false, err
+	}
+	i++
+	if err := ctx.Frame().SetInt("i", i); err != nil {
+		return false, err
+	}
+	if i >= w.steps {
+		if err := ctx.T.Lock(0); err != nil {
+			return false, err
+		}
+		if err := ctx.T.Globals().MustVar("sum").SetInt(0, i); err != nil {
+			return false, err
+		}
+		if err := ctx.T.Unlock(0); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	time.Sleep(time.Millisecond)
+	return false, nil
+}
+
+func rig(t *testing.T) (home *dsd.Home, busy, idle *migthread.Node) {
+	t.Helper()
+	nw := transport.NewInproc()
+	home, err := dsd.NewHome(testGThV(), platform.LinuxX86, 1, dsd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := nw.Listen("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go home.Serve(l)
+	t.Cleanup(home.Close)
+
+	busy = migthread.NewNode("busy", platform.LinuxX86, nw, "home", testGThV(), dsd.DefaultOptions())
+	idle = migthread.NewNode("idle", platform.SolarisSPARC, nw, "home", testGThV(), dsd.DefaultOptions())
+	if err := busy.ListenMigrations("busy-mig"); err != nil {
+		t.Fatal(err)
+	}
+	if err := idle.ListenMigrations("idle-mig"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(busy.Close)
+	t.Cleanup(idle.Close)
+	return home, busy, idle
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := NewBalancer(Policy{HighWater: 0.2, LowWater: 0.8}, LoadFunc(func(string) float64 { return 0 })); err == nil {
+		t.Error("inverted watermarks must fail")
+	}
+	if _, err := NewBalancer(DefaultPolicy(), nil); err == nil {
+		t.Error("nil load source must fail")
+	}
+}
+
+func TestScriptedLoad(t *testing.T) {
+	s := NewScriptedLoad(map[string][]float64{"a": {0.1, 0.9}})
+	if got := s.Load("a"); got != 0.1 {
+		t.Errorf("tick 0 = %v", got)
+	}
+	s.Advance()
+	if got := s.Load("a"); got != 0.9 {
+		t.Errorf("tick 1 = %v", got)
+	}
+	s.Advance() // past the end: repeat last
+	if got := s.Load("a"); got != 0.9 {
+		t.Errorf("tick 2 = %v", got)
+	}
+	if got := s.Load("unknown"); got != 0 {
+		t.Errorf("unknown node = %v", got)
+	}
+}
+
+func TestBalancerMovesOverloadedThread(t *testing.T) {
+	home, busy, idle := rig(t)
+	w := &slowWork{steps: 300}
+	if _, err := busy.StartThread(0, w, migthread.RoleLocal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idle.StartSkeleton(0, &slowWork{steps: 300}); err != nil {
+		t.Fatal(err)
+	}
+	loads := LoadFunc(func(node string) float64 {
+		if node == "busy" {
+			return 0.95
+		}
+		return 0.05
+	})
+	b, err := NewBalancer(DefaultPolicy(), loads, busy, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the thread run a little, then balance.
+	time.Sleep(20 * time.Millisecond)
+	decisions := b.Tick()
+	if len(decisions) != 1 {
+		t.Fatalf("decisions = %v, want 1", decisions)
+	}
+	d := decisions[0]
+	if d.From != "busy" || d.To != "idle" || d.Rank != 0 {
+		t.Errorf("decision = %+v", d)
+	}
+	if err := busy.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idle.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	home.Wait()
+	// The thread really moved and finished on the idle node.
+	if len(busy.Migrations()) != 1 {
+		t.Errorf("migrations from busy = %d, want 1", len(busy.Migrations()))
+	}
+	role, err := idle.Role(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if role != migthread.RoleDone {
+		t.Errorf("idle slot role = %v, want done", role)
+	}
+	v, err := home.Globals().MustVar("sum").Int(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 300 {
+		t.Errorf("result = %d, want 300", v)
+	}
+}
+
+func TestBalancerQuietWhenBalanced(t *testing.T) {
+	_, busy, idle := rig(t)
+	w := &slowWork{steps: 50}
+	if _, err := busy.StartThread(0, w, migthread.RoleLocal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idle.StartSkeleton(0, &slowWork{steps: 50}); err != nil {
+		t.Fatal(err)
+	}
+	loads := LoadFunc(func(string) float64 { return 0.5 })
+	b, err := NewBalancer(DefaultPolicy(), loads, busy, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := b.Tick(); len(d) != 0 {
+		t.Errorf("balanced loads produced decisions %v", d)
+	}
+	if err := busy.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Unblock the skeleton: nothing will ever arrive, so just verify it
+	// is still waiting and close the rig.
+	if role, _ := idle.Role(0); role != migthread.RoleSkeleton {
+		t.Errorf("skeleton role = %v", role)
+	}
+}
+
+func TestBalancerRespectsIsoComputing(t *testing.T) {
+	_, busy, idle := rig(t)
+	w := &slowWork{steps: 50}
+	if _, err := busy.StartThread(0, w, migthread.RoleLocal); err != nil {
+		t.Fatal(err)
+	}
+	// The idle node has a skeleton only for rank 5: rank 0 cannot move.
+	if _, err := idle.StartSkeleton(5, &slowWork{steps: 50}); err != nil {
+		t.Fatal(err)
+	}
+	loads := LoadFunc(func(node string) float64 {
+		if node == "busy" {
+			return 0.95
+		}
+		return 0.05
+	})
+	b, err := NewBalancer(DefaultPolicy(), loads, busy, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := b.Tick(); len(d) != 0 {
+		t.Errorf("no matching skeleton, but decisions %v", d)
+	}
+	if err := busy.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancerNewNodeJoins(t *testing.T) {
+	home, busy, idle := rig(t)
+	w := &slowWork{steps: 300}
+	if _, err := busy.StartThread(0, w, migthread.RoleLocal); err != nil {
+		t.Fatal(err)
+	}
+	loads := LoadFunc(func(node string) float64 {
+		if node == "busy" {
+			return 0.95
+		}
+		return 0.05
+	})
+	// Balancer starts with only the busy node: nowhere to go.
+	b, err := NewBalancer(DefaultPolicy(), loads, busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := b.Tick(); len(d) != 0 {
+		t.Fatalf("premature decisions %v", d)
+	}
+	// The idle machine joins (paper: "newly added machines"), bringing a
+	// skeleton slot.
+	if _, err := idle.StartSkeleton(0, &slowWork{steps: 300}); err != nil {
+		t.Fatal(err)
+	}
+	b.AddNode(idle)
+	if d := b.Tick(); len(d) != 1 {
+		t.Fatalf("after join: decisions = %v, want 1", d)
+	}
+	if err := busy.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idle.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	home.Wait()
+	if len(b.Decisions()) != 1 {
+		t.Errorf("recorded decisions = %d, want 1", len(b.Decisions()))
+	}
+}
+
+func TestBalancerRunLoop(t *testing.T) {
+	home, busy, idle := rig(t)
+	w := &slowWork{steps: 400}
+	if _, err := busy.StartThread(0, w, migthread.RoleLocal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idle.StartSkeleton(0, &slowWork{steps: 400}); err != nil {
+		t.Fatal(err)
+	}
+	loads := LoadFunc(func(node string) float64 {
+		if node == "busy" {
+			return 0.95
+		}
+		return 0.05
+	})
+	b, err := NewBalancer(DefaultPolicy(), loads, busy, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go b.Run(5*time.Millisecond, stop)
+	if err := busy.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idle.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	home.Wait()
+	if len(busy.Migrations()) != 1 {
+		t.Errorf("run loop produced %d migrations, want 1", len(busy.Migrations()))
+	}
+}

@@ -1,0 +1,243 @@
+// Package stats accumulates the data-sharing cost breakdown of the paper's
+// Equation 1:
+//
+//	Cshare = t_index + t_tag + t_pack + t_unpack + t_conv
+//
+// Every stage of the DSD update pipeline is timed into one of these five
+// buckets; the evaluation harness (Figures 6–11) reads them back out.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase labels one component of Eq. 1.
+type Phase int
+
+const (
+	// Index is t_index: mapping dirty-page diffs to index-table spans.
+	Index Phase = iota
+	// Tag is t_tag: forming CGT-RMR tags from the spans.
+	Tag
+	// Pack is t_pack: serializing tags and raw data into messages.
+	Pack
+	// Unpack is t_unpack: deserializing received messages.
+	Unpack
+	// Conv is t_conv: receiver-makes-right data conversion.
+	Conv
+	// NumPhases is the number of Eq. 1 components.
+	NumPhases
+)
+
+var phaseNames = [...]string{
+	Index:  "index",
+	Tag:    "tag",
+	Pack:   "pack",
+	Unpack: "unpack",
+	Conv:   "conv",
+}
+
+// String returns the short phase name used in reports.
+func (p Phase) String() string {
+	if p >= 0 && int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Breakdown is an accumulated Cshare decomposition. The zero value is an
+// empty breakdown ready to use. Breakdowns are safe for concurrent use;
+// every node and the home manager feed one from their own goroutines.
+type Breakdown struct {
+	mu     sync.Mutex
+	phases [NumPhases]time.Duration
+	counts [NumPhases]uint64
+	bytes  [NumPhases]uint64
+}
+
+// Add charges d to phase p.
+func (b *Breakdown) Add(p Phase, d time.Duration) {
+	b.mu.Lock()
+	b.phases[p] += d
+	b.counts[p]++
+	b.mu.Unlock()
+}
+
+// AddBytes charges d to phase p and records n bytes processed in it.
+func (b *Breakdown) AddBytes(p Phase, d time.Duration, n int) {
+	b.mu.Lock()
+	b.phases[p] += d
+	b.counts[p]++
+	b.bytes[p] += uint64(n)
+	b.mu.Unlock()
+}
+
+// Time runs f, charging its wall time to phase p.
+func (b *Breakdown) Time(p Phase, f func()) {
+	start := time.Now()
+	f()
+	b.Add(p, time.Since(start))
+}
+
+// Phase returns the accumulated duration of one phase.
+func (b *Breakdown) Phase(p Phase) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.phases[p]
+}
+
+// Count returns how many times phase p was charged.
+func (b *Breakdown) Count(p Phase) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counts[p]
+}
+
+// Bytes returns the bytes recorded for phase p.
+func (b *Breakdown) Bytes(p Phase) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytes[p]
+}
+
+// Total returns Cshare: the sum of all five components.
+func (b *Breakdown) Total() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t time.Duration
+	for _, d := range b.phases {
+		t += d
+	}
+	return t
+}
+
+// Snapshot returns a frozen copy of the per-phase durations.
+func (b *Breakdown) Snapshot() [NumPhases]time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.phases
+}
+
+// Reset zeroes all accumulators.
+func (b *Breakdown) Reset() {
+	b.mu.Lock()
+	b.phases = [NumPhases]time.Duration{}
+	b.counts = [NumPhases]uint64{}
+	b.bytes = [NumPhases]uint64{}
+	b.mu.Unlock()
+}
+
+// Merge adds another breakdown's accumulators into b.
+func (b *Breakdown) Merge(o *Breakdown) {
+	o.mu.Lock()
+	phases, counts, bytes := o.phases, o.counts, o.bytes
+	o.mu.Unlock()
+	b.mu.Lock()
+	for i := range phases {
+		b.phases[i] += phases[i]
+		b.counts[i] += counts[i]
+		b.bytes[i] += bytes[i]
+	}
+	b.mu.Unlock()
+}
+
+// String renders a one-line summary: "index=1ms tag=2ms ... total=9ms".
+func (b *Breakdown) String() string {
+	snap := b.Snapshot()
+	var parts []string
+	var total time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		parts = append(parts, fmt.Sprintf("%s=%v", p, snap[p]))
+		total += snap[p]
+	}
+	parts = append(parts, fmt.Sprintf("total=%v", total))
+	return strings.Join(parts, " ")
+}
+
+// Percentages returns each phase's share of Cshare in percent (Figure 7's
+// presentation). An all-zero breakdown yields all zeros.
+func (b *Breakdown) Percentages() [NumPhases]float64 {
+	snap := b.Snapshot()
+	var total time.Duration
+	for _, d := range snap {
+		total += d
+	}
+	var out [NumPhases]float64
+	if total == 0 {
+		return out
+	}
+	for i, d := range snap {
+		out[i] = 100 * float64(d) / float64(total)
+	}
+	return out
+}
+
+// Series is a labeled sequence of measurements, one per sweep point — the
+// raw material of the paper's line plots (Figures 8–11).
+type Series struct {
+	// Label names the series (e.g. "Solaris/Linux").
+	Label string
+	// X holds the sweep parameter (matrix size).
+	X []int
+	// Y holds the measured durations, parallel to X.
+	Y []time.Duration
+}
+
+// Append adds one point.
+func (s *Series) Append(x int, y time.Duration) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Format renders the series as aligned columns.
+func (s *Series) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Label)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%8d %14.6f\n", s.X[i], s.Y[i].Seconds())
+	}
+	return b.String()
+}
+
+// Table formats multiple series side by side keyed by X, for figures that
+// plot several platform pairs on one axis. Series may have different X
+// sets; missing cells print as "-".
+func Table(series []*Series) string {
+	xs := map[int]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	var order []int
+	for x := range xs {
+		order = append(order, x)
+	}
+	sort.Ints(order)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s", "N")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range order {
+		fmt.Fprintf(&b, "%8d", x)
+		for _, s := range series {
+			cell := "-"
+			for i := range s.X {
+				if s.X[i] == x {
+					cell = fmt.Sprintf("%.6f", s.Y[i].Seconds())
+					break
+				}
+			}
+			fmt.Fprintf(&b, " %16s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

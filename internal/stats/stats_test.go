@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndTotal(t *testing.T) {
+	var b Breakdown
+	b.Add(Index, 10*time.Millisecond)
+	b.Add(Tag, 20*time.Millisecond)
+	b.Add(Conv, 30*time.Millisecond)
+	if got := b.Total(); got != 60*time.Millisecond {
+		t.Errorf("Total = %v, want 60ms", got)
+	}
+	if got := b.Phase(Tag); got != 20*time.Millisecond {
+		t.Errorf("Phase(Tag) = %v", got)
+	}
+	if got := b.Count(Index); got != 1 {
+		t.Errorf("Count(Index) = %d", got)
+	}
+}
+
+func TestAddBytes(t *testing.T) {
+	var b Breakdown
+	b.AddBytes(Pack, time.Millisecond, 100)
+	b.AddBytes(Pack, time.Millisecond, 50)
+	if got := b.Bytes(Pack); got != 150 {
+		t.Errorf("Bytes = %d, want 150", got)
+	}
+	if got := b.Count(Pack); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+}
+
+func TestTime(t *testing.T) {
+	var b Breakdown
+	b.Time(Unpack, func() { time.Sleep(time.Millisecond) })
+	if b.Phase(Unpack) < time.Millisecond {
+		t.Errorf("Time charged %v, want >= 1ms", b.Phase(Unpack))
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	var a, b Breakdown
+	a.Add(Index, time.Second)
+	b.Add(Index, time.Second)
+	b.Add(Conv, 2*time.Second)
+	a.Merge(&b)
+	if a.Phase(Index) != 2*time.Second || a.Phase(Conv) != 2*time.Second {
+		t.Errorf("merge wrong: %v", a.String())
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Errorf("reset left %v", a.Total())
+	}
+}
+
+func TestPercentages(t *testing.T) {
+	var b Breakdown
+	if p := b.Percentages(); p != ([NumPhases]float64{}) {
+		t.Errorf("empty breakdown percentages = %v", p)
+	}
+	b.Add(Index, 25*time.Millisecond)
+	b.Add(Conv, 75*time.Millisecond)
+	p := b.Percentages()
+	if p[Index] != 25 || p[Conv] != 75 {
+		t.Errorf("percentages = %v", p)
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum != 100 {
+		t.Errorf("percentages sum to %g", sum)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	var b Breakdown
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				b.Add(Conv, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Count(Conv); got != 8000 {
+		t.Errorf("Count = %d, want 8000", got)
+	}
+	if got := b.Phase(Conv); got != 8000*time.Microsecond {
+		t.Errorf("Phase = %v, want 8ms", got)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	want := []string{"index", "tag", "pack", "unpack", "conv"}
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() != want[p] {
+			t.Errorf("phase %d = %q, want %q", p, p.String(), want[p])
+		}
+	}
+}
+
+func TestStringContainsAll(t *testing.T) {
+	var b Breakdown
+	b.Add(Index, time.Millisecond)
+	s := b.String()
+	for _, sub := range []string{"index=", "tag=", "pack=", "unpack=", "conv=", "total="} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String %q missing %q", s, sub)
+		}
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	a := &Series{Label: "Linux/Linux"}
+	a.Append(99, time.Millisecond)
+	a.Append(138, 2*time.Millisecond)
+	b := &Series{Label: "Solaris/Linux"}
+	b.Append(99, 10*time.Millisecond)
+
+	if out := a.Format(); !strings.Contains(out, "Linux/Linux") || !strings.Contains(out, "99") {
+		t.Errorf("Format = %q", out)
+	}
+	table := Table([]*Series{a, b})
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want 3:\n%s", len(lines), table)
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Errorf("missing cell should print '-':\n%s", table)
+	}
+}

@@ -1,0 +1,63 @@
+package tag
+
+import (
+	"testing"
+
+	"hetdsm/internal/platform"
+)
+
+// Tag machinery costs: generation is the t_tag kernel, parsing the
+// receiver-side counterpart.
+
+func BenchmarkLayoutGThV(b *testing.B) {
+	typ := gthv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewLayout(typ, platform.LinuxX86); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTagGenerationGThV(b *testing.B) {
+	l := MustLayout(gthv(), platform.LinuxX86)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := FromLayout(l).String(); len(s) == 0 {
+			b.Fatal("empty tag")
+		}
+	}
+}
+
+func BenchmarkTagParse(b *testing.B) {
+	s := FromLayout(MustLayout(gthv(), platform.LinuxX86)).String()
+	b.SetBytes(int64(len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTagEqual(b *testing.B) {
+	// The homogeneous fast-path check the paper performs on every update.
+	x := FromLayout(MustLayout(gthv(), platform.LinuxX86))
+	y := FromLayout(MustLayout(gthv(), platform.SolarisSPARC))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Equal(y) {
+			b.Fatal("ILP32 tags must match")
+		}
+	}
+}
+
+func BenchmarkFlatten(b *testing.B) {
+	seq := FromLayout(MustLayout(gthv(), platform.LinuxX86))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if runs := seq.Flatten(); len(runs) == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package tag
+
+import "testing"
+
+// FuzzParse exercises the CGT-RMR tag grammar parser with arbitrary
+// strings. Parse must never panic, and anything it accepts must print and
+// re-parse to an equal sequence.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"(4,-1)(0,0)(4,1)(0,0)(4,1)(0,0)(8,0)(0,0)",
+		"(4,-1)(0,0)(4,56169)(0,0)(4,56169)(0,0)(4,56169)(0,0)(4,1)(0,0)",
+		"((1,1)(3,0)(4,1)(0,0),5)",
+		"(((2,2),3),4)",
+		"", "(", "(4", "(4,1", "(4,1)x", "(-1,1)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		seq, err := Parse(s)
+		if err != nil {
+			return
+		}
+		printed := seq.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("parsed sequence does not re-parse: %q -> %q: %v", s, printed, err)
+		}
+		if !again.Equal(seq) {
+			t.Fatalf("round trip not equal: %q vs %q", printed, again.String())
+		}
+		if again.Bytes() != seq.Bytes() {
+			t.Fatalf("byte accounting changed: %d vs %d", seq.Bytes(), again.Bytes())
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package tag
+
+import (
+	"fmt"
+
+	"hetdsm/internal/platform"
+)
+
+// Layout is the physical realization of a Type on one platform: concrete
+// size, alignment and member offsets, including the padding slots the tag
+// grammar must report. Layouts are immutable once built.
+type Layout struct {
+	// Type is the logical type this layout realizes.
+	Type Type
+	// Platform is the ABI the layout was computed for.
+	Platform *platform.Platform
+	// Size is the total storage size in bytes, including tail padding.
+	Size int
+	// Align is the required alignment in bytes.
+	Align int
+
+	// Kind is the physical scalar kind when Type is a Scalar or Pointer;
+	// undefined otherwise.
+	Kind platform.Kind
+
+	// Elem is the element layout when Type is an Array; nil otherwise.
+	Elem *Layout
+	// N is the element count when Type is an Array.
+	N int
+
+	// Fields are member layouts when Type is a Struct; nil otherwise.
+	Fields []FieldLayout
+}
+
+// FieldLayout is the placement of one struct member.
+type FieldLayout struct {
+	// Name is the member name.
+	Name string
+	// Offset is the byte offset from the start of the struct.
+	Offset int
+	// Layout is the member's own layout.
+	Layout *Layout
+	// PadAfter is the number of padding bytes between the end of this
+	// member and the next member (or the end of the struct). This is the
+	// quantity the tag grammar reports as (pad,0) slots.
+	PadAfter int
+}
+
+// NewLayout computes the physical layout of t on platform p. It returns an
+// error for structurally invalid types.
+func NewLayout(t Type, p *platform.Platform) (*Layout, error) {
+	if err := Validate(t); err != nil {
+		return nil, err
+	}
+	return layoutOf(t, p), nil
+}
+
+// MustLayout is NewLayout that panics on error; for statically known types.
+func MustLayout(t Type, p *platform.Platform) *Layout {
+	l, err := NewLayout(t, p)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func layoutOf(t Type, p *platform.Platform) *Layout {
+	switch tt := t.(type) {
+	case Scalar:
+		k := p.Kind(tt.T)
+		return &Layout{Type: t, Platform: p, Size: p.SizeOf(k), Align: p.AlignOf(k), Kind: k}
+	case Pointer:
+		k := platform.Ptr
+		return &Layout{Type: t, Platform: p, Size: p.SizeOf(k), Align: p.AlignOf(k), Kind: k}
+	case Array:
+		el := layoutOf(tt.Elem, p)
+		return &Layout{
+			Type: t, Platform: p,
+			Size: el.Size * tt.N, Align: el.Align,
+			Elem: el, N: tt.N,
+		}
+	case Struct:
+		return structLayout(tt, p)
+	default:
+		panic(fmt.Sprintf("tag: unknown type %T", t))
+	}
+}
+
+func structLayout(s Struct, p *platform.Platform) *Layout {
+	l := &Layout{Type: s, Platform: p, Align: 1}
+	off := 0
+	fields := make([]FieldLayout, len(s.Fields))
+	for i, f := range s.Fields {
+		fl := layoutOf(f.T, p)
+		off = alignUp(off, fl.Align)
+		fields[i] = FieldLayout{Name: f.Name, Offset: off, Layout: fl}
+		off += fl.Size
+		if fl.Align > l.Align {
+			l.Align = fl.Align
+		}
+	}
+	size := alignUp(off, l.Align)
+	// Back-fill PadAfter: gap to the next member's offset, or to the end
+	// of the struct for the last member.
+	for i := range fields {
+		end := fields[i].Offset + fields[i].Layout.Size
+		next := size
+		if i+1 < len(fields) {
+			next = fields[i+1].Offset
+		}
+		fields[i].PadAfter = next - end
+	}
+	l.Fields = fields
+	l.Size = size
+	return l
+}
+
+func alignUp(off, align int) int {
+	if align <= 1 {
+		return off
+	}
+	return (off + align - 1) &^ (align - 1)
+}
+
+// IsScalar reports whether the layout is a scalar or pointer (a leaf).
+func (l *Layout) IsScalar() bool { return l.Elem == nil && l.Fields == nil }
+
+// IsPointer reports whether the layout is a pointer leaf.
+func (l *Layout) IsPointer() bool { return l.IsScalar() && l.Kind == platform.Ptr }
+
+// FieldByName returns the placement of the named member and true, or a zero
+// FieldLayout and false when the struct has no such member (or the layout is
+// not a struct).
+func (l *Layout) FieldByName(name string) (FieldLayout, bool) {
+	for _, f := range l.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FieldLayout{}, false
+}
+
+// Offset returns the byte offset of a dotted member path ("A" or "hdr.len")
+// from the start of the layout. It returns an error for unknown members or
+// paths that descend through non-structs.
+func (l *Layout) Offset(path ...string) (int, error) {
+	off := 0
+	cur := l
+	for _, name := range path {
+		if cur.Fields == nil {
+			return 0, fmt.Errorf("tag: %s is not a struct, cannot select %q", TypeString(cur.Type), name)
+		}
+		f, ok := cur.FieldByName(name)
+		if !ok {
+			return 0, fmt.Errorf("tag: %s has no member %q", TypeString(cur.Type), name)
+		}
+		off += f.Offset
+		cur = f.Layout
+	}
+	return off, nil
+}

@@ -1,0 +1,255 @@
+package tag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetdsm/internal/platform"
+)
+
+// gthv returns the Figure 4 structure:
+//
+//	struct GThV_t { void *GThP; int A[237*237]; int B[...]; int C[...]; int n; }
+func gthv() Struct {
+	const n = 237 * 237
+	return Struct{
+		Name: "GThV_t",
+		Fields: []Field{
+			{Name: "GThP", T: Pointer{}},
+			{Name: "A", T: IntArray(n)},
+			{Name: "B", T: IntArray(n)},
+			{Name: "C", T: IntArray(n)},
+			{Name: "n", T: Int()},
+		},
+	}
+}
+
+func TestGThVLayoutLinux(t *testing.T) {
+	l := MustLayout(gthv(), platform.LinuxX86)
+	const elems = 237 * 237
+	wantOffsets := map[string]int{
+		"GThP": 0,
+		"A":    4,
+		"B":    4 + 4*elems,
+		"C":    4 + 8*elems,
+		"n":    4 + 12*elems,
+	}
+	for name, want := range wantOffsets {
+		got, err := l.Offset(name)
+		if err != nil {
+			t.Fatalf("Offset(%s): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("offset of %s = %d, want %d", name, got, want)
+		}
+	}
+	if want := 8 + 12*elems; l.Size != want {
+		t.Errorf("size = %d, want %d", l.Size, want)
+	}
+	if l.Align != 4 {
+		t.Errorf("align = %d, want 4", l.Align)
+	}
+}
+
+func TestGThVLayoutSameAcrossILP32(t *testing.T) {
+	// On the paper's two machines (both ILP32) the struct layout is byte
+	// identical; only the byte order inside each scalar differs.
+	a := MustLayout(gthv(), platform.LinuxX86)
+	b := MustLayout(gthv(), platform.SolarisSPARC)
+	if a.Size != b.Size || a.Align != b.Align {
+		t.Fatalf("ILP32 layouts differ: %d/%d vs %d/%d", a.Size, a.Align, b.Size, b.Align)
+	}
+	for i := range a.Fields {
+		if a.Fields[i].Offset != b.Fields[i].Offset {
+			t.Errorf("field %s offsets differ: %d vs %d",
+				a.Fields[i].Name, a.Fields[i].Offset, b.Fields[i].Offset)
+		}
+	}
+}
+
+func TestGThVLayoutLP64(t *testing.T) {
+	l := MustLayout(gthv(), platform.LinuxX8664)
+	// Pointer widens to 8; arrays stay int32.
+	if got, _ := l.Offset("A"); got != 8 {
+		t.Errorf("A offset on LP64 = %d, want 8", got)
+	}
+}
+
+func TestStructPadding(t *testing.T) {
+	// struct { char c; double d; char e; } — classic padding case.
+	s := Struct{Name: "P", Fields: []Field{
+		{Name: "c", T: Char()},
+		{Name: "d", T: Double()},
+		{Name: "e", T: Char()},
+	}}
+	l := MustLayout(s, platform.LinuxX86)
+	if got, _ := l.Offset("d"); got != 8 {
+		t.Errorf("d offset = %d, want 8", got)
+	}
+	if l.Size != 24 {
+		t.Errorf("size = %d, want 24", l.Size)
+	}
+	if l.Fields[0].PadAfter != 7 {
+		t.Errorf("pad after c = %d, want 7", l.Fields[0].PadAfter)
+	}
+	if l.Fields[2].PadAfter != 7 {
+		t.Errorf("tail pad = %d, want 7", l.Fields[2].PadAfter)
+	}
+}
+
+func TestNestedStructLayout(t *testing.T) {
+	inner := Struct{Name: "in", Fields: []Field{
+		{Name: "x", T: Char()},
+		{Name: "y", T: Int()},
+	}}
+	outer := Struct{Name: "out", Fields: []Field{
+		{Name: "a", T: Char()},
+		{Name: "b", T: inner},
+		{Name: "c", T: Array{Elem: inner, N: 3}},
+	}}
+	l := MustLayout(outer, platform.LinuxX86)
+	if got, _ := l.Offset("b"); got != 4 {
+		t.Errorf("b offset = %d, want 4", got)
+	}
+	if got, _ := l.Offset("b", "y"); got != 8 {
+		t.Errorf("b.y offset = %d, want 8", got)
+	}
+	// inner is size 8 (char + 3 pad + int), array of 3 = 24, at offset 12.
+	if got, _ := l.Offset("c"); got != 12 {
+		t.Errorf("c offset = %d, want 12", got)
+	}
+	if l.Size != 36 {
+		t.Errorf("outer size = %d, want 36", l.Size)
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(nil, platform.LinuxX86); err == nil {
+		t.Error("nil type must fail")
+	}
+	if _, err := NewLayout(Array{Elem: Int(), N: 0}, platform.LinuxX86); err == nil {
+		t.Error("zero-length array must fail")
+	}
+	if _, err := NewLayout(Struct{Name: "e"}, platform.LinuxX86); err == nil {
+		t.Error("empty struct must fail")
+	}
+	dup := Struct{Name: "d", Fields: []Field{{Name: "x", T: Int()}, {Name: "x", T: Int()}}}
+	if _, err := NewLayout(dup, platform.LinuxX86); err == nil {
+		t.Error("duplicate field must fail")
+	}
+	if _, err := NewLayout(Scalar{T: platform.CPtr}, platform.LinuxX86); err == nil {
+		t.Error("Scalar{CPtr} must fail")
+	}
+}
+
+func TestOffsetErrors(t *testing.T) {
+	l := MustLayout(gthv(), platform.LinuxX86)
+	if _, err := l.Offset("nope"); err == nil {
+		t.Error("unknown member must fail")
+	}
+	if _, err := l.Offset("A", "x"); err == nil {
+		t.Error("selecting into an array must fail")
+	}
+}
+
+// randomType builds a random type tree of bounded depth for property tests.
+func randomType(r *rand.Rand, depth int) Type {
+	scalars := []Type{
+		Int(), Double(), Char(), Long(),
+		Scalar{T: platform.CShort}, Scalar{T: platform.CFloat},
+		Scalar{T: platform.CLongLong}, Pointer{},
+	}
+	if depth <= 0 || r.Intn(3) == 0 {
+		return scalars[r.Intn(len(scalars))]
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Array{Elem: randomType(r, depth-1), N: 1 + r.Intn(5)}
+	default:
+		n := 1 + r.Intn(4)
+		fields := make([]Field, n)
+		for i := range fields {
+			fields[i] = Field{Name: string(rune('a' + i)), T: randomType(r, depth-1)}
+		}
+		return Struct{Name: "s", Fields: fields}
+	}
+}
+
+// Property: layouts satisfy the structural invariants on every platform —
+// sizes are multiples of alignment, field offsets are aligned, monotone and
+// non-overlapping.
+func TestQuickLayoutInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		typ := randomType(r, 3)
+		for _, p := range platform.All() {
+			l, err := NewLayout(typ, p)
+			if err != nil {
+				t.Fatalf("layout of %s on %s: %v", TypeString(typ), p, err)
+			}
+			checkLayoutInvariants(t, l)
+		}
+	}
+}
+
+func checkLayoutInvariants(t *testing.T, l *Layout) {
+	t.Helper()
+	if l.Size%l.Align != 0 {
+		t.Errorf("%s: size %d not a multiple of align %d", TypeString(l.Type), l.Size, l.Align)
+	}
+	prevEnd := 0
+	for _, f := range l.Fields {
+		if f.Offset%f.Layout.Align != 0 {
+			t.Errorf("%s.%s: offset %d misaligned (align %d)",
+				TypeString(l.Type), f.Name, f.Offset, f.Layout.Align)
+		}
+		if f.Offset < prevEnd {
+			t.Errorf("%s.%s: offset %d overlaps previous end %d",
+				TypeString(l.Type), f.Name, f.Offset, prevEnd)
+		}
+		if f.PadAfter < 0 {
+			t.Errorf("%s.%s: negative padding %d", TypeString(l.Type), f.Name, f.PadAfter)
+		}
+		prevEnd = f.Offset + f.Layout.Size
+		checkLayoutInvariants(t, f.Layout)
+	}
+	if l.Elem != nil {
+		if l.Size != l.Elem.Size*l.N {
+			t.Errorf("%s: array size %d != elem %d * %d", TypeString(l.Type), l.Size, l.Elem.Size, l.N)
+		}
+		checkLayoutInvariants(t, l.Elem)
+	}
+}
+
+// Property: the tag sequence of a struct layout accounts for every byte of
+// the struct — element bytes plus padding bytes equal the layout size.
+func TestQuickTagBytesMatchLayoutSize(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		typ := randomType(r, 3)
+		for _, p := range platform.All() {
+			l := MustLayout(typ, p)
+			seq := FromLayout(l)
+			if seq.Bytes() != l.Size {
+				t.Fatalf("%s on %s: tag bytes %d != layout size %d (tags %s)",
+					TypeString(typ), p, seq.Bytes(), l.Size, seq)
+			}
+		}
+	}
+}
+
+// Property: ILP32 pair (the paper's machines) always produces identical tag
+// strings for the same type — the homogeneous string-compare fast path.
+func TestQuickILP32TagStringsIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		typ := randomType(r, 3)
+		a := FromLayout(MustLayout(typ, platform.LinuxX86)).String()
+		b := FromLayout(MustLayout(typ, platform.SolarisSPARC)).String()
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

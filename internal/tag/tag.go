@@ -1,0 +1,307 @@
+package tag
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Node is one tuple of a CGT-RMR tag sequence.
+//
+//	Count > 0, Kids == nil: n scalars of Size bytes            "(m,n)"
+//	Count < 0, Kids == nil: -Count pointers of Size bytes      "(m,-n)"
+//	Count == 0, Kids == nil: Size bytes of padding             "(m,0)"
+//	Kids != nil, Count > 0: Count copies of the aggregate      "((…),n)"
+type Node struct {
+	// Size is the scalar or padding size in bytes; unused for aggregates.
+	Size int
+	// Count is the repeat count; its sign encodes pointer-ness per the
+	// grammar above.
+	Count int
+	// Kids are the member tuples of an aggregate.
+	Kids Seq
+}
+
+// Seq is a CGT-RMR tag tuple sequence, the unit the paper's sprintf calls
+// glue together.
+type Seq []Node
+
+// IsPad reports whether the node is a padding slot (including the
+// ubiquitous (0,0) "no padding" slot).
+func (n Node) IsPad() bool { return n.Kids == nil && n.Count == 0 }
+
+// IsPointer reports whether the node describes pointers.
+func (n Node) IsPointer() bool { return n.Kids == nil && n.Count < 0 }
+
+// IsScalar reports whether the node describes plain scalars.
+func (n Node) IsScalar() bool { return n.Kids == nil && n.Count > 0 }
+
+// IsAggregate reports whether the node is a nested aggregate.
+func (n Node) IsAggregate() bool { return n.Kids != nil }
+
+// Bytes returns the total storage the node covers.
+func (n Node) Bytes() int {
+	switch {
+	case n.IsAggregate():
+		return n.Kids.Bytes() * n.Count
+	case n.IsPad():
+		return n.Size
+	case n.IsPointer():
+		return n.Size * -n.Count
+	default:
+		return n.Size * n.Count
+	}
+}
+
+// Bytes returns the total storage the sequence covers, padding included.
+func (s Seq) Bytes() int {
+	total := 0
+	for _, n := range s {
+		total += n.Bytes()
+	}
+	return total
+}
+
+// String renders the sequence in the paper's textual grammar, e.g.
+// "(4,-1)(0,0)(4,1)(0,0)".
+func (s Seq) String() string {
+	var b strings.Builder
+	s.write(&b)
+	return b.String()
+}
+
+func (s Seq) write(b *strings.Builder) {
+	for _, n := range s {
+		b.WriteByte('(')
+		if n.IsAggregate() {
+			n.Kids.write(b)
+		} else {
+			b.WriteString(strconv.Itoa(n.Size))
+		}
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(n.Count))
+		b.WriteByte(')')
+	}
+}
+
+// Parse decodes a tag string in the paper's grammar back into a sequence.
+// It is the receiver-side inverse of Seq.String.
+func Parse(s string) (Seq, error) {
+	p := &parser{src: s}
+	seq, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("tag: trailing garbage at offset %d in %q", p.pos, s)
+	}
+	return seq, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) seq() (Seq, error) {
+	var out Seq
+	for p.pos < len(p.src) && p.src[p.pos] == '(' {
+		n, err := p.node()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tag: empty tuple sequence at offset %d in %q", p.pos, p.src)
+	}
+	return out, nil
+}
+
+func (p *parser) node() (Node, error) {
+	if err := p.expect('('); err != nil {
+		return Node{}, err
+	}
+	var n Node
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		kids, err := p.seq()
+		if err != nil {
+			return Node{}, err
+		}
+		n.Kids = kids
+	} else {
+		size, err := p.int()
+		if err != nil {
+			return Node{}, err
+		}
+		if size < 0 {
+			return Node{}, fmt.Errorf("tag: negative size %d in %q", size, p.src)
+		}
+		n.Size = size
+	}
+	if err := p.expect(','); err != nil {
+		return Node{}, err
+	}
+	count, err := p.int()
+	if err != nil {
+		return Node{}, err
+	}
+	n.Count = count
+	if n.Kids != nil && n.Count <= 0 {
+		return Node{}, fmt.Errorf("tag: aggregate with non-positive count %d in %q", n.Count, p.src)
+	}
+	if err := p.expect(')'); err != nil {
+		return Node{}, err
+	}
+	return n, nil
+}
+
+func (p *parser) expect(c byte) error {
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("tag: expected %q at offset %d in %q", string(c), p.pos, p.src)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) int() (int, error) {
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || (p.pos == start+1 && p.src[start] == '-') {
+		return 0, fmt.Errorf("tag: expected integer at offset %d in %q", start, p.src)
+	}
+	return strconv.Atoi(p.src[start:p.pos])
+}
+
+// FromLayout emits the tag sequence for a layout. Struct members are each
+// followed by their padding tuple — (0,0) when the compiler inserted no
+// padding — matching the run-time strings of Figure 3 and the alternating
+// element/padding rows of Table 1.
+func FromLayout(l *Layout) Seq {
+	switch {
+	case l.Fields != nil:
+		var out Seq
+		for _, f := range l.Fields {
+			out = append(out, itemNodes(f.Layout)...)
+			out = append(out, Node{Size: f.PadAfter, Count: 0})
+		}
+		return out
+	default:
+		return itemNodes(l)
+	}
+}
+
+// itemNodes renders a single element (scalar, pointer, array or nested
+// struct) without a trailing padding tuple.
+func itemNodes(l *Layout) Seq {
+	switch {
+	case l.IsPointer():
+		return Seq{{Size: l.Size, Count: -1}}
+	case l.IsScalar():
+		return Seq{{Size: l.Size, Count: 1}}
+	case l.Elem != nil: // array
+		el := l.Elem
+		switch {
+		case el.IsPointer():
+			return Seq{{Size: el.Size, Count: -l.N}}
+		case el.IsScalar():
+			return Seq{{Size: el.Size, Count: l.N}}
+		default:
+			return Seq{{Kids: FromLayout(el), Count: l.N}}
+		}
+	default: // nested struct used as a single element
+		return Seq{{Kids: FromLayout(l), Count: 1}}
+	}
+}
+
+// VarFrame emits the tag string for a MigThread variable frame: each
+// variable's tuple followed by (0,0), then an optional frame tail padding
+// slot. With items {void*, int, int} and tailPad 8 on linux-x86 this
+// reproduces the MThV_heter string of Figure 3 byte for byte.
+func VarFrame(items []*Layout, tailPad int) Seq {
+	var out Seq
+	for _, it := range items {
+		out = append(out, itemNodes(it)...)
+		out = append(out, Node{Size: 0, Count: 0})
+	}
+	if tailPad > 0 {
+		out = append(out, Node{Size: tailPad, Count: 0}, Node{Size: 0, Count: 0})
+	}
+	return out
+}
+
+// Run is one flattened span of identical scalars (or padding) produced by
+// Seq.Flatten. Converters iterate runs instead of recursing through
+// aggregates.
+type Run struct {
+	// Size is the per-element byte size (or the padding length).
+	Size int
+	// Count is the number of elements; 0 for padding.
+	Count int
+	// Pointer marks pointer runs.
+	Pointer bool
+	// Pad marks padding runs.
+	Pad bool
+}
+
+// Bytes returns the storage the run covers.
+func (r Run) Bytes() int {
+	if r.Pad {
+		return r.Size
+	}
+	return r.Size * r.Count
+}
+
+// Flatten expands aggregates (repeating their members Count times) into a
+// linear slice of scalar and padding runs, in storage order.
+func (s Seq) Flatten() []Run {
+	var out []Run
+	s.flattenInto(&out, 1)
+	return out
+}
+
+func (s Seq) flattenInto(out *[]Run, reps int) {
+	for rep := 0; rep < reps; rep++ {
+		for _, n := range s {
+			switch {
+			case n.IsAggregate():
+				n.Kids.flattenInto(out, n.Count)
+			case n.IsPad():
+				if n.Size > 0 {
+					*out = append(*out, Run{Size: n.Size, Pad: true})
+				}
+			case n.IsPointer():
+				*out = append(*out, Run{Size: n.Size, Count: -n.Count, Pointer: true})
+			default:
+				*out = append(*out, Run{Size: n.Size, Count: n.Count})
+			}
+		}
+	}
+}
+
+// Equal reports whether two sequences are structurally identical. The
+// homogeneous fast path in the paper is literally a string comparison of
+// tags; Equal is the allocation-free equivalent.
+func (s Seq) Equal(o Seq) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		a, b := s[i], o[i]
+		if a.Size != b.Size || a.Count != b.Count {
+			return false
+		}
+		if (a.Kids == nil) != (b.Kids == nil) {
+			return false
+		}
+		if a.Kids != nil && !a.Kids.Equal(b.Kids) {
+			return false
+		}
+	}
+	return true
+}

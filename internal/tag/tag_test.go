@@ -1,0 +1,206 @@
+package tag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetdsm/internal/platform"
+)
+
+// TestFigure3TagStrings reproduces the run-time tag strings of Figure 3:
+//
+//	MThV_heter = "(4,-1)(0,0)(4,1)(0,0)(4,1)(0,0)(8,0)(0,0)"
+//	MThP_heter = "(4,-1)(0,0)(4,-1)(0,0)"
+//
+// The value frame holds a pointer and two ints with an 8-byte reserved tail
+// slot; the pointer frame holds two pointers.
+func TestFigure3TagStrings(t *testing.T) {
+	p := platform.LinuxX86
+	ptr := MustLayout(Pointer{}, p)
+	ci := MustLayout(Int(), p)
+
+	mthv := VarFrame([]*Layout{ptr, ci, ci}, 8)
+	if got, want := mthv.String(), "(4,-1)(0,0)(4,1)(0,0)(4,1)(0,0)(8,0)(0,0)"; got != want {
+		t.Errorf("MThV tag = %q, want %q", got, want)
+	}
+	mthp := VarFrame([]*Layout{ptr, ptr}, 0)
+	if got, want := mthp.String(), "(4,-1)(0,0)(4,-1)(0,0)"; got != want {
+		t.Errorf("MThP tag = %q, want %q", got, want)
+	}
+}
+
+func TestGThVTagString(t *testing.T) {
+	// The Figure 4 struct on linux-x86: pointer, three 56169-int arrays
+	// and an int, each with no padding.
+	l := MustLayout(gthv(), platform.LinuxX86)
+	want := "(4,-1)(0,0)(4,56169)(0,0)(4,56169)(0,0)(4,56169)(0,0)(4,1)(0,0)"
+	if got := FromLayout(l).String(); got != want {
+		t.Errorf("GThV tag = %q, want %q", got, want)
+	}
+}
+
+func TestAggregateTag(t *testing.T) {
+	inner := Struct{Name: "in", Fields: []Field{
+		{Name: "c", T: Char()},
+		{Name: "x", T: Int()},
+	}}
+	arr := Array{Elem: inner, N: 5}
+	l := MustLayout(arr, platform.LinuxX86)
+	// inner: char (pad 3) int (pad 0) -> "(1,1)(3,0)(4,1)(0,0)", repeated 5x.
+	want := "((1,1)(3,0)(4,1)(0,0),5)"
+	if got := FromLayout(l).String(); got != want {
+		t.Errorf("aggregate tag = %q, want %q", got, want)
+	}
+}
+
+func TestParseScalarsAndPointers(t *testing.T) {
+	seq, err := Parse("(4,-1)(0,0)(4,1)(0,0)(8,0)(0,0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 6 {
+		t.Fatalf("got %d nodes, want 6", len(seq))
+	}
+	if !seq[0].IsPointer() || seq[0].Size != 4 || seq[0].Count != -1 {
+		t.Errorf("node 0 = %+v, want pointer (4,-1)", seq[0])
+	}
+	if !seq[1].IsPad() || seq[1].Size != 0 {
+		t.Errorf("node 1 = %+v, want (0,0)", seq[1])
+	}
+	if !seq[2].IsScalar() || seq[2].Size != 4 || seq[2].Count != 1 {
+		t.Errorf("node 2 = %+v, want (4,1)", seq[2])
+	}
+	if !seq[4].IsPad() || seq[4].Size != 8 {
+		t.Errorf("node 4 = %+v, want (8,0)", seq[4])
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	seq, err := Parse("((1,1)(3,0)(4,1)(0,0),5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 1 || !seq[0].IsAggregate() || seq[0].Count != 5 {
+		t.Fatalf("got %+v, want one aggregate with count 5", seq)
+	}
+	if len(seq[0].Kids) != 4 {
+		t.Errorf("aggregate has %d kids, want 4", len(seq[0].Kids))
+	}
+	if seq[0].Bytes() != 40 {
+		t.Errorf("aggregate bytes = %d, want 40", seq[0].Bytes())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "(", "(4", "(4,", "(4,)", "(4,1", "4,1)", "(4,1)x",
+		"(,1)", "((4,1),0)", "((4,1),-2)", "(-4,1)", "(4,1)(",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	seq, err := Parse("(4,-1)(0,0)((1,1)(3,0)(4,1)(0,0),2)(4,10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := seq.Flatten()
+	want := []Run{
+		{Size: 4, Count: 1, Pointer: true},
+		{Size: 1, Count: 1},
+		{Size: 3, Pad: true},
+		{Size: 4, Count: 1},
+		{Size: 1, Count: 1},
+		{Size: 3, Pad: true},
+		{Size: 4, Count: 1},
+		{Size: 4, Count: 10},
+	}
+	if len(runs) != len(want) {
+		t.Fatalf("got %d runs %v, want %d", len(runs), runs, len(want))
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Errorf("run %d = %+v, want %+v", i, runs[i], want[i])
+		}
+	}
+	total := 0
+	for _, r := range runs {
+		total += r.Bytes()
+	}
+	if total != seq.Bytes() {
+		t.Errorf("flatten bytes %d != seq bytes %d", total, seq.Bytes())
+	}
+}
+
+func TestSeqEqual(t *testing.T) {
+	a, _ := Parse("(4,1)(0,0)((4,2)(0,0),3)")
+	b, _ := Parse("(4,1)(0,0)((4,2)(0,0),3)")
+	c, _ := Parse("(4,1)(0,0)((4,2)(0,0),4)")
+	d, _ := Parse("(4,1)(0,0)")
+	if !a.Equal(b) {
+		t.Error("identical sequences must be Equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("different sequences must not be Equal")
+	}
+}
+
+// randomSeq builds a random well-formed tag sequence for round-trip tests.
+func randomSeq(r *rand.Rand, depth int) Seq {
+	n := 1 + r.Intn(4)
+	out := make(Seq, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case depth > 0 && r.Intn(4) == 0:
+			out = append(out, Node{Kids: randomSeq(r, depth-1), Count: 1 + r.Intn(5)})
+		case r.Intn(4) == 0:
+			out = append(out, Node{Size: r.Intn(16), Count: 0})
+		case r.Intn(3) == 0:
+			out = append(out, Node{Size: []int{4, 8}[r.Intn(2)], Count: -(1 + r.Intn(100))})
+		default:
+			out = append(out, Node{Size: []int{1, 2, 4, 8}[r.Intn(4)], Count: 1 + r.Intn(100000)})
+		}
+	}
+	return out
+}
+
+// Property: Parse is the exact inverse of String.
+func TestQuickParseStringRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSeq(r, 2)
+		parsed, err := Parse(s.String())
+		if err != nil {
+			return false
+		}
+		return parsed.Equal(s) && parsed.String() == s.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bytes is preserved by the String/Parse round trip and by
+// flattening.
+func TestQuickBytesInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSeq(r, 2)
+		parsed, err := Parse(s.String())
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, run := range parsed.Flatten() {
+			total += run.Bytes()
+		}
+		return parsed.Bytes() == s.Bytes() && total == s.Bytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package tag implements the CGT-RMR ("Coarse-Grain Tagged receiver makes
+// right") type description machinery from Section 3.2 of the paper.
+//
+// MigThread's preprocessor reduces every thread state to pure data described
+// by tags: textual sequences of (m,n) tuples where
+//
+//	(m,n)   is n scalars of m bytes each,
+//	(m,-n)  is n pointers of m bytes each,
+//	(m,0)   is an m-byte padding slot ((0,0) meaning "no padding"), and
+//	((…),n) is n copies of an aggregate whose members are described by
+//	        the nested tuple sequence.
+//
+// This package provides the logical (platform-independent) type language,
+// per-platform layout computation (sizes, alignment, padding — the physical
+// facts the tags encode), and tag generation plus parsing in exactly the
+// paper's grammar.
+package tag
+
+import (
+	"fmt"
+
+	"hetdsm/internal/platform"
+)
+
+// Type is a platform-independent description of a C data type. A Type plus
+// a platform yields a Layout: concrete sizes, offsets and padding.
+type Type interface {
+	// typeString renders a C-like spelling for diagnostics.
+	typeString() string
+	// validate reports structural problems (zero-length arrays etc.).
+	validate() error
+}
+
+// Scalar is a logical C scalar type (int, long, double, ...). Pointers are
+// represented by Pointer, not by Scalar{CPtr}, because the tag grammar
+// marks them with negative counts.
+type Scalar struct {
+	// T is the logical C type.
+	T platform.CType
+}
+
+func (s Scalar) typeString() string { return s.T.String() }
+
+func (s Scalar) validate() error {
+	if s.T == platform.CPtr {
+		return fmt.Errorf("tag: use Pointer, not Scalar{CPtr}")
+	}
+	return nil
+}
+
+// Pointer is a C data pointer. Target type is irrelevant to layout; CGT-RMR
+// transfers pointers as opaque words and translates or annuls them at the
+// receiver.
+type Pointer struct{}
+
+func (Pointer) typeString() string { return "void*" }
+func (Pointer) validate() error    { return nil }
+
+// Array is a fixed-length C array.
+type Array struct {
+	// Elem is the element type.
+	Elem Type
+	// N is the element count; it must be positive.
+	N int
+}
+
+func (a Array) typeString() string { return fmt.Sprintf("%s[%d]", a.Elem.typeString(), a.N) }
+
+func (a Array) validate() error {
+	if a.N <= 0 {
+		return fmt.Errorf("tag: array length %d must be positive", a.N)
+	}
+	if a.Elem == nil {
+		return fmt.Errorf("tag: array with nil element type")
+	}
+	return a.Elem.validate()
+}
+
+// Field is one member of a Struct.
+type Field struct {
+	// Name is the member name (diagnostics and index-table labels).
+	Name string
+	// T is the member type.
+	T Type
+}
+
+// Struct is a C structure. Layout follows natural alignment: each field is
+// aligned to its own alignment requirement and the total size is rounded up
+// to the struct's alignment, exactly like the paper's compilers did.
+type Struct struct {
+	// Name is the struct tag name (e.g. "GThV_t").
+	Name string
+	// Fields are the members in declaration order.
+	Fields []Field
+}
+
+func (s Struct) typeString() string { return "struct " + s.Name }
+
+func (s Struct) validate() error {
+	if len(s.Fields) == 0 {
+		return fmt.Errorf("tag: struct %s has no fields", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Fields))
+	for _, f := range s.Fields {
+		if f.T == nil {
+			return fmt.Errorf("tag: struct %s field %s has nil type", s.Name, f.Name)
+		}
+		if f.Name != "" {
+			if seen[f.Name] {
+				return fmt.Errorf("tag: struct %s has duplicate field %s", s.Name, f.Name)
+			}
+			seen[f.Name] = true
+		}
+		if err := f.T.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate checks a type tree for structural problems. It is called by
+// NewLayout; exported for callers that build types from external input.
+func Validate(t Type) error {
+	if t == nil {
+		return fmt.Errorf("tag: nil type")
+	}
+	return t.validate()
+}
+
+// TypeString renders a C-like spelling of t for diagnostics.
+func TypeString(t Type) string {
+	if t == nil {
+		return "<nil>"
+	}
+	return t.typeString()
+}
+
+// Int returns the logical C int scalar; a convenience for the most common
+// member type in the paper's workloads.
+func Int() Scalar { return Scalar{T: platform.CInt} }
+
+// Double returns the logical C double scalar.
+func Double() Scalar { return Scalar{T: platform.CDouble} }
+
+// Char returns the logical C char scalar.
+func Char() Scalar { return Scalar{T: platform.CChar} }
+
+// Long returns the logical C long scalar.
+func Long() Scalar { return Scalar{T: platform.CLong} }
+
+// LongLong returns the logical C long long scalar (8 bytes everywhere).
+func LongLong() Scalar { return Scalar{T: platform.CLongLong} }
+
+// IntArray returns int[n].
+func IntArray(n int) Array { return Array{Elem: Int(), N: n} }
+
+// DoubleArray returns double[n].
+func DoubleArray(n int) Array { return Array{Elem: Double(), N: n} }

@@ -1,0 +1,179 @@
+// Package trace records DSD protocol events into a fixed-capacity ring
+// buffer for debugging distributed runs: who acquired which mutex when,
+// how many bytes each release shipped, when barriers opened, when threads
+// were redirected to a new home. Tracing is off unless a Log is installed
+// via dsd.Options.Trace; the hot path then pays one mutex and one slice
+// store per event.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// The event kinds the DSD layer emits.
+const (
+	// KindHello is a thread registration at the home.
+	KindHello Kind = "hello"
+	// KindLockGrant is a mutex grant (home side).
+	KindLockGrant Kind = "lock-grant"
+	// KindUnlock is a mutex release with updates (home side).
+	KindUnlock Kind = "unlock"
+	// KindBarrierArrive is one thread entering a barrier.
+	KindBarrierArrive Kind = "barrier-arrive"
+	// KindBarrierOpen is a barrier generation completing.
+	KindBarrierOpen Kind = "barrier-open"
+	// KindFlush is a lock-free update push (migration support).
+	KindFlush Kind = "flush"
+	// KindJoin is a thread termination announcement.
+	KindJoin Kind = "join"
+	// KindRedirect is a thread bounced to a new home.
+	KindRedirect Kind = "redirect"
+	// KindApply is an update batch applied to a replica or master.
+	KindApply Kind = "apply"
+	// KindDetach is a home freezing for handoff.
+	KindDetach Kind = "detach"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Seq is the global order of the event within this Log.
+	Seq uint64
+	// At is the wall-clock timestamp.
+	At time.Time
+	// Node identifies the recorder ("home", "rank-2/linux-x86", ...).
+	Node string
+	// Kind classifies the event.
+	Kind Kind
+	// Rank is the thread rank involved, -1 when not applicable.
+	Rank int32
+	// Mutex is the lock/barrier index, -1 when not applicable.
+	Mutex int32
+	// Bytes is the update payload size, 0 when not applicable.
+	Bytes int
+	// Detail carries free-form context.
+	Detail string
+}
+
+// String renders one line of trace output.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6d %s %-18s %-14s", e.Seq, e.At.Format("15:04:05.000000"), e.Node, e.Kind)
+	if e.Rank >= 0 {
+		fmt.Fprintf(&b, " rank=%d", e.Rank)
+	}
+	if e.Mutex >= 0 {
+		fmt.Fprintf(&b, " idx=%d", e.Mutex)
+	}
+	if e.Bytes > 0 {
+		fmt.Fprintf(&b, " bytes=%d", e.Bytes)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
+}
+
+// Log is a concurrency-safe ring buffer of events. The zero value is not
+// usable; construct with NewLog.
+type Log struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // total events ever added
+	dropped uint64
+}
+
+// NewLog returns a ring holding the last capacity events.
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Log{buf: make([]Event, 0, capacity)}
+}
+
+// Add records an event, stamping its sequence number and time.
+func (l *Log) Add(e Event) {
+	l.mu.Lock()
+	e.Seq = l.next
+	e.At = time.Now()
+	l.next++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[int(e.Seq)%cap(l.buf)] = e
+		l.dropped++
+	}
+	l.mu.Unlock()
+}
+
+// Record is the convenience used by the DSD hot path.
+func (l *Log) Record(node string, kind Kind, rank, mutex int32, bytes int, detail string) {
+	if l == nil {
+		return
+	}
+	l.Add(Event{Node: node, Kind: kind, Rank: rank, Mutex: mutex, Bytes: bytes, Detail: detail})
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Total returns the number of events ever recorded.
+func (l *Log) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Dropped returns how many events the ring overwrote.
+func (l *Log) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Events returns the retained events in sequence order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	if len(l.buf) < cap(l.buf) {
+		out = append(out, l.buf...)
+		return out
+	}
+	// The ring has wrapped: oldest entry sits at next % cap.
+	start := int(l.next) % cap(l.buf)
+	out = append(out, l.buf[start:]...)
+	out = append(out, l.buf[:start]...)
+	return out
+}
+
+// Filter returns retained events matching the kind, in order.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events one per line.
+func (l *Log) Dump(w io.Writer) error {
+	for _, e := range l.Events() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

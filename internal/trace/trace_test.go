@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := NewLog(8)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{Node: "home", Kind: KindLockGrant, Rank: int32(i), Mutex: 0})
+	}
+	evs := l.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Rank != int32(i) {
+			t.Errorf("event %d has rank %d", i, e.Rank)
+		}
+		if e.At.IsZero() {
+			t.Errorf("event %d has zero time", i)
+		}
+	}
+	if l.Total() != 5 || l.Dropped() != 0 || l.Len() != 5 {
+		t.Errorf("counters: total=%d dropped=%d len=%d", l.Total(), l.Dropped(), l.Len())
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Add(Event{Node: "home", Kind: KindApply, Rank: int32(i)})
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// Oldest retained is seq 6; order must be 6,7,8,9.
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Errorf("slot %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if l.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", l.Dropped())
+	}
+	if l.Total() != 10 {
+		t.Errorf("total = %d, want 10", l.Total())
+	}
+}
+
+func TestNilLogRecordIsNoop(t *testing.T) {
+	var l *Log
+	// Must not panic: the DSD hot path calls Record unconditionally.
+	l.Record("home", KindHello, 1, -1, 0, "")
+}
+
+func TestRecordAndFilter(t *testing.T) {
+	l := NewLog(64)
+	l.Record("home", KindLockGrant, 1, 0, 100, "")
+	l.Record("home", KindUnlock, 1, 0, 200, "")
+	l.Record("home", KindLockGrant, 2, 0, 50, "")
+	grants := l.Filter(KindLockGrant)
+	if len(grants) != 2 {
+		t.Fatalf("grants = %d", len(grants))
+	}
+	if grants[0].Rank != 1 || grants[1].Rank != 2 {
+		t.Errorf("grant ranks = %d,%d", grants[0].Rank, grants[1].Rank)
+	}
+	if got := l.Filter(KindDetach); len(got) != 0 {
+		t.Errorf("unexpected detach events: %v", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 7, Node: "home@linux-x86", Kind: KindUnlock, Rank: 2, Mutex: 0, Bytes: 512, Detail: "x"}
+	s := e.String()
+	for _, sub := range []string{"home@linux-x86", "unlock", "rank=2", "idx=0", "bytes=512", "x"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String %q missing %q", s, sub)
+		}
+	}
+	// Negative rank/mutex suppressed.
+	e2 := Event{Node: "home", Kind: KindDetach, Rank: -1, Mutex: -1}
+	if s2 := e2.String(); strings.Contains(s2, "rank=") || strings.Contains(s2, "idx=") {
+		t.Errorf("suppressed fields leaked: %q", s2)
+	}
+}
+
+func TestDump(t *testing.T) {
+	l := NewLog(8)
+	l.Record("home", KindHello, 0, -1, 0, "linux-x86")
+	l.Record("home", KindJoin, 0, -1, 0, "")
+	var buf bytes.Buffer
+	if err := l.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "hello") || !strings.Contains(lines[1], "join") {
+		t.Errorf("dump content wrong:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	l := NewLog(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Record(fmt.Sprintf("rank-%d", g), KindApply, int32(g), -1, i, "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Total() != 4000 {
+		t.Errorf("total = %d, want 4000", l.Total())
+	}
+	evs := l.Events()
+	if len(evs) != 128 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	// Strictly increasing seq in the retained window.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("retained window not contiguous at %d: %d -> %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 2000; i++ {
+		l.Record("x", KindApply, 0, -1, 0, "")
+	}
+	if l.Len() != 1024 {
+		t.Errorf("default capacity = %d, want 1024", l.Len())
+	}
+}

@@ -1,0 +1,86 @@
+package transport
+
+import "sync/atomic"
+
+// Flaky wraps a Network and kills connections deterministically: the Nth,
+// 2Nth, 3Nth... frame operations across the whole network fail and sever
+// their connection. It exists for failure-injection tests: a DSM layer
+// must turn a dying link into a clean error, never a hang or a panic.
+type Flaky struct {
+	inner Network
+	every int64
+	ops   atomic.Int64
+}
+
+// NewFlaky wraps inner so every N-th frame operation fails.
+func NewFlaky(inner Network, every int) *Flaky {
+	if every < 1 {
+		every = 1
+	}
+	return &Flaky{inner: inner, every: int64(every)}
+}
+
+// Ops returns the number of frame operations observed.
+func (f *Flaky) Ops() int64 { return f.ops.Load() }
+
+// Listen implements Network.
+func (f *Flaky) Listen(addr string) (Listener, error) {
+	l, err := f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyListener{l: l, net: f}, nil
+}
+
+// Dial implements Network.
+func (f *Flaky) Dial(addr string) (Conn, error) {
+	c, err := f.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyConn{c: c, net: f}, nil
+}
+
+type flakyListener struct {
+	l   Listener
+	net *Flaky
+}
+
+func (l *flakyListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &flakyConn{c: c, net: l.net}, nil
+}
+
+func (l *flakyListener) Close() error { return l.l.Close() }
+func (l *flakyListener) Addr() string { return l.l.Addr() }
+
+type flakyConn struct {
+	c   Conn
+	net *Flaky
+}
+
+// shouldFail consumes one operation slot and reports whether it is doomed.
+func (c *flakyConn) shouldFail() bool {
+	return c.net.ops.Add(1)%c.net.every == 0
+}
+
+func (c *flakyConn) SendFrame(frame []byte) error {
+	if c.shouldFail() {
+		c.c.Close()
+		return ErrClosed
+	}
+	return c.c.SendFrame(frame)
+}
+
+func (c *flakyConn) RecvFrame() ([]byte, error) {
+	if c.shouldFail() {
+		c.c.Close()
+		return nil, ErrClosed
+	}
+	return c.c.RecvFrame()
+}
+
+func (c *flakyConn) Close() error { return c.c.Close() }

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a received frame length (64 MiB), mirroring the wire
+// package's payload bound.
+const maxFrame = 64 << 20
+
+// TCP is a Network over stdlib net. Addresses are host:port strings;
+// Listen accepts ":0" style addresses and Addr reports the bound port.
+type TCP struct{}
+
+// Listen implements Network.
+func (TCP) Listen(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+// Dial implements Network.
+func (TCP) Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return newTCPConn(nc), nil
+}
+
+type tcpListener struct {
+	nl net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, ErrClosed
+	}
+	return newTCPConn(nc), nil
+}
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
+
+// tcpConn frames messages with a big-endian uint32 length prefix.
+type tcpConn struct {
+	nc net.Conn
+	r  *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	return &tcpConn{
+		nc: nc,
+		r:  bufio.NewReaderSize(nc, 64<<10),
+		w:  bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+func (c *tcpConn) SendFrame(frame []byte) error {
+	if len(frame) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return ErrClosed
+	}
+	if _, err := c.w.Write(frame); err != nil {
+		return ErrClosed
+	}
+	if err := c.w.Flush(); err != nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (c *tcpConn) RecvFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, ErrClosed
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c.r, frame); err != nil {
+		return nil, ErrClosed
+	}
+	return frame, nil
+}
+
+func (c *tcpConn) Close() error { return c.nc.Close() }

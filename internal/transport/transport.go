@@ -1,0 +1,180 @@
+// Package transport moves encoded wire frames between nodes.
+//
+// The DSD layer deals in frames (encoded wire.Messages) so that packing and
+// unpacking — the t_pack/t_unpack components of Eq. 1 — are performed and
+// timed by the caller regardless of transport. Two transports are provided:
+// an in-process one (deterministic, used by the test and benchmark
+// harnesses, standing in for the paper's LAN) and a TCP one over the
+// standard net package for genuinely distributed runs.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is a bidirectional, ordered, reliable frame connection.
+type Conn interface {
+	// SendFrame transmits one frame. It may block when the peer is slow.
+	SendFrame(frame []byte) error
+	// RecvFrame blocks for the next frame. It returns ErrClosed once the
+	// connection is closed and drained.
+	RecvFrame() ([]byte, error)
+	// Close tears the connection down; both ends see ErrClosed.
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (Conn, error)
+	// Close stops accepting; blocked Accepts return ErrClosed.
+	Close() error
+	// Addr returns the address peers dial.
+	Addr() string
+}
+
+// Network creates listeners and dials peers; implementations are the
+// in-process network and the TCP network.
+type Network interface {
+	// Listen opens a listener at addr (transport-specific syntax).
+	Listen(addr string) (Listener, error)
+	// Dial connects to a listener.
+	Dial(addr string) (Conn, error)
+}
+
+// --- In-process transport ---
+
+// Inproc is an in-memory Network. Addresses are arbitrary names. The zero
+// value is not usable; construct with NewInproc.
+type Inproc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+}
+
+// NewInproc returns an empty in-process network.
+func NewInproc() *Inproc {
+	return &Inproc{listeners: make(map[string]*inprocListener)}
+}
+
+// Listen implements Network.
+func (n *Inproc) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	l := &inprocListener{net: n, addr: addr, backlog: make(chan Conn, 16), done: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *Inproc) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	client, server := Pipe()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+type inprocListener struct {
+	net     *Inproc
+	addr    string
+	backlog chan Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+// Pipe returns a connected pair of in-memory Conns, each end seeing the
+// other's sends. Useful for directly wiring two nodes in tests.
+func Pipe() (Conn, Conn) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	done := make(chan struct{})
+	var once sync.Once
+	closeFn := func() { once.Do(func() { close(done) }) }
+	a := &pipeConn{send: ab, recv: ba, done: done, close: closeFn}
+	b := &pipeConn{send: ba, recv: ab, done: done, close: closeFn}
+	return a, b
+}
+
+type pipeConn struct {
+	send  chan []byte
+	recv  chan []byte
+	done  chan struct{}
+	close func()
+}
+
+func (c *pipeConn) SendFrame(frame []byte) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.send <- frame:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *pipeConn) RecvFrame() ([]byte, error) {
+	// Drain pending frames even after close, like a TCP receive buffer.
+	select {
+	case f := <-c.recv:
+		return f, nil
+	default:
+	}
+	select {
+	case f := <-c.recv:
+		return f, nil
+	case <-c.done:
+		// One more non-blocking look: a frame may have raced with close.
+		select {
+		case f := <-c.recv:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *pipeConn) Close() error {
+	c.close()
+	return nil
+}

@@ -1,0 +1,380 @@
+// Package vmem is the software MMU underneath the DSD layer.
+//
+// The paper detects writes with mprotect(): globals are write-protected, the
+// first store to a page raises SIGSEGV, the handler twins the page and
+// unprotects it so later stores proceed at full speed, and at release time
+// each dirty page is diffed against its twin (Section 4). Go cannot
+// mprotect its own heap, so this package reproduces the same mechanism in
+// software: a Segment is a paged byte region with per-page write protection;
+// stores go through Segment.Write, which performs the trap/twin/unprotect
+// dance with identical first-touch semantics and cost structure (one trap
+// and one page copy per dirty page, then raw stores).
+package vmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FaultFunc observes write traps; the DSD layer uses it for accounting.
+// page is the index of the page being unprotected.
+type FaultFunc func(page int)
+
+// Segment is one virtually-addressed, paged memory region. A Segment is
+// owned by a single node goroutine; it is not safe for concurrent use, just
+// as a process address space belongs to one process.
+type Segment struct {
+	base     uint64
+	pageSize int
+	data     []byte
+	prot     []bool
+	twins    [][]byte
+	onFault  FaultFunc
+	faults   uint64
+}
+
+// NewSegment creates a segment of the given size at virtual address base
+// with the given page size. The size is rounded up to a whole number of
+// pages. base must itself be page aligned, mirroring mmap semantics.
+func NewSegment(base uint64, size, pageSize int) (*Segment, error) {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("vmem: page size %d is not a power of two", pageSize)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("vmem: segment size %d must be positive", size)
+	}
+	if base%uint64(pageSize) != 0 {
+		return nil, fmt.Errorf("vmem: base %#x not aligned to page size %d", base, pageSize)
+	}
+	pages := (size + pageSize - 1) / pageSize
+	return &Segment{
+		base:     base,
+		pageSize: pageSize,
+		data:     make([]byte, pages*pageSize),
+		prot:     make([]bool, pages),
+		twins:    make([][]byte, pages),
+	}, nil
+}
+
+// MustSegment is NewSegment that panics on error, for statically correct
+// construction sites.
+func MustSegment(base uint64, size, pageSize int) *Segment {
+	s, err := NewSegment(base, size, pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Base returns the virtual base address.
+func (s *Segment) Base() uint64 { return s.base }
+
+// Size returns the segment length in bytes (a whole number of pages).
+func (s *Segment) Size() int { return len(s.data) }
+
+// PageSize returns the page size.
+func (s *Segment) PageSize() int { return s.pageSize }
+
+// Pages returns the number of pages.
+func (s *Segment) Pages() int { return len(s.prot) }
+
+// Faults returns the number of write traps taken since creation.
+func (s *Segment) Faults() uint64 { return s.faults }
+
+// OnFault registers a hook invoked on every write trap (after the twin is
+// made). Pass nil to remove it.
+func (s *Segment) OnFault(f FaultFunc) { s.onFault = f }
+
+// Contains reports whether the virtual address range [addr, addr+n) lies
+// inside the segment.
+func (s *Segment) Contains(addr uint64, n int) bool {
+	return addr >= s.base && addr+uint64(n) <= s.base+uint64(len(s.data))
+}
+
+// Addr translates a segment offset to a virtual address.
+func (s *Segment) Addr(off int) uint64 { return s.base + uint64(off) }
+
+// Offset translates a virtual address to a segment offset; it returns an
+// error when the address is outside the segment.
+func (s *Segment) Offset(addr uint64) (int, error) {
+	if addr < s.base || addr >= s.base+uint64(len(s.data)) {
+		return 0, fmt.Errorf("vmem: address %#x outside segment [%#x,%#x)", addr, s.base, s.base+uint64(len(s.data)))
+	}
+	return int(addr - s.base), nil
+}
+
+// ProtectAll write-protects every page and discards all twins. This is the
+// DSD's "mprotect the globals" step at acquire time.
+func (s *Segment) ProtectAll() {
+	for i := range s.prot {
+		s.prot[i] = true
+		s.twins[i] = nil
+	}
+}
+
+// UnprotectAll removes write protection from every page without touching
+// twins; used when a node wants raw access (e.g. while initially loading
+// data before sharing begins).
+func (s *Segment) UnprotectAll() {
+	for i := range s.prot {
+		s.prot[i] = false
+	}
+}
+
+// Protected reports whether the page is currently write-protected.
+func (s *Segment) Protected(page int) bool { return s.prot[page] }
+
+// Read copies n bytes at offset off into buf (which must be at least n
+// long) and returns buf[:n]. Reads never fault: the paper protects pages
+// against writes only.
+func (s *Segment) Read(off, n int, buf []byte) ([]byte, error) {
+	if err := s.check(off, n); err != nil {
+		return nil, err
+	}
+	copy(buf[:n], s.data[off:off+n])
+	return buf[:n], nil
+}
+
+// View returns a read-only view of n bytes at off without copying. The
+// caller must not mutate it (mutations would bypass write detection; use
+// Write). It remains valid until the segment is garbage.
+func (s *Segment) View(off, n int) ([]byte, error) {
+	if err := s.check(off, n); err != nil {
+		return nil, err
+	}
+	return s.data[off : off+n : off+n], nil
+}
+
+// Write stores b at offset off, taking a write trap on the first store to
+// each protected page: the page is twinned, unprotected, and the fault hook
+// runs — exactly the SIGSEGV-handler protocol of the paper.
+func (s *Segment) Write(off int, b []byte) error {
+	if err := s.check(off, len(b)); err != nil {
+		return err
+	}
+	first := off / s.pageSize
+	last := (off + len(b) - 1) / s.pageSize
+	for p := first; p <= last; p++ {
+		if s.prot[p] {
+			s.trap(p)
+		}
+	}
+	copy(s.data[off:], b)
+	return nil
+}
+
+// trap performs the fault protocol on one page: twin, unprotect, notify.
+func (s *Segment) trap(p int) {
+	twin := make([]byte, s.pageSize)
+	copy(twin, s.data[p*s.pageSize:(p+1)*s.pageSize])
+	s.twins[p] = twin
+	s.prot[p] = false
+	s.faults++
+	if s.onFault != nil {
+		s.onFault(p)
+	}
+}
+
+// RawWrite stores without the protection protocol. It is used by the DSD
+// when applying remote updates to the local copy: those bytes are already
+// known to both sides and must not be re-detected as local writes.
+func (s *Segment) RawWrite(off int, b []byte) error {
+	if err := s.check(off, len(b)); err != nil {
+		return err
+	}
+	copy(s.data[off:], b)
+	return nil
+}
+
+// ApplyRemote stores an incoming DSD update. Like RawWrite it takes no
+// write trap, but it additionally patches any existing twin of the touched
+// pages so the remote bytes do not show up in this node's next diff: they
+// are the home's data, not local writes, and echoing them back would inflate
+// every release.
+func (s *Segment) ApplyRemote(off int, b []byte) error {
+	if err := s.check(off, len(b)); err != nil {
+		return err
+	}
+	copy(s.data[off:], b)
+	first := off / s.pageSize
+	last := (off + len(b) - 1) / s.pageSize
+	for p := first; p <= last; p++ {
+		tw := s.twins[p]
+		if tw == nil {
+			continue
+		}
+		pageStart := p * s.pageSize
+		lo, hi := off, off+len(b)
+		if lo < pageStart {
+			lo = pageStart
+		}
+		if end := pageStart + s.pageSize; hi > end {
+			hi = end
+		}
+		copy(tw[lo-pageStart:], b[lo-off:hi-off])
+	}
+	return nil
+}
+
+func (s *Segment) check(off, n int) error {
+	if off < 0 || n < 0 || off+n > len(s.data) {
+		return fmt.Errorf("vmem: range [%d,%d) outside segment of %d bytes", off, off+n, len(s.data))
+	}
+	return nil
+}
+
+// DirtyPages returns the indexes of pages written since the last
+// ProtectAll, in ascending order.
+func (s *Segment) DirtyPages() []int {
+	var out []int
+	for i, tw := range s.twins {
+		if tw != nil {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Range is a half-open byte span [Start, End) of segment offsets.
+type Range struct {
+	// Start is the first offset in the span.
+	Start int
+	// End is one past the last offset.
+	End int
+}
+
+// Len returns the span length.
+func (r Range) Len() int { return r.End - r.Start }
+
+// DiffGranularity selects how the twin comparison scans memory; an ablation
+// knob (DESIGN.md §5). Both produce byte-exact ranges; word-wise scans
+// whole words first and refines edges.
+type DiffGranularity int
+
+const (
+	// DiffByte compares byte by byte — the straightforward scheme the
+	// paper describes ("each byte on the dirty page must be compared to
+	// its corresponding byte on the original page", Section 4.2).
+	DiffByte DiffGranularity = iota
+	// DiffWord compares 8-byte words and refines edges byte-wise.
+	DiffWord
+)
+
+// DiffPage compares a dirty page against its twin and returns the modified
+// byte ranges as segment offsets. A page without a twin yields nil. This is
+// the t_index raw material: the DSD maps these ranges through the index
+// table.
+func (s *Segment) DiffPage(page int, g DiffGranularity) []Range {
+	tw := s.twins[page]
+	if tw == nil {
+		return nil
+	}
+	base := page * s.pageSize
+	cur := s.data[base : base+s.pageSize]
+	switch g {
+	case DiffWord:
+		return diffWord(cur, tw, base)
+	default:
+		return diffByte(cur, tw, base)
+	}
+}
+
+func diffByte(cur, tw []byte, base int) []Range {
+	var out []Range
+	i := 0
+	n := len(cur)
+	for i < n {
+		if cur[i] == tw[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < n && cur[i] != tw[i] {
+			i++
+		}
+		out = append(out, Range{Start: base + start, End: base + i})
+	}
+	return out
+}
+
+func diffWord(cur, tw []byte, base int) []Range {
+	var out []Range
+	n := len(cur)
+	i := 0
+	inRun := false
+	runStart := 0
+	flush := func(end int) {
+		if inRun {
+			out = append(out, Range{Start: base + runStart, End: base + end})
+			inRun = false
+		}
+	}
+	for i < n {
+		w := 8
+		if n-i < 8 {
+			w = n - i
+		}
+		same := true
+		for j := 0; j < w; j++ {
+			if cur[i+j] != tw[i+j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			flush(i)
+			i += w
+			continue
+		}
+		// Refine the word byte-wise.
+		for j := 0; j < w; j++ {
+			if cur[i+j] != tw[i+j] {
+				if !inRun {
+					inRun = true
+					runStart = i + j
+				}
+			} else {
+				flush(i + j)
+			}
+		}
+		i += w
+	}
+	flush(n)
+	return out
+}
+
+// Diff runs DiffPage over every dirty page and returns all modified ranges
+// in ascending order, merging runs that touch across page boundaries.
+func (s *Segment) Diff(g DiffGranularity) []Range {
+	var out []Range
+	for _, p := range s.DirtyPages() {
+		rs := s.DiffPage(p, g)
+		for _, r := range rs {
+			if len(out) > 0 && out[len(out)-1].End == r.Start {
+				out[len(out)-1].End = r.End
+			} else {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// DropTwins discards all twins without re-protecting; used after a diff has
+// been consumed when the pages should stay writable.
+func (s *Segment) DropTwins() {
+	for i := range s.twins {
+		s.twins[i] = nil
+	}
+}
+
+// TwinBytes returns the number of bytes currently held in twins, a measure
+// of the memory overhead of the twin/diff scheme.
+func (s *Segment) TwinBytes() int {
+	n := 0
+	for _, tw := range s.twins {
+		n += len(tw)
+	}
+	return n
+}

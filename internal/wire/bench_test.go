@@ -1,0 +1,58 @@
+package wire
+
+import "testing"
+
+// Encode/Decode are the t_pack/t_unpack kernels.
+
+func benchMessage(updateSize, nUpdates int) *Message {
+	m := &Message{
+		Kind:     KindUnlockReq,
+		Rank:     1,
+		Platform: "solaris-sparc",
+		Base:     0x40058000,
+	}
+	for i := 0; i < nUpdates; i++ {
+		m.Updates = append(m.Updates, Update{
+			Entry: int32(i % 4),
+			First: int32(i * 100),
+			Count: int32(updateSize / 4),
+			Tag:   "(4,256)",
+			Data:  make([]byte, updateSize),
+		})
+	}
+	return m
+}
+
+func benchEncode(b *testing.B, updateSize, nUpdates int) {
+	m := benchMessage(updateSize, nUpdates)
+	var total int64
+	for i := range m.Updates {
+		total += int64(len(m.Updates[i].Data))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecode(b *testing.B, updateSize, nUpdates int) {
+	frame, err := Encode(benchMessage(updateSize, nUpdates))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeFewLargeUpdates(b *testing.B)  { benchEncode(b, 64*1024, 4) }
+func BenchmarkEncodeManySmallUpdates(b *testing.B) { benchEncode(b, 64, 1000) }
+func BenchmarkDecodeFewLargeUpdates(b *testing.B)  { benchDecode(b, 64*1024, 4) }
+func BenchmarkDecodeManySmallUpdates(b *testing.B) { benchDecode(b, 64, 1000) }

@@ -1,0 +1,393 @@
+// Package wire defines the message vocabulary of the DSD protocol and its
+// binary encoding.
+//
+// Messages carry updates in the paper's form: CGT-RMR tags plus raw data in
+// the *sender's* representation. The receiver converts ("receiver makes
+// right"), so the wire format never canonicalizes payload bytes; only the
+// framing itself uses a fixed (big-endian) order. Packing and unpacking are
+// the t_pack and t_unpack components of Eq. 1; callers time Encode/Decode
+// into their stats.Breakdown.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero value; never sent.
+	KindInvalid Kind = iota
+	// KindHello registers a node with the home: platform name and rank.
+	KindHello
+	// KindHelloAck acknowledges registration and carries the home's
+	// platform name.
+	KindHelloAck
+	// KindLockReq asks the home for a distributed mutex (MTh_lock).
+	KindLockReq
+	// KindLockGrant grants the mutex and carries outstanding updates.
+	KindLockGrant
+	// KindLockAck acknowledges receipt of a grant's updates.
+	KindLockAck
+	// KindUnlockReq releases the mutex and carries the holder's updates
+	// (MTh_unlock).
+	KindUnlockReq
+	// KindUnlockAck acknowledges the release.
+	KindUnlockAck
+	// KindBarrierReq enters a barrier and carries the caller's updates
+	// (MTh_barrier).
+	KindBarrierReq
+	// KindBarrierRelease releases a barrier and carries merged updates.
+	KindBarrierRelease
+	// KindJoinReq announces thread termination (MTh_join).
+	KindJoinReq
+	// KindJoinAck acknowledges the join.
+	KindJoinAck
+	// KindMigrate ships a captured thread state to a skeleton slot.
+	KindMigrate
+	// KindMigrateAck acknowledges a migration landed.
+	KindMigrateAck
+	// KindFlushReq pushes a thread's dirty updates home outside any lock;
+	// used by the migration protocol so no write is lost when a thread's
+	// replica is abandoned at the source node.
+	KindFlushReq
+	// KindFlushAck acknowledges a flush.
+	KindFlushAck
+	// KindRedirect tells a thread the home has moved; Addr carries the
+	// new home's address. The thread reconnects and re-sends its request.
+	KindRedirect
+	// KindFetchReq asks the home for current data of specific spans
+	// (invalidate protocol: a thread reads an invalidated element).
+	KindFetchReq
+	// KindFetchReply carries the requested spans with data.
+	KindFetchReply
+	numKinds
+)
+
+var kindNames = [...]string{
+	KindInvalid: "invalid",
+	KindHello:   "hello", KindHelloAck: "hello-ack",
+	KindLockReq: "lock-req", KindLockGrant: "lock-grant", KindLockAck: "lock-ack",
+	KindUnlockReq: "unlock-req", KindUnlockAck: "unlock-ack",
+	KindBarrierReq: "barrier-req", KindBarrierRelease: "barrier-release",
+	KindJoinReq: "join-req", KindJoinAck: "join-ack",
+	KindMigrate: "migrate", KindMigrateAck: "migrate-ack",
+	KindFlushReq: "flush-req", KindFlushAck: "flush-ack",
+	KindRedirect: "redirect",
+	KindFetchReq: "fetch-req", KindFetchReply: "fetch-reply",
+}
+
+// String returns the protocol name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Update is one object-granular modification: an index-table span, its
+// CGT-RMR tag, and the raw bytes in the sender's representation.
+type Update struct {
+	// Entry is the index-table entry (architecture independent).
+	Entry int32
+	// First is the first modified element within the entry.
+	First int32
+	// Count is the number of consecutive elements.
+	Count int32
+	// Tag is the CGT-RMR tag string for the span, e.g. "(4,10)".
+	Tag string
+	// Data holds Count elements in the sender's byte representation.
+	Data []byte
+}
+
+// ThreadState is a captured MigThread state in portable form: the logical
+// program counter plus the frame image and its tag, in the source
+// platform's representation.
+type ThreadState struct {
+	// PC is the logical program counter (workload step).
+	PC int64
+	// FrameTag is the CGT-RMR tag of the frame image.
+	FrameTag string
+	// Frame is the frame image in the source platform's layout.
+	Frame []byte
+	// ExtraTag and Extra carry an optional workload-defined payload in
+	// the source platform's layout (e.g. a migrated file-descriptor
+	// table), tagged like any other CGT-RMR state.
+	ExtraTag string
+	Extra    []byte
+}
+
+// Message is one protocol datagram.
+type Message struct {
+	// Kind discriminates the message.
+	Kind Kind
+	// Seq is a per-connection sequence number for tracing.
+	Seq uint64
+	// Rank is the sending thread's rank (iso-computing slot).
+	Rank int32
+	// Mutex is the lock or barrier index for synchronization messages.
+	Mutex int32
+	// Platform is the sender's platform name; set on Hello/HelloAck and
+	// on every update-bearing message so the receiver can convert.
+	Platform string
+	// Base is the sender's GThV virtual base address, announced on
+	// Hello/HelloAck so peers can build each other's index tables for
+	// pointer translation.
+	Base uint64
+	// Updates carries object-granular modifications.
+	Updates []Update
+	// State carries a migrating thread's captured state.
+	State *ThreadState
+	// Err carries a protocol-level failure description on ack messages;
+	// empty means success.
+	Err string
+	// Addr carries the new home address on KindRedirect messages.
+	Addr string
+	// Proto carries the home's consistency protocol on KindHelloAck
+	// (0 = update, 1 = invalidate); threads adopt it.
+	Proto uint8
+	// Flags carries per-kind bits; on KindHello, FlagWarmReplica means
+	// the sender's replica already holds state from a previous home
+	// (redirect re-registration) rather than being freshly allocated.
+	Flags uint8
+}
+
+// FlagWarmReplica marks a Hello from a thread whose replica is already
+// populated (home-handoff re-registration); without it the home seeds the
+// full state.
+const FlagWarmReplica uint8 = 1 << 0
+
+// maxStringLen bounds decoded strings; tags and platform names are tiny.
+const maxStringLen = 1 << 16
+
+// maxDataLen bounds a decoded byte payload (64 MiB), far above any
+// experiment in the paper while still preventing a corrupt length from
+// allocating unbounded memory.
+const maxDataLen = 64 << 20
+
+// Encode serializes a message. This is the t_pack work.
+func Encode(m *Message) ([]byte, error) {
+	if m.Kind == KindInvalid || m.Kind >= numKinds {
+		return nil, fmt.Errorf("wire: cannot encode kind %v", m.Kind)
+	}
+	buf := make([]byte, 0, 64+encodedUpdatesSize(m.Updates))
+	buf = append(buf, byte(m.Kind))
+	buf = be64(buf, m.Seq)
+	buf = be32(buf, uint32(m.Rank))
+	buf = be32(buf, uint32(m.Mutex))
+	buf = appendString(buf, m.Platform)
+	buf = be64(buf, m.Base)
+	buf = be32(buf, uint32(len(m.Updates)))
+	for i := range m.Updates {
+		u := &m.Updates[i]
+		buf = be32(buf, uint32(u.Entry))
+		buf = be32(buf, uint32(u.First))
+		buf = be32(buf, uint32(u.Count))
+		buf = appendString(buf, u.Tag)
+		buf = appendBytes(buf, u.Data)
+	}
+	if m.State != nil {
+		buf = append(buf, 1)
+		buf = be64(buf, uint64(m.State.PC))
+		buf = appendString(buf, m.State.FrameTag)
+		buf = appendBytes(buf, m.State.Frame)
+		buf = appendString(buf, m.State.ExtraTag)
+		buf = appendBytes(buf, m.State.Extra)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendString(buf, m.Err)
+	buf = appendString(buf, m.Addr)
+	buf = append(buf, m.Proto)
+	buf = append(buf, m.Flags)
+	return buf, nil
+}
+
+func encodedUpdatesSize(us []Update) int {
+	n := 0
+	for i := range us {
+		n += 12 + 4 + len(us[i].Tag) + 4 + len(us[i].Data)
+	}
+	return n
+}
+
+// Decode parses a message encoded by Encode. This is the t_unpack work.
+// The returned message aliases b's storage for Data/Frame slices; callers
+// that retain them past b's lifetime must copy.
+func Decode(b []byte) (*Message, error) {
+	d := decoder{b: b}
+	k := Kind(d.u8())
+	if k == KindInvalid || k >= numKinds {
+		return nil, fmt.Errorf("wire: bad kind %d", k)
+	}
+	m := &Message{Kind: k}
+	m.Seq = d.u64()
+	m.Rank = int32(d.u32())
+	m.Mutex = int32(d.u32())
+	m.Platform = d.str()
+	m.Base = d.u64()
+	n := int(d.u32())
+	if d.err == nil && n > 0 {
+		if n > maxDataLen/16 {
+			return nil, fmt.Errorf("wire: implausible update count %d", n)
+		}
+		m.Updates = make([]Update, n)
+		for i := 0; i < n; i++ {
+			u := &m.Updates[i]
+			u.Entry = int32(d.u32())
+			u.First = int32(d.u32())
+			u.Count = int32(d.u32())
+			u.Tag = d.str()
+			u.Data = d.bytes()
+		}
+	}
+	if d.u8() == 1 {
+		st := &ThreadState{}
+		st.PC = int64(d.u64())
+		st.FrameTag = d.str()
+		st.Frame = d.bytes()
+		st.ExtraTag = d.str()
+		st.Extra = d.bytes()
+		m.State = st
+	}
+	m.Err = d.str()
+	m.Addr = d.str()
+	m.Proto = d.u8()
+	m.Flags = d.u8()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-d.off)
+	}
+	return m, nil
+}
+
+func be32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func be64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendString(b []byte, s string) []byte {
+	if len(s) > maxStringLen {
+		// Callers only pass tags and platform names; truncation would be
+		// a bug, so refuse loudly at encode time via panic-free path:
+		// clamp never happens in practice because Encode inputs are
+		// program-generated. Guard anyway.
+		s = s[:maxStringLen]
+	}
+	b = be32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = be32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated message at offset %d", d.off)
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > maxDataLen || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	p := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return p
+}
+
+// UpdateBytes sums the payload sizes of a set of updates; used for the
+// byte counters in stats.
+func UpdateBytes(us []Update) int {
+	n := 0
+	for i := range us {
+		n += len(us[i].Data)
+	}
+	return n
+}
+
+// Validate performs structural sanity checks on a decoded message before
+// the DSD trusts it: counts must be positive and data lengths plausible
+// for the tag.
+func (m *Message) Validate() error {
+	for i := range m.Updates {
+		u := &m.Updates[i]
+		if u.Entry < 0 || u.First < 0 || u.Count <= 0 {
+			return fmt.Errorf("wire: update %d has bad span %d/%d/%d", i, u.Entry, u.First, u.Count)
+		}
+		if int64(u.First)+int64(u.Count) > math.MaxInt32 {
+			return fmt.Errorf("wire: update %d span overflows", i)
+		}
+		if len(u.Data)%int(u.Count) != 0 {
+			return fmt.Errorf("wire: update %d data %d not divisible by count %d", i, len(u.Data), u.Count)
+		}
+	}
+	return nil
+}
