@@ -1,6 +1,6 @@
 // Command dsmnode runs one node of a genuinely distributed cluster over
-// TCP: either the home node (master copy plus its own worker thread 0) or a
-// remote worker thread.
+// TCP: the home node (master copy plus its own worker thread 0), a remote
+// worker thread, or a hot standby that takes over if the home dies.
 //
 // A two-machine session reproducing the paper's deployment:
 //
@@ -14,16 +14,38 @@
 //	dsmnode -role worker -home host:7000 -rank 2 -platform linux-x86 \
 //	        -workload matmul -n 99 -threads 3
 //
-// The home prints the Eq. 1 breakdown when every thread has joined.
+// The same session with fault tolerance: a standby replicates the home and
+// promotes itself when heartbeats stop, and workers fail over to it.
+//
+//	# standby machine: replication stream on :7002, serves on :7001 if
+//	# the home (probed at host:7000) dies
+//	dsmnode -role backup -listen :7001 -replica-listen :7002 -home host:7000 \
+//	        -platform linux-x86 -workload matmul -n 99 -threads 3 \
+//	        -heartbeat 50ms -failover-timeout 250ms
+//
+//	# home, streaming every release to the standby; no home-resident
+//	# thread, so a home crash loses only the master image (which the
+//	# standby holds), never a worker
+//	dsmnode -role home -listen :7000 -backup standbyhost:7002 \
+//	        -local-thread=false ...
+//
+//	# workers (ranks 0..threads-1) name the standby as their candidate
+//	dsmnode -role worker -rank 0 -home host:7000 -standby standbyhost:7001 ...
+//
+// The home prints the Eq. 1 breakdown when every thread has joined;
+// -stats-json additionally dumps the breakdown and the HA counters as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hetdsm/internal/apps"
 	"hetdsm/internal/dsd"
+	"hetdsm/internal/ha"
 	"hetdsm/internal/platform"
 	"hetdsm/internal/stats"
 	"hetdsm/internal/tag"
@@ -32,15 +54,22 @@ import (
 
 func main() {
 	var (
-		role     = flag.String("role", "", `"home" or "worker"`)
-		listen   = flag.String("listen", ":7000", "home: listen address")
-		homeAddr = flag.String("home", "", "worker: home address host:port")
-		rank     = flag.Int("rank", 0, "worker: thread rank")
-		platName = flag.String("platform", "linux-x86", "virtual platform name")
-		workload = flag.String("workload", "matmul", `"matmul", "lu" or "jacobi"`)
-		n        = flag.Int("n", 99, "matrix dimension")
-		threads  = flag.Int("threads", 3, "total worker thread count")
-		seed     = flag.Int64("seed", 20060814, "input generator seed")
+		role      = flag.String("role", "", `"home", "worker" or "backup"`)
+		listen    = flag.String("listen", ":7000", "home: listen address; backup: address served after promotion")
+		homeAddr  = flag.String("home", "", "worker/backup: home address host:port")
+		rank      = flag.Int("rank", 0, "worker: thread rank")
+		platName  = flag.String("platform", "linux-x86", "virtual platform name")
+		workload  = flag.String("workload", "matmul", `"matmul", "lu" or "jacobi"`)
+		n         = flag.Int("n", 99, "matrix dimension")
+		threads   = flag.Int("threads", 3, "total worker thread count")
+		seed      = flag.Int64("seed", 20060814, "input generator seed")
+		backup    = flag.String("backup", "", "home: standby's replication address host:port")
+		localTh   = flag.Bool("local-thread", true, "home: run thread 0 in this process (disable for HA so a home crash loses no worker)")
+		standby   = flag.String("standby", "", "worker: standby's serving address, dialed if the home dies")
+		replicaL  = flag.String("replica-listen", ":7002", "backup: replication stream listen address")
+		heartbeat = flag.Duration("heartbeat", 50*time.Millisecond, "backup: heartbeat probe interval")
+		failover  = flag.Duration("failover-timeout", 0, "backup: suspicion timeout (default 4 heartbeats)")
+		statsJSON = flag.Bool("stats-json", false, "dump Eq. 1 stats and HA counters as JSON on exit")
 	)
 	flag.Parse()
 
@@ -55,9 +84,11 @@ func main() {
 
 	switch *role {
 	case "home":
-		runHome(*listen, plat, gthv, body, *threads)
+		runHome(*listen, *backup, plat, gthv, body, *threads, *localTh, *statsJSON)
 	case "worker":
-		runWorker(*homeAddr, plat, gthv, body, int32(*rank))
+		runWorker(*homeAddr, *standby, plat, gthv, body, int32(*rank), *statsJSON)
+	case "backup":
+		runBackup(*listen, *replicaL, *homeAddr, plat, gthv, *threads, *heartbeat, *failover, *statsJSON)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -89,12 +120,49 @@ func workloadFor(workload string, n, threads int, seed int64) (tag.Struct, func(
 	}
 }
 
-func runHome(listen string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, threads int) {
-	home, err := dsd.NewHome(gthv, plat, threads, dsd.DefaultOptions())
+// dumpJSON writes one stats document to stdout.
+func dumpJSON(doc map[string]any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fail(err)
+	}
+}
+
+func runHome(listen, backupAddr string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, threads int, localThread, statsJSON bool) {
+	opts := dsd.DefaultOptions()
+	counters := &ha.Counters{}
+	if backupAddr != "" {
+		// Replicated homes serve HA clients, whose disconnects are
+		// transient by design.
+		opts.StickyLocks = true
+	}
+	home, err := dsd.NewHome(gthv, plat, threads, opts)
 	if err != nil {
 		fail(err)
 	}
 	var nw transport.TCP
+	if backupAddr != "" {
+		// Tolerate the standby coming up a moment after us.
+		var conn transport.Conn
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			conn, err = nw.Dial(backupAddr)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if err != nil {
+			fail(fmt.Errorf("dialing standby %s: %w", backupAddr, err))
+		}
+		repl := ha.NewReplicator(conn, counters)
+		defer repl.Close()
+		if err := home.StartReplication(repl); err != nil {
+			fail(err)
+		}
+		fmt.Printf("home: replicating every release to %s\n", backupAddr)
+	}
 	l, err := nw.Listen(listen)
 	if err != nil {
 		fail(err)
@@ -102,33 +170,55 @@ func runHome(listen string, plat *platform.Platform, gthv tag.Struct, body func(
 	fmt.Printf("home: serving on %s (%s), waiting for %d threads\n", l.Addr(), plat, threads)
 	go home.Serve(l)
 
-	// The home machine contributes thread 0, the paper's non-migrated
-	// thread.
-	th, err := home.LocalThread(0, plat, dsd.DefaultOptions())
-	if err != nil {
-		fail(err)
-	}
-	errCh := make(chan error, 1)
-	go func() { errCh <- body(th, 0) }()
+	// By default the home machine contributes thread 0, the paper's
+	// non-migrated thread. An HA deployment disables this: a thread living
+	// in the home process dies with it, and no standby can resurrect a
+	// worker, only the master image.
+	threadStats := map[string]any{"home": home.Stats().Map()}
+	if localThread {
+		th, err := home.LocalThread(0, plat, dsd.DefaultOptions())
+		if err != nil {
+			fail(err)
+		}
+		errCh := make(chan error, 1)
+		go func() { errCh <- body(th, 0) }()
 
-	home.Wait()
-	if err := <-errCh; err != nil {
-		fail(err)
+		home.Wait()
+		if err := <-errCh; err != nil {
+			fail(err)
+		}
+		fmt.Println("thread-0 breakdown: ", th.Stats())
+		threadStats["thread0"] = th.Stats().Map()
+	} else {
+		home.Wait()
 	}
 	fmt.Println("home: all threads joined")
 	fmt.Println("home-side breakdown:", home.Stats())
-	fmt.Println("thread-0 breakdown: ", th.Stats())
 	fmt.Printf("home-side t_conv: %v over %d update bytes\n",
 		home.Stats().Phase(stats.Conv), home.Stats().Bytes(stats.Conv))
+	if statsJSON {
+		threadStats["home"] = home.Stats().Map()
+		dumpJSON(map[string]any{
+			"role":  "home",
+			"stats": threadStats,
+			"ha":    counters.Map(),
+		})
+	}
 	home.Close()
 }
 
-func runWorker(homeAddr string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, rank int32) {
+func runWorker(homeAddr, standbyAddr string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, rank int32, statsJSON bool) {
 	if homeAddr == "" {
 		fail(fmt.Errorf("worker needs -home host:port"))
 	}
 	var nw transport.TCP
-	th, err := dsd.Dial(nw, homeAddr, plat, rank, gthv, dsd.DefaultOptions())
+	var th *dsd.Thread
+	var err error
+	if standbyAddr != "" {
+		th, err = dsd.DialHA(nw, []string{homeAddr, standbyAddr}, plat, rank, gthv, dsd.DefaultOptions())
+	} else {
+		th, err = dsd.Dial(nw, homeAddr, plat, rank, gthv, dsd.DefaultOptions())
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -138,4 +228,74 @@ func runWorker(homeAddr string, plat *platform.Platform, gthv tag.Struct, body f
 		fail(err)
 	}
 	fmt.Println("worker: done;", th.Stats())
+	if n := th.Reconnects(); n > 0 {
+		fmt.Printf("worker: survived %d reconnects\n", n)
+	}
+	if statsJSON {
+		counters := &ha.Counters{}
+		counters.Reconnects.Add(th.Reconnects())
+		dumpJSON(map[string]any{
+			"role":  "worker",
+			"rank":  rank,
+			"stats": map[string]any{"thread": th.Stats().Map()},
+			"ha":    counters.Map(),
+		})
+	}
+}
+
+func runBackup(listen, replicaListen, homeAddr string, plat *platform.Platform, gthv tag.Struct, threads int, heartbeat, failover time.Duration, statsJSON bool) {
+	if homeAddr == "" {
+		fail(fmt.Errorf("backup needs -home host:port to probe"))
+	}
+	var nw transport.TCP
+	counters := &ha.Counters{}
+	b := ha.NewBackup(gthv)
+	standby, err := ha.NewStandby(nw, b, ha.StandbyConfig{
+		PrimaryAddr:       homeAddr,
+		ReplicaAddr:       replicaListen,
+		ServeAddr:         listen,
+		Platform:          plat,
+		Opts:              dsd.DefaultOptions(),
+		HeartbeatInterval: heartbeat,
+		FailoverTimeout:   failover,
+	})
+	if err != nil {
+		fail(err)
+	}
+	standby.Counters = counters
+	// The replication listener is live as soon as NewStandby returns, so
+	// the home may be started now — but don't arm the failure detector
+	// until the home is actually up, or its absence during cluster
+	// bring-up reads as a crash and promotes an empty backup.
+	fmt.Printf("standby: replicating on %s, waiting for home %s\n", replicaListen, homeAddr)
+	for {
+		c, err := nw.Dial(homeAddr)
+		if err == nil {
+			c.Close()
+			break
+		}
+		time.Sleep(heartbeat)
+	}
+	standby.Start()
+	defer standby.Stop()
+	fmt.Printf("standby: probing %s every %v, ready to serve on %s\n",
+		homeAddr, heartbeat, listen)
+
+	<-standby.Promoted()
+	home, err := standby.Home()
+	if err != nil {
+		fail(fmt.Errorf("failover: %w", err))
+	}
+	fmt.Printf("standby: home suspected dead; promoted, serving on %s\n", listen)
+	home.Wait()
+	fmt.Println("standby: all threads joined")
+	fmt.Println("promoted-home breakdown:", home.Stats())
+	if statsJSON {
+		dumpJSON(map[string]any{
+			"role":  "backup",
+			"stats": map[string]any{"home": home.Stats().Map()},
+			"ha":    counters.Map(),
+		})
+	}
+	home.Close()
 }

@@ -10,12 +10,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hetdsm/internal/apps"
 	"hetdsm/internal/dsd"
+	"hetdsm/internal/ha"
 	"hetdsm/internal/stats"
 	"hetdsm/internal/trace"
 	"hetdsm/internal/vmem"
@@ -34,6 +37,7 @@ func main() {
 		wordDiff  = flag.Bool("word-diff", false, "compare twins word-wise instead of byte-wise")
 		traceN    = flag.Int("trace", 0, "print the last N protocol events after the run (0 disables)")
 		invalid   = flag.Bool("invalidate", false, "use the invalidate protocol instead of update")
+		statsJSON = flag.Bool("stats-json", false, "dump the Eq. 1 stats and HA counters as JSON on exit")
 	)
 	flag.Parse()
 
@@ -102,6 +106,46 @@ func main() {
 			tlog.Len(), tlog.Total(), tlog.Dropped())
 		if err := tlog.Dump(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		}
+	}
+
+	if *statsJSON {
+		phases := func(a [stats.NumPhases]time.Duration) map[string]float64 {
+			m := make(map[string]float64, stats.NumPhases)
+			for p := stats.Phase(0); p < stats.NumPhases; p++ {
+				m[p.String()] = a[p].Seconds()
+			}
+			return m
+		}
+		byPlat := make(map[string]map[string]float64, len(res.ByPlatform))
+		for name, bd := range res.ByPlatform {
+			byPlat[name] = phases(bd)
+		}
+		doc := map[string]any{
+			"workload":     *workload,
+			"n":            *n,
+			"pair":         pair.Label,
+			"threads":      *threads,
+			"wall_seconds": res.Wall.Seconds(),
+			"verified":     res.Verified,
+			"update_bytes": res.UpdateBytes,
+			"page_faults":  res.PageFaults,
+			"stats": map[string]any{
+				"cshare_seconds": res.AggTotal().Seconds(),
+				"agg":            phases(res.Agg),
+				"home":           phases(res.Home),
+				"by_platform":    byPlat,
+			},
+			// dsmrun is single-process with no standby; the counters are
+			// present (and zero) so consumers see one schema across both
+			// commands.
+			"ha": (&ha.Counters{}).Map(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -58,6 +58,13 @@ type Options struct {
 	// is a home-side setting: threads adopt the home's protocol at
 	// registration.
 	Protocol Protocol
+	// StickyLocks keeps a disconnected rank's mutexes held instead of
+	// force-releasing them. Set it when threads reconnect after transient
+	// failures (HA mode): the holder will come back and re-send its
+	// unlock, and releasing early would let another thread enter the
+	// critical section concurrently. Leave it off for fail-stop threads,
+	// where a dead holder must not wedge the lock forever.
+	StickyLocks bool
 }
 
 // Protocol is the consistency-propagation scheme.

@@ -50,6 +50,19 @@ type Handoff struct {
 	Joined []int32
 	// Dirty records whether any update was ever applied.
 	Dirty bool
+	// Held maps mutex index to holder rank for locks held at the cut.
+	// Empty after a quiescent Detach; a crash promotion carries the locks
+	// the standby saw held.
+	Held map[int32]int32
+	// Applied carries each rank's idempotency watermark: the highest
+	// update-bearing request id already applied. A replayed request at or
+	// below it must not re-apply its updates.
+	Applied map[int32]uint64
+	// Released carries each rank's barrier-release watermark: the request
+	// id of its last barrier arrival whose release was issued. A replayed
+	// arrival at or below it gets an immediate release instead of waiting
+	// for a generation that already opened.
+	Released map[int32]uint64
 }
 
 // Detach freezes the home, waits for quiescence, and returns the handoff
@@ -113,6 +126,16 @@ func (h *Home) Detach(timeout time.Duration) (*Handoff, error) {
 	for rank := range h.joined {
 		state.Joined = append(state.Joined, rank)
 	}
+	state.Applied = make(map[int32]uint64, len(h.applied))
+	for rank, seq := range h.applied {
+		state.Applied[rank] = seq
+	}
+	state.Released = make(map[int32]uint64, len(h.released))
+	for rank, seq := range h.released {
+		state.Released[rank] = seq
+	}
+	// Quiescence guarantees no lock is held, so Held stays empty here;
+	// only crash promotions populate it.
 	return state, nil
 }
 
@@ -125,7 +148,7 @@ func (h *Home) quiescentLocked() bool {
 		}
 	}
 	for _, bs := range h.barriers {
-		if bs.arrived != 0 {
+		if len(bs.ranks) != 0 {
 			return false
 		}
 	}
@@ -188,6 +211,18 @@ func NewHomeFromHandoff(gthv tag.Struct, p *platform.Platform, nthreads int, opt
 	}
 	for _, rank := range state.Joined {
 		h.joined[rank] = true
+	}
+	for idx, rank := range state.Held {
+		if int(idx) >= 0 && int(idx) < len(h.locks) {
+			h.locks[idx].held = true
+			h.locks[idx].holder = rank
+		}
+	}
+	for rank, seq := range state.Applied {
+		h.applied[rank] = seq
+	}
+	for rank, seq := range state.Released {
+		h.released[rank] = seq
 	}
 	if len(h.joined) == h.nthreads {
 		close(h.done)

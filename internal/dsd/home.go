@@ -36,6 +36,19 @@ type Home struct {
 	peers    map[int32]*peer
 	joined   map[int32]bool
 	done     chan struct{}
+	// applied holds per-rank idempotency watermarks: the highest request
+	// id whose updates were applied. A reconnecting thread re-sends its
+	// in-flight request; the watermark keeps the replay from applying the
+	// same updates twice.
+	applied map[int32]uint64
+	// released holds per-rank barrier-release watermarks: the request id
+	// of the rank's last barrier arrival whose generation opened. A
+	// replayed arrival at or below the watermark is answered with a
+	// release immediately instead of re-entering (and deadlocking) the
+	// barrier.
+	released map[int32]uint64
+	// rep, when non-nil, mirrors every state mutation to a hot standby.
+	rep Replicator
 	// dirty records that updates have ever been applied; a thread that
 	// registers after that point is queued the full GThV so its first
 	// acquire brings it up to date (late joiners, migration targets).
@@ -56,12 +69,30 @@ type Home struct {
 
 	lmu       sync.Mutex
 	listeners []transport.Listener
+	conns     map[transport.Conn]bool
+}
+
+// Replicator mirrors home-state mutations to a hot standby. Record is
+// called with the home mutex held, so it must only enqueue; Flush blocks
+// until everything recorded so far is acknowledged by the standby (or
+// replication has failed, in which case it returns without error and the
+// home continues unreplicated).
+type Replicator interface {
+	Record(rec *wire.Replication)
+	Flush()
 }
 
 type peer struct {
 	rank  int32
 	plat  *platform.Platform
 	table *indextable.Table
+	// pendOpen/pendMark/pendSeq track a barrier release in flight: the
+	// drain of the pending queue (first pendMark raw spans) commits only
+	// once a later request (Seq > pendSeq) proves the release arrived.
+	// Barrier releases carry no ack, so this is their delivery receipt.
+	pendOpen bool
+	pendMark int
+	pendSeq  uint64
 }
 
 type lockState struct {
@@ -75,9 +106,12 @@ type lockWaiter struct {
 	rank int32
 }
 
+// barrierState keys arrivals by rank so a reconnecting thread's replayed
+// arrival cannot double-count, and remembers each arrival's request id so
+// the release watermark can be published when the generation opens.
 type barrierState struct {
-	arrived int
-	gen     chan struct{}
+	ranks map[int32]uint64
+	gen   chan struct{}
 }
 
 // NewHome builds the home node for a GThV type on the given platform.
@@ -119,8 +153,11 @@ func NewHome(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options) 
 		peers:         make(map[int32]*peer),
 		joined:        make(map[int32]bool),
 		done:          make(chan struct{}),
+		applied:       make(map[int32]uint64),
+		released:      make(map[int32]uint64),
 		carried:       make(map[int32]bool),
 		redirectReady: make(chan struct{}),
+		conns:         make(map[transport.Conn]bool),
 	}, nil
 }
 
@@ -217,10 +254,30 @@ func (h *Home) Serve(l transport.Listener) {
 
 // ServeConn runs the stub protocol for one thread connection until the
 // connection closes. Exported so in-process clusters can wire Pipe ends
-// directly.
+// directly. A connection whose first message is a ping enters heartbeat
+// mode instead: every KindPing is answered with a KindPong, so failure
+// detectors probe the same serving path DSD traffic uses.
 func (h *Home) ServeConn(c transport.Conn) {
-	defer c.Close()
-	p, err := h.handshake(c)
+	h.lmu.Lock()
+	if h.conns != nil {
+		h.conns[c] = true
+	}
+	h.lmu.Unlock()
+	defer func() {
+		h.lmu.Lock()
+		delete(h.conns, c)
+		h.lmu.Unlock()
+		c.Close()
+	}()
+	first, err := h.recv(c)
+	if err != nil {
+		return
+	}
+	if first.Kind == wire.KindPing {
+		h.servePings(c, first)
+		return
+	}
+	p, err := h.handshake(c, first)
 	if err != nil {
 		return
 	}
@@ -233,6 +290,12 @@ func (h *Home) ServeConn(c transport.Conn) {
 		msg, err := h.recv(c)
 		if err != nil {
 			return
+		}
+		if p.pendOpen && msg.Seq > p.pendSeq {
+			// A later request proves the in-flight barrier release was
+			// processed; its pending-queue drain is now safe to commit.
+			h.commitPending(p, p.pendMark)
+			p.pendOpen = false
 		}
 		switch msg.Kind {
 		case wire.KindLockReq:
@@ -257,10 +320,30 @@ func (h *Home) ServeConn(c transport.Conn) {
 			err = h.handleFetch(c, p, msg)
 		case wire.KindJoinReq:
 			err = h.handleJoin(c, p, msg)
+		case wire.KindLockAck:
+			// A grant ack that lost its race with a reconnect lands on
+			// the fresh stub; the grant was delivered, so ignore it.
+		case wire.KindPing:
+			err = h.send(c, &wire.Message{Kind: wire.KindPong, Seq: msg.Seq, Rank: msg.Rank})
 		default:
 			err = fmt.Errorf("dsd: unexpected %v from rank %d", msg.Kind, p.rank)
 		}
 		if err != nil {
+			return
+		}
+	}
+}
+
+// servePings answers heartbeat probes until the connection closes.
+func (h *Home) servePings(c transport.Conn, first *wire.Message) {
+	msg := first
+	for {
+		if err := h.send(c, &wire.Message{Kind: wire.KindPong, Seq: msg.Seq, Rank: msg.Rank}); err != nil {
+			return
+		}
+		var err error
+		msg, err = h.recv(c)
+		if err != nil || msg.Kind != wire.KindPing {
 			return
 		}
 	}
@@ -274,10 +357,15 @@ func (h *Home) removePeer(p *peer) {
 		// Recover any mutex the dead thread still held: leaving it
 		// orphaned would deadlock every other thread. Its uncommitted
 		// writes are lost — the crashing-holder semantics every lock
-		// service chooses.
-		for idx, ls := range h.locks {
-			if ls.held && ls.holder == p.rank {
-				h.releaseLocked(idx)
+		// service chooses. Under StickyLocks (HA mode) a disconnect is
+		// presumed transient: the holder keeps its mutex and releases it
+		// after reconnecting, preserving mutual exclusion across the
+		// partition.
+		if !h.opts.StickyLocks {
+			for idx, ls := range h.locks {
+				if ls.held && ls.holder == p.rank {
+					h.releaseLocked(idx)
+				}
 			}
 		}
 	}
@@ -308,11 +396,35 @@ func (h *Home) Close() {
 	h.listeners = nil
 }
 
-func (h *Home) handshake(c transport.Conn) (*peer, error) {
-	msg, err := h.recv(c)
-	if err != nil {
-		return nil, err
+// Kill simulates a crash: every listener and every live connection is
+// severed at once, with no quiescence, no redirects and no goodbyes. The
+// HA layer's failover tests use it to drop the home mid-workload.
+func (h *Home) Kill() {
+	h.Close()
+	h.lmu.Lock()
+	conns := make([]transport.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
 	}
+	h.conns = nil
+	h.lmu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	// Wake handler goroutines parked in a barrier generation; their
+	// release sends fail on the severed connections and they exit instead
+	// of waiting on a barrier that can never fill again.
+	h.mu.Lock()
+	for _, bs := range h.barriers {
+		bs.ranks = make(map[int32]uint64)
+		gen := bs.gen
+		bs.gen = make(chan struct{})
+		close(gen)
+	}
+	h.mu.Unlock()
+}
+
+func (h *Home) handshake(c transport.Conn, msg *wire.Message) (*peer, error) {
 	if msg.Kind != wire.KindHello {
 		return nil, fmt.Errorf("dsd: expected hello, got %v", msg.Kind)
 	}
@@ -360,20 +472,31 @@ func (h *Home) handshake(c transport.Conn) (*peer, error) {
 		}
 	}
 	h.mu.Unlock()
-	return p, h.send(c, &wire.Message{
+	if err := h.send(c, &wire.Message{
 		Kind:     wire.KindHelloAck,
 		Rank:     p.rank,
 		Platform: h.plat.Name,
 		Base:     h.table.Base(),
 		Proto:    uint8(h.opts.Protocol),
-	})
+	}); err != nil {
+		// The caller only installs its removePeer cleanup after a
+		// successful handshake; unregister here or the rank's slot leaks
+		// and every reconnect is rejected as a duplicate forever.
+		h.removePeer(p)
+		return nil, err
+	}
+	return p, nil
 }
 
 func (h *Home) handleLock(c transport.Conn, p *peer, msg *wire.Message) error {
 	if !h.acquire(msg.Mutex, p.rank) {
 		return h.redirect(c, p.rank)
 	}
-	updates := h.takePending(p)
+	// The grant must be durable at the standby before the client enters
+	// its critical section, or a failover could hand the mutex to a
+	// second thread.
+	h.repFlush()
+	updates, mark := h.peekPending(p)
 	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindLockGrant, p.rank, msg.Mutex, wire.UpdateBytes(updates), "")
 	if err := h.send(c, &wire.Message{
 		Kind:     wire.KindLockGrant,
@@ -384,18 +507,28 @@ func (h *Home) handleLock(c transport.Conn, p *peer, msg *wire.Message) error {
 		Updates:  updates,
 	}); err != nil {
 		// The grantee vanished; put the lock back so others proceed.
-		h.release(msg.Mutex)
+		// Under StickyLocks the disconnect is presumed transient: the
+		// grantee keeps the mutex and its replayed request is re-granted
+		// (with the pending queue intact, since nothing was committed).
+		if !h.opts.StickyLocks {
+			h.releaseIfHolder(msg.Mutex, p.rank)
+		}
 		return err
 	}
 	ack, err := h.recv(c)
 	if err != nil {
-		h.release(msg.Mutex)
+		if !h.opts.StickyLocks {
+			h.releaseIfHolder(msg.Mutex, p.rank)
+		}
 		return err
 	}
 	if ack.Kind != wire.KindLockAck {
-		h.release(msg.Mutex)
+		if !h.opts.StickyLocks {
+			h.releaseIfHolder(msg.Mutex, p.rank)
+		}
 		return fmt.Errorf("dsd: expected lock-ack, got %v", ack.Kind)
 	}
+	h.commitPending(p, mark)
 	return nil
 }
 
@@ -409,11 +542,23 @@ func (h *Home) handleUnlock(c transport.Conn, p *peer, msg *wire.Message) error 
 		return err
 	}
 	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindUnlock, p.rank, msg.Mutex, wire.UpdateBytes(msg.Updates), "")
-	h.release(msg.Mutex)
+	// Guarding on the holder makes a replayed unlock (re-sent after a
+	// reconnect, already applied via the watermark) a no-op instead of
+	// releasing a mutex some other thread now holds.
+	h.releaseIfHolder(msg.Mutex, p.rank)
+	h.repFlush()
 	return h.send(c, &wire.Message{Kind: wire.KindUnlockAck, Mutex: msg.Mutex, Rank: p.rank})
 }
 
 func (h *Home) handleBarrier(c transport.Conn, p *peer, msg *wire.Message) error {
+	if msg.Seq != 0 && h.releasedMark(p.rank) >= msg.Seq {
+		// Replay of an arrival whose generation already opened (the
+		// release was lost with the connection): re-entering the barrier
+		// would wait for peers that have long moved on, so answer with a
+		// release straight away. The pending queue holds everything the
+		// rank has not yet acknowledged seeing.
+		return h.sendBarrierRelease(c, p, msg.Mutex, msg.Seq)
+	}
 	if err := h.applyUpdates(p, msg); err != nil {
 		if err == errMoved {
 			return h.redirect(c, p.rank)
@@ -421,7 +566,7 @@ func (h *Home) handleBarrier(c transport.Conn, p *peer, msg *wire.Message) error
 		return err
 	}
 	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindBarrierArrive, p.rank, msg.Mutex, wire.UpdateBytes(msg.Updates), "")
-	proceed, err := h.arrive(msg.Mutex)
+	proceed, err := h.arrive(msg.Mutex, p.rank, msg.Seq)
 	if err != nil {
 		return err
 	}
@@ -431,15 +576,30 @@ func (h *Home) handleBarrier(c transport.Conn, p *peer, msg *wire.Message) error
 		// harmless); the whole barrier must re-run there.
 		return h.redirect(c, p.rank)
 	}
-	updates := h.takePending(p)
-	return h.send(c, &wire.Message{
+	h.repFlush()
+	return h.sendBarrierRelease(c, p, msg.Mutex, msg.Seq)
+}
+
+// sendBarrierRelease ships a barrier release carrying the rank's pending
+// updates. The queue drain is not committed here: releases carry no ack,
+// so the drain commits when the rank's next request (Seq > reqSeq) proves
+// this release was processed; until then a replayed arrival re-delivers.
+func (h *Home) sendBarrierRelease(c transport.Conn, p *peer, mutex int32, reqSeq uint64) error {
+	updates, mark := h.peekPending(p)
+	if err := h.send(c, &wire.Message{
 		Kind:     wire.KindBarrierRelease,
-		Mutex:    msg.Mutex,
+		Mutex:    mutex,
 		Rank:     p.rank,
 		Platform: h.plat.Name,
 		Base:     h.table.Base(),
 		Updates:  updates,
-	})
+	}); err != nil {
+		return err
+	}
+	p.pendOpen = true
+	p.pendMark = mark
+	p.pendSeq = reqSeq
+	return nil
 }
 
 func (h *Home) handleFlush(c transport.Conn, p *peer, msg *wire.Message) error {
@@ -450,6 +610,7 @@ func (h *Home) handleFlush(c transport.Conn, p *peer, msg *wire.Message) error {
 		return err
 	}
 	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindFlush, p.rank, -1, wire.UpdateBytes(msg.Updates), "")
+	h.repFlush()
 	return h.send(c, &wire.Message{Kind: wire.KindFlushAck, Rank: p.rank})
 }
 
@@ -520,12 +681,16 @@ func (h *Home) handleJoin(c transport.Conn, p *peer, msg *wire.Message) error {
 		h.mu.Unlock()
 		return h.redirect(c, p.rank)
 	}
-	h.joined[p.rank] = true
+	if !h.joined[p.rank] {
+		h.joined[p.rank] = true
+		h.repRecord(&wire.Replication{Event: wire.RepJoin, Rank: p.rank, Mutex: -1})
+	}
 	if len(h.joined) == h.nthreads {
 		close(h.done)
 	}
 	h.mu.Unlock()
 	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindJoin, p.rank, -1, 0, "")
+	h.repFlush()
 	return h.send(c, &wire.Message{Kind: wire.KindJoinAck, Rank: p.rank})
 }
 
@@ -553,6 +718,15 @@ func (h *Home) acquire(idx, rank int32) bool {
 	if !ls.held {
 		ls.held = true
 		ls.holder = rank
+		h.repRecord(&wire.Replication{Event: wire.RepLock, Rank: rank, Mutex: idx})
+		h.mu.Unlock()
+		return true
+	}
+	if ls.holder == rank {
+		// Replayed request from a reconnected holder whose grant was
+		// lost in flight: re-grant rather than deadlocking behind
+		// ourselves. Well-synchronized programs never double-lock, so
+		// this branch only fires on replay.
 		h.mu.Unlock()
 		return true
 	}
@@ -563,14 +737,19 @@ func (h *Home) acquire(idx, rank int32) bool {
 	return true
 }
 
-// release hands mutex idx to the oldest waiter, FIFO, or marks it free.
-func (h *Home) release(idx int32) {
+// releaseIfHolder hands mutex idx to the oldest waiter (FIFO) or marks it
+// free, but only when rank actually holds it — a replayed unlock from a
+// reconnected thread must not release someone else's mutex.
+func (h *Home) releaseIfHolder(idx, rank int32) {
 	h.mu.Lock()
-	h.releaseLocked(idx)
+	ls := h.locks[idx]
+	if ls != nil && ls.held && ls.holder == rank {
+		h.releaseLocked(idx)
+	}
 	h.mu.Unlock()
 }
 
-// releaseLocked is release with h.mu held.
+// releaseLocked is the unconditional release with h.mu held.
 func (h *Home) releaseLocked(idx int32) {
 	ls := h.locks[idx]
 	if ls == nil || !ls.held {
@@ -580,17 +759,22 @@ func (h *Home) releaseLocked(idx int32) {
 		w := ls.waiters[0]
 		ls.waiters = ls.waiters[1:]
 		ls.holder = w.rank
+		h.repRecord(&wire.Replication{Event: wire.RepLock, Rank: w.rank, Mutex: idx})
 		close(w.ch)
 		return
 	}
 	ls.held = false
+	h.repRecord(&wire.Replication{Event: wire.RepUnlock, Rank: -1, Mutex: idx})
 }
 
 // arrive blocks in barrier idx until all nthreads threads have arrived.
-// proceed is false when the home has handed off: quiescence guarantees no
-// generation is in flight at the snapshot, so every post-snapshot arrival
-// belongs to the successor.
-func (h *Home) arrive(idx int32) (proceed bool, err error) {
+// Arrivals are keyed by rank so a replayed arrival (reconnected thread
+// re-sending its in-flight request) cannot double-count. reqID is the
+// arriving request's idempotency id; when the generation opens it becomes
+// the rank's release watermark. proceed is false when the home has handed
+// off: quiescence guarantees no generation is in flight at the snapshot,
+// so every post-snapshot arrival belongs to the successor.
+func (h *Home) arrive(idx, rank int32, reqID uint64) (proceed bool, err error) {
 	h.mu.Lock()
 	if h.snapshotted {
 		h.mu.Unlock()
@@ -598,26 +782,41 @@ func (h *Home) arrive(idx int32) (proceed bool, err error) {
 	}
 	bs := h.barriers[idx]
 	if bs == nil {
-		bs = &barrierState{gen: make(chan struct{})}
+		bs = &barrierState{ranks: make(map[int32]uint64), gen: make(chan struct{})}
 		h.barriers[idx] = bs
 	}
-	bs.arrived++
+	bs.ranks[rank] = reqID
 	gen := bs.gen
-	if bs.arrived == h.nthreads {
-		bs.arrived = 0
+	if len(bs.ranks) > h.nthreads {
+		h.mu.Unlock()
+		return false, fmt.Errorf("dsd: barrier %d over-subscribed", idx)
+	}
+	if len(bs.ranks) == h.nthreads {
+		pairs := make([]wire.RepPair, 0, len(bs.ranks))
+		for r, id := range bs.ranks {
+			if id > h.released[r] {
+				h.released[r] = id
+			}
+			pairs = append(pairs, wire.RepPair{Rank: r, Seq: id})
+		}
+		h.repRecord(&wire.Replication{Event: wire.RepBarrier, Rank: -1, Mutex: idx, Released: pairs})
+		bs.ranks = make(map[int32]uint64)
 		bs.gen = make(chan struct{})
 		h.mu.Unlock()
 		h.opts.Trace.Record("home@"+h.plat.Name, trace.KindBarrierOpen, -1, idx, 0, "")
 		close(gen)
 		return true, nil
 	}
-	if bs.arrived > h.nthreads {
-		h.mu.Unlock()
-		return false, fmt.Errorf("dsd: barrier %d over-subscribed", idx)
-	}
 	h.mu.Unlock()
 	<-gen
 	return true, nil
+}
+
+// releasedMark returns rank's barrier-release watermark.
+func (h *Home) releasedMark(rank int32) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.released[rank]
 }
 
 // applyUpdates converts incoming updates to the home representation
@@ -673,11 +872,23 @@ func (h *Home) applyUpdates(p *peer, msg *wire.Message) error {
 		// would lose it. The successor must take it instead.
 		return errMoved
 	}
+	if msg.Seq != 0 && h.applied[p.rank] >= msg.Seq {
+		// Replayed request: a reconnected thread re-sent an unlock,
+		// barrier, flush or join whose updates already landed. Applying
+		// them twice would be harmless for the master (idempotent value
+		// writes) but would re-queue spans; skip cleanly.
+		return nil
+	}
 	h.dirty = true
+	rep := make([]wire.Update, 0, len(convs))
 	for _, cv := range convs {
 		if err := h.master.RawWrite(h.table.SpanOffset(cv.span), cv.data); err != nil {
 			return err
 		}
+		rep = append(rep, wire.Update{
+			Entry: int32(cv.span.Entry), First: int32(cv.span.First), Count: int32(cv.span.Count),
+			Data: cv.data,
+		})
 		for rank := range h.peers {
 			if rank == p.rank {
 				continue
@@ -697,20 +908,32 @@ func (h *Home) applyUpdates(p *peer, msg *wire.Message) error {
 			h.pending[rank] = append(h.pending[rank], cv.span)
 		}
 	}
+	if msg.Seq > h.applied[p.rank] {
+		h.applied[p.rank] = msg.Seq
+	}
+	h.repRecord(&wire.Replication{
+		Event: wire.RepUpdate, Rank: p.rank, Mutex: -1,
+		Updates: rep,
+		Applied: []wire.RepPair{{Rank: p.rank, Seq: msg.Seq}},
+	})
 	return nil
 }
 
-// takePending drains and materializes the pending updates for one thread:
-// coalesce spans, form tags (t_tag), copy master data (t_pack's gather
-// half). The encode half of t_pack is charged in send. Under the
-// invalidate protocol only the spans travel, as data-less records.
-func (h *Home) takePending(p *peer) []wire.Update {
+// peekPending materializes the pending updates for one thread without
+// draining the queue: coalesce spans, form tags (t_tag), copy master data
+// (t_pack's gather half). The encode half of t_pack is charged in send.
+// Under the invalidate protocol only the spans travel, as data-less
+// records. The returned mark is the raw queue length covered by the peek;
+// commitPending(mark) drains exactly that prefix once delivery is
+// confirmed, so spans appended meanwhile survive and a lost grant or
+// release can be re-materialized for the replayed request.
+func (h *Home) peekPending(p *peer) ([]wire.Update, int) {
 	h.mu.Lock()
-	spans := indextable.MergeSpans(h.pending[p.rank])
-	h.pending[p.rank] = nil
+	mark := len(h.pending[p.rank])
+	spans := indextable.MergeSpans(append([]indextable.Span(nil), h.pending[p.rank]...))
 	if len(spans) == 0 {
 		h.mu.Unlock()
-		return nil
+		return nil, mark
 	}
 	if h.opts.Protocol == ProtocolInvalidate {
 		h.mu.Unlock()
@@ -718,7 +941,7 @@ func (h *Home) takePending(p *peer) []wire.Update {
 		for i, s := range spans {
 			updates[i] = wire.Update{Entry: int32(s.Entry), First: int32(s.First), Count: int32(s.Count)}
 		}
-		return updates
+		return updates, mark
 	}
 	spans = widenSpans(h.table, spans, h.opts.WholeArrayThreshold)
 
@@ -750,7 +973,84 @@ func (h *Home) takePending(p *peer) []wire.Update {
 	}
 	h.bd.AddBytes(stats.Pack, time.Since(packStart), packBytes)
 	h.mu.Unlock()
-	return updates
+	return updates, mark
+}
+
+// commitPending drains the first mark raw entries of a rank's pending
+// queue — the prefix a prior peekPending materialized — now that their
+// delivery is confirmed (lock-ack received, or a later request arrived).
+func (h *Home) commitPending(p *peer, mark int) {
+	h.mu.Lock()
+	q := h.pending[p.rank]
+	if mark >= len(q) {
+		h.pending[p.rank] = nil
+	} else {
+		h.pending[p.rank] = append([]indextable.Span(nil), q[mark:]...)
+	}
+	h.mu.Unlock()
+}
+
+// repRecord mirrors one mutation to the standby; caller holds h.mu.
+func (h *Home) repRecord(rec *wire.Replication) {
+	if h.rep != nil {
+		h.rep.Record(rec)
+	}
+}
+
+// repFlush blocks until every mutation recorded so far is acknowledged by
+// the standby (no-op without a replicator). Callers must not hold h.mu.
+func (h *Home) repFlush() {
+	h.mu.Lock()
+	rep := h.rep
+	h.mu.Unlock()
+	if rep != nil {
+		rep.Flush()
+	}
+}
+
+// StartReplication attaches a replicator and hands it a RepInit bootstrap
+// record — full master image plus lock, join and watermark state — under
+// the home mutex, so no mutation can slip between the snapshot and the
+// stream start.
+func (h *Home) StartReplication(r Replicator) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rep != nil {
+		return fmt.Errorf("dsd: home already replicating")
+	}
+	img := make([]byte, h.layout.Size)
+	if _, err := h.master.Read(0, h.layout.Size, img); err != nil {
+		return err
+	}
+	init := &wire.Replication{
+		Event:    wire.RepInit,
+		Rank:     -1,
+		Mutex:    -1,
+		Platform: h.plat.Name,
+		Base:     h.table.Base(),
+		Image:    img,
+		Tag:      tag.FromLayout(h.layout).String(),
+		Dirty:    h.dirty,
+		Proto:    uint8(h.opts.Protocol),
+		Nthreads: int32(h.nthreads),
+	}
+	for idx, ls := range h.locks {
+		if ls.held {
+			init.Held = append(init.Held, wire.RepPair{Rank: ls.holder, Seq: uint64(idx)})
+		}
+	}
+	for rank := range h.joined {
+		init.Joined = append(init.Joined, rank)
+	}
+	for rank, seq := range h.applied {
+		init.Applied = append(init.Applied, wire.RepPair{Rank: rank, Seq: seq})
+	}
+	for rank, seq := range h.released {
+		init.Released = append(init.Released, wire.RepPair{Rank: rank, Seq: seq})
+	}
+	h.rep = r
+	r.Record(init)
+	return nil
 }
 
 // widenSpans applies the whole-array transfer rule: a span covering at

@@ -328,3 +328,101 @@ func TestDeadHolderLockRecovered(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHandoffUnderFlakyTransport interleaves a home handoff with links that
+// die at every possible operation count: the worker's traffic, the Detach
+// quiescence wait, the successor handshakes and the redirects all run over
+// the failing transport. Whatever the cut point, Detach must return within
+// its own timeout (success or a clean error, never a hang), a successful
+// handoff must leave the successor serving, and the worker must either
+// finish or fail with an error.
+func TestHandoffUnderFlakyTransport(t *testing.T) {
+	for failEvery := 2; failEvery <= 32; failEvery += 5 {
+		failEvery := failEvery
+		t.Run(fmt.Sprintf("fail-every-%d", failEvery), func(t *testing.T) {
+			t.Parallel()
+			inner := transport.NewInproc()
+			nw := transport.NewFlaky(inner, failEvery)
+			h, err := NewHome(testGThV(), platform.LinuxX86, 1, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := nw.Listen("home")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go h.Serve(l)
+			defer h.Close()
+
+			done := make(chan error, 1)
+			go func() {
+				th, err := Dial(nw, "home", platform.SolarisSPARC, 0, testGThV(), DefaultOptions())
+				if err != nil {
+					done <- err
+					return
+				}
+				defer th.Close()
+				sum := th.Globals().MustVar("sum")
+				for i := 0; i < 10; i++ {
+					if err := th.Lock(0); err != nil {
+						done <- err
+						return
+					}
+					v, err := sum.Int(0)
+					if err != nil {
+						done <- err
+						return
+					}
+					if err := sum.SetInt(0, v+1); err != nil {
+						done <- err
+						return
+					}
+					if err := th.Unlock(0); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- th.Join()
+			}()
+
+			// Detach mid-workload. Quiescence may never come (the worker
+			// may be wedged in a retry loop or hold the lock when its link
+			// died), so an error is as acceptable as a handoff — but the
+			// call must come back.
+			detached := make(chan *Handoff, 1)
+			go func() {
+				state, err := h.Detach(500 * time.Millisecond)
+				if err != nil {
+					detached <- nil
+					return
+				}
+				detached <- state
+			}()
+			select {
+			case state := <-detached:
+				if state != nil {
+					h2, err := NewHomeFromHandoff(testGThV(), platform.SolarisSPARC, 1, DefaultOptions(), state)
+					if err != nil {
+						t.Fatalf("fail-every-%d: handoff state rejected: %v", failEvery, err)
+					}
+					l2, err := nw.Listen("home2")
+					if err != nil {
+						t.Fatal(err)
+					}
+					go h2.Serve(l2)
+					defer h2.Close()
+					h.RedirectTo("home2")
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatalf("fail-every-%d: Detach hung past its own timeout", failEvery)
+			}
+
+			select {
+			case <-done:
+				// Error or success: both fine; hanging is not.
+			case <-time.After(30 * time.Second):
+				t.Fatalf("fail-every-%d: workload hung across the handoff", failEvery)
+			}
+		})
+	}
+}

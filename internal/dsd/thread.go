@@ -52,6 +52,11 @@ type Thread struct {
 	// conns, in-process pipes) cannot follow redirects.
 	nw   transport.Network
 	addr string
+
+	// rc is set by DialHA-created threads: conn is then a reconnecting
+	// wrapper whose OnConnect re-registers with whichever home answers,
+	// and call retries requests across connection failures.
+	rc *transport.Reconn
 }
 
 // Connect performs the hello handshake over an established connection and
@@ -97,12 +102,18 @@ func Connect(conn transport.Conn, p *platform.Platform, rank int32, gthv tag.Str
 
 // handshake registers the thread with its (possibly new, after a redirect)
 // home and learns the home's platform and base for conversions.
-func (t *Thread) handshake() error {
+func (t *Thread) handshake() error { return t.handshakeOn(t.conn) }
+
+// handshakeOn runs the hello exchange over an explicit connection. HA
+// threads install it as the Reconn's OnConnect hook, which hands them the
+// raw, freshly dialed conn — sending through t.conn there would re-enter
+// the redial path and deadlock.
+func (t *Thread) handshakeOn(c transport.Conn) error {
 	var flags uint8
 	if t.warm {
 		flags |= wire.FlagWarmReplica
 	}
-	if err := t.send(&wire.Message{
+	if err := t.sendOn(c, &wire.Message{
 		Kind:     wire.KindHello,
 		Rank:     t.rank,
 		Platform: t.plat.Name,
@@ -111,9 +122,12 @@ func (t *Thread) handshake() error {
 	}); err != nil {
 		return err
 	}
-	ack, err := t.recv(wire.KindHelloAck)
+	ack, err := t.recvOn(c)
 	if err != nil {
 		return err
+	}
+	if ack.Kind != wire.KindHelloAck {
+		return fmt.Errorf("dsd: expected %v, got %v", wire.KindHelloAck, ack.Kind)
 	}
 	t.homePlat = platform.ByName(ack.Platform)
 	if t.homePlat == nil {
@@ -129,6 +143,10 @@ func (t *Thread) handshake() error {
 	}
 	t.translator = t.table.Translator(t.homeTable)
 	t.proto = Protocol(ack.Proto)
+	// From now on the replica tracks this home: any later registration
+	// (redirect, reconnect) is a warm one, and the home's pending queue
+	// for this rank is its exact catch-up.
+	t.warm = true
 	return nil
 }
 
@@ -193,6 +211,77 @@ func Dial(nw transport.Network, addr string, p *platform.Platform, rank int32, g
 	return t, nil
 }
 
+// DialHA connects to a home that may fail over: addrs lists the candidate
+// homes (primary first, then standbys). The connection is a reconnecting
+// wrapper — when it breaks, the next request redials through the candidate
+// list with capped exponential backoff and jitter, re-registers via the
+// hello handshake, and re-sends the in-flight request under its original
+// sequence number so the home (original or promoted standby) applies it at
+// most once.
+func DialHA(nw transport.Network, addrs []string, p *platform.Platform, rank int32, gthv tag.Struct, opts Options) (*Thread, error) {
+	return DialHABackoff(nw, addrs, p, rank, gthv, opts, transport.DefaultBackoff())
+}
+
+// DialHABackoff is DialHA with an explicit reconnect policy.
+func DialHABackoff(nw transport.Network, addrs []string, p *platform.Platform, rank int32, gthv tag.Struct, opts Options, policy transport.Backoff) (*Thread, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Base%uint64(p.PageSize) != 0 {
+		return nil, fmt.Errorf("dsd: base %#x not aligned to %s page size %d", opts.Base, p, p.PageSize)
+	}
+	layout, err := tag.NewLayout(gthv, p)
+	if err != nil {
+		return nil, err
+	}
+	table, err := indextable.Build(layout, opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := vmem.NewSegment(opts.Base, layout.Size, p.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	rc := transport.NewReconn(nw, addrs, policy)
+	t := &Thread{
+		rank:   rank,
+		plat:   p,
+		opts:   opts,
+		gthv:   gthv,
+		conn:   rc,
+		layout: layout,
+		table:  table,
+		seg:    seg,
+		nw:     nw,
+		rc:     rc,
+	}
+	t.globals = newGlobals(p, table, seg)
+	t.globals.ensure = t.ensureValid
+	t.globals.wrote = t.noteLocalWrite
+	rc.OnConnect = func(c transport.Conn) error {
+		if err := t.handshakeOn(c); err != nil {
+			return err
+		}
+		t.opts.Trace.Record(t.traceName(), trace.KindReconnect, t.rank, -1, 0, "")
+		return nil
+	}
+	if err := rc.Connect(); err != nil {
+		rc.Close()
+		return nil, err
+	}
+	t.seg.ProtectAll()
+	return t, nil
+}
+
+// Reconnects returns how many times this thread's connection was redialed
+// after a failure (0 for non-HA threads and unbroken HA threads).
+func (t *Thread) Reconnects() uint64 {
+	if t.rc == nil {
+		return 0
+	}
+	return t.rc.Reconnects()
+}
+
 // Rank returns the thread's iso-computing rank.
 func (t *Thread) Rank() int32 { return t.rank }
 
@@ -217,13 +306,35 @@ func (t *Thread) Close() error { return t.conn.Close() }
 // following home-handoff redirects (KindRedirect) when the thread was
 // created with Dial: it reconnects to the new home, re-registers, and
 // re-sends the request.
+//
+// HA threads (DialHA) additionally retry the request across connection
+// failures: the re-send goes through the reconnecting conn, whose redial
+// re-registers with whichever home answers — the original after a transient
+// partition, or a promoted standby after a failover. The request keeps its
+// sequence number (send stamps it once), so the home recognizes a replay of
+// something it already processed and answers idempotently.
 func (t *Thread) call(m *wire.Message, want wire.Kind) (*wire.Message, error) {
-	for attempt := 0; attempt < 4; attempt++ {
+	attempts := 4
+	if t.rc != nil {
+		// Each failed attempt already rode out a full redial cycle, so
+		// this bounds total patience, not dial count.
+		attempts = 16
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
 		if err := t.send(m); err != nil {
+			if t.rc != nil {
+				lastErr = err
+				continue
+			}
 			return nil, err
 		}
 		reply, err := t.recvAny()
 		if err != nil {
+			if t.rc != nil {
+				lastErr = err
+				continue
+			}
 			return nil, err
 		}
 		if reply.Kind == wire.KindRedirect {
@@ -237,16 +348,34 @@ func (t *Thread) call(m *wire.Message, want wire.Kind) (*wire.Message, error) {
 		}
 		return reply, nil
 	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("dsd: %v gave up after %d attempts: %w", m.Kind, attempts, lastErr)
+	}
 	return nil, fmt.Errorf("dsd: too many home redirects")
 }
 
 // followRedirect reconnects to a moved home and re-registers.
 func (t *Thread) followRedirect(addr string) error {
-	if t.nw == nil {
-		return fmt.Errorf("dsd: home moved to %q but this thread cannot redial (created with Connect, not Dial)", addr)
-	}
 	if addr == "" {
 		return fmt.Errorf("dsd: redirect without an address")
+	}
+	if t.rc != nil {
+		// Point the reconnecting conn at the new home (keeping the old
+		// candidates as fallbacks) and let the next send's redial run the
+		// re-handshake through OnConnect.
+		old := t.rc.Addrs()
+		addrs := []string{addr}
+		for _, a := range old {
+			if a != addr {
+				addrs = append(addrs, a)
+			}
+		}
+		t.rc.SetAddrs(addrs)
+		t.opts.Trace.Record(t.traceName(), trace.KindRedirect, t.rank, -1, 0, "to "+addr)
+		return nil
+	}
+	if t.nw == nil {
+		return fmt.Errorf("dsd: home moved to %q but this thread cannot redial (created with Connect, not Dial)", addr)
 	}
 	conn, err := t.nw.Dial(addr)
 	if err != nil {
@@ -276,7 +405,21 @@ func (t *Thread) Lock(idx int) error {
 	if err := t.applyIncoming(grant); err != nil {
 		return err
 	}
-	return t.send(&wire.Message{Kind: wire.KindLockAck, Mutex: int32(idx), Rank: t.rank})
+	// The ack is the one request without a reply; for HA threads a re-send
+	// rides the reconnecting conn onto a fresh connection, whose home-side
+	// stub tolerates a stray ack.
+	ack := &wire.Message{Kind: wire.KindLockAck, Mutex: int32(idx), Rank: t.rank}
+	attempts := 1
+	if t.rc != nil {
+		attempts = 16
+	}
+	var sendErr error
+	for i := 0; i < attempts; i++ {
+		if sendErr = t.send(ack); sendErr == nil {
+			return nil
+		}
+	}
+	return sendErr
 }
 
 // Unlock releases mutex idx (MTh_unlock): dirty pages are diffed, the
@@ -466,21 +609,36 @@ func (t *Thread) traceName() string {
 	return fmt.Sprintf("rank-%d@%s", t.rank, t.plat.Name)
 }
 
-// send encodes (t_pack) and transmits.
+// send encodes (t_pack) and transmits. The sequence number is stamped only
+// once, on the first transmission: a request re-sent after a reconnect must
+// carry the same id so the home's idempotency watermarks recognize the
+// replay.
 func (t *Thread) send(m *wire.Message) error {
-	m.Seq = t.seq.Add(1)
+	return t.sendOn(t.conn, m)
+}
+
+// sendOn is send over an explicit connection (see handshakeOn).
+func (t *Thread) sendOn(c transport.Conn, m *wire.Message) error {
+	if m.Seq == 0 {
+		m.Seq = t.seq.Add(1)
+	}
 	start := time.Now()
 	frame, err := wire.Encode(m)
 	if err != nil {
 		return err
 	}
 	t.bd.Add(stats.Pack, time.Since(start))
-	return t.conn.SendFrame(frame)
+	return c.SendFrame(frame)
 }
 
 // recvAny receives and decodes (t_unpack) the next message.
 func (t *Thread) recvAny() (*wire.Message, error) {
-	frame, err := t.conn.RecvFrame()
+	return t.recvOn(t.conn)
+}
+
+// recvOn is recvAny over an explicit connection (see handshakeOn).
+func (t *Thread) recvOn(c transport.Conn) (*wire.Message, error) {
+	frame, err := c.RecvFrame()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,288 @@
+package ha
+
+import (
+	"fmt"
+	"sync"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/indextable"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+	"hetdsm/internal/trace"
+	"hetdsm/internal/transport"
+	"hetdsm/internal/wire"
+)
+
+// Backup is a hot standby for a DSD home: it consumes the replication
+// stream and mirrors the home's durable state — the master image
+// byte-for-byte in the primary's own layout (no conversion on the hot
+// path), held locks, the joined set, and the idempotency and barrier
+// watermarks. Because the primary's handlers block on replication before
+// releasing any client, the mirror is never more than one release
+// operation behind what any client has observed.
+type Backup struct {
+	gthv tag.Struct
+	// Counters, when set, is shared observability.
+	Counters *Counters
+	// Trace, when non-nil, records promote events.
+	Trace *trace.Log
+
+	mu       sync.Mutex
+	haveInit bool
+	srcPlat  *platform.Platform
+	srcBase  uint64
+	srcTable *indextable.Table
+	image    []byte
+	tagStr   string
+	dirty    bool
+	proto    uint8
+	nthreads int
+	held     map[int32]int32
+	joined   map[int32]bool
+	applied  map[int32]uint64
+	released map[int32]uint64
+	lastSeq  uint64
+	promoted bool
+}
+
+// NewBackup builds a standby for the given GThV type. Everything else —
+// the primary's platform, thread count, image — arrives with the RepInit
+// record.
+func NewBackup(gthv tag.Struct) *Backup {
+	return &Backup{
+		gthv:     gthv,
+		held:     make(map[int32]int32),
+		joined:   make(map[int32]bool),
+		applied:  make(map[int32]uint64),
+		released: make(map[int32]uint64),
+	}
+}
+
+// ServeReplication accepts replication connections on l and applies their
+// records until the listener closes. It also answers KindPing, so a
+// detector can probe the standby itself.
+func (b *Backup) ServeReplication(l transport.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go b.serveConn(c)
+	}
+}
+
+func (b *Backup) serveConn(c transport.Conn) {
+	defer c.Close()
+	for {
+		frame, err := c.RecvFrame()
+		if err != nil {
+			return
+		}
+		m, err := wire.Decode(frame)
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case wire.KindPing:
+			out, err := wire.Encode(&wire.Message{Kind: wire.KindPong, Seq: m.Seq, Rank: m.Rank})
+			if err != nil || c.SendFrame(out) != nil {
+				return
+			}
+		case wire.KindReplicate:
+			if m.Rep == nil {
+				return
+			}
+			if err := b.Apply(m.Rep); err != nil {
+				return
+			}
+			out, err := wire.Encode(&wire.Message{
+				Kind: wire.KindReplicateAck,
+				Seq:  m.Seq,
+				Rep:  &wire.Replication{Seq: m.Rep.Seq},
+			})
+			if err != nil || c.SendFrame(out) != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Apply folds one replication record into the mirror.
+func (b *Backup) Apply(rec *wire.Replication) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.promoted {
+		return fmt.Errorf("ha: backup already promoted")
+	}
+	if rec.Seq != 0 && rec.Seq <= b.lastSeq {
+		return nil // duplicate delivery
+	}
+	switch rec.Event {
+	case wire.RepInit:
+		p := platform.ByName(rec.Platform)
+		if p == nil {
+			return fmt.Errorf("ha: replication from unknown platform %q", rec.Platform)
+		}
+		layout, err := tag.NewLayout(b.gthv, p)
+		if err != nil {
+			return err
+		}
+		if want := tag.FromLayout(layout).String(); rec.Tag != want {
+			return fmt.Errorf("ha: replication tag %q does not match GThV (%q)", rec.Tag, want)
+		}
+		if len(rec.Image) != layout.Size {
+			return fmt.Errorf("ha: replicated image %d bytes, want %d", len(rec.Image), layout.Size)
+		}
+		table, err := indextable.Build(layout, rec.Base)
+		if err != nil {
+			return err
+		}
+		b.srcPlat = p
+		b.srcBase = rec.Base
+		b.srcTable = table
+		b.image = append([]byte(nil), rec.Image...)
+		b.tagStr = rec.Tag
+		b.dirty = rec.Dirty
+		b.proto = rec.Proto
+		b.nthreads = int(rec.Nthreads)
+		b.held = make(map[int32]int32, len(rec.Held))
+		for _, p := range rec.Held {
+			b.held[int32(p.Seq)] = p.Rank
+		}
+		b.joined = make(map[int32]bool, len(rec.Joined))
+		for _, rank := range rec.Joined {
+			b.joined[rank] = true
+		}
+		b.applied = make(map[int32]uint64, len(rec.Applied))
+		for _, p := range rec.Applied {
+			b.applied[p.Rank] = p.Seq
+		}
+		b.released = make(map[int32]uint64, len(rec.Released))
+		for _, p := range rec.Released {
+			b.released[p.Rank] = p.Seq
+		}
+		b.haveInit = true
+	case wire.RepUpdate:
+		if !b.haveInit {
+			return fmt.Errorf("ha: update record before init")
+		}
+		for i := range rec.Updates {
+			u := &rec.Updates[i]
+			if int(u.Entry) >= b.srcTable.Len() || u.First < 0 || u.Count <= 0 {
+				return fmt.Errorf("ha: replicated span %d/%d/%d invalid", u.Entry, u.First, u.Count)
+			}
+			span := indextable.Span{Entry: int(u.Entry), First: int(u.First), Count: int(u.Count)}
+			e := b.srcTable.Entry(span.Entry)
+			if span.First+span.Count > e.Count {
+				return fmt.Errorf("ha: replicated span %s[%d..%d) exceeds %d elements",
+					e.Name, span.First, span.First+span.Count, e.Count)
+			}
+			if len(u.Data) != b.srcTable.SpanBytes(span) {
+				return fmt.Errorf("ha: replicated span %s has %d bytes, want %d",
+					e.Name, len(u.Data), b.srcTable.SpanBytes(span))
+			}
+			copy(b.image[b.srcTable.SpanOffset(span):], u.Data)
+		}
+		b.dirty = true
+		b.advanceLocked(rec.Applied, b.applied)
+	case wire.RepLock:
+		b.held[rec.Mutex] = rec.Rank
+	case wire.RepUnlock:
+		delete(b.held, rec.Mutex)
+	case wire.RepBarrier:
+		b.advanceLocked(rec.Released, b.released)
+	case wire.RepJoin:
+		b.joined[rec.Rank] = true
+	default:
+		return fmt.Errorf("ha: unknown replication event %d", rec.Event)
+	}
+	if rec.Seq > b.lastSeq {
+		b.lastSeq = rec.Seq
+	}
+	return nil
+}
+
+// advanceLocked folds watermark pairs into a map, never regressing.
+func (b *Backup) advanceLocked(pairs []wire.RepPair, into map[int32]uint64) {
+	for _, p := range pairs {
+		if p.Seq > into[p.Rank] {
+			into[p.Rank] = p.Seq
+		}
+	}
+}
+
+// Ready reports whether the bootstrap record has arrived.
+func (b *Backup) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.haveInit
+}
+
+// LastSeq returns the highest replication sequence applied.
+func (b *Backup) LastSeq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastSeq
+}
+
+// Promote turns the mirror into a live Home on platform p by replaying it
+// through the planned-handoff path. The handoff carries no per-rank
+// pending queues and no known set, so every rank's reconnect handshake
+// reseeds its replica with the full state — the price of a crash cut is
+// one full-image transfer per thread, in exchange for never losing an
+// update. Held locks and both watermark families carry over, so replayed
+// unlocks, barriers and grants stay idempotent, and StickyLocks is forced
+// on: reconnecting holders must keep their mutexes.
+//
+// A Backup can promote once; the replication stream is refused afterwards.
+func (b *Backup) Promote(p *platform.Platform, opts dsd.Options) (*dsd.Home, error) {
+	b.mu.Lock()
+	if !b.haveInit {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("ha: backup never received the bootstrap record")
+	}
+	if b.promoted {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("ha: backup already promoted")
+	}
+	b.promoted = true
+	state := &dsd.Handoff{
+		Platform: b.srcPlat.Name,
+		Base:     b.srcBase,
+		Image:    append([]byte(nil), b.image...),
+		Tag:      b.tagStr,
+		Dirty:    b.dirty,
+		Held:     make(map[int32]int32, len(b.held)),
+		Applied:  make(map[int32]uint64, len(b.applied)),
+		Released: make(map[int32]uint64, len(b.released)),
+	}
+	for idx, rank := range b.held {
+		state.Held[idx] = rank
+	}
+	for rank, seq := range b.applied {
+		state.Applied[rank] = seq
+	}
+	for rank, seq := range b.released {
+		state.Released[rank] = seq
+	}
+	for rank := range b.joined {
+		state.Joined = append(state.Joined, rank)
+	}
+	nthreads := b.nthreads
+	proto := b.proto
+	b.mu.Unlock()
+
+	opts.StickyLocks = true
+	opts.Protocol = dsd.Protocol(proto)
+	h, err := dsd.NewHomeFromHandoff(b.gthv, p, nthreads, opts, state)
+	if err != nil {
+		return nil, err
+	}
+	if b.Counters != nil {
+		b.Counters.Failovers.Add(1)
+	}
+	b.Trace.Record("backup@"+p.Name, trace.KindPromote, -1, -1, len(state.Image), "")
+	return h, nil
+}

@@ -1,0 +1,68 @@
+// Package ha adds fault tolerance to the DSD layer: heartbeat failure
+// detection, hot-standby replication of the home node's state machine, and
+// automatic failover.
+//
+// The paper's home node is a single point of failure — every mutex, every
+// barrier and the master GThV copy live there. This package keeps a warm
+// standby at most one release operation behind the primary:
+//
+//   - A Detector sends KindPing probes on the home's own serving path and
+//     declares the home suspect when no pong arrives within a timeout,
+//     publishing the transition through a View.
+//   - A Replicator streams every home-state mutation (applied updates, lock
+//     transitions, barrier generations, joins) to a Backup as KindReplicate
+//     records; the home's handlers block on the acknowledgement before they
+//     release a client, so anything a client has observed is durable at the
+//     standby.
+//   - On suspicion, a Standby promotes its Backup into a full Home through
+//     the existing handoff path and serves on a pre-agreed address; clients
+//     created with dsd.DialHA reconnect with capped exponential backoff and
+//     re-send their in-flight request under its original sequence number,
+//     which the idempotency watermarks apply at most once.
+//
+// The package detects failure; it does not arbitrate it. If the primary is
+// alive but unreachable (a partition between standby and primary), the
+// standby still promotes, and clients that can still reach the primary keep
+// using it. Fencing such a split brain needs an external arbiter and is out
+// of scope.
+package ha
+
+import "sync/atomic"
+
+// Counters aggregates the package's observability counters; all fields are
+// safe for concurrent use and a nil *Counters is a valid sink that records
+// nothing.
+type Counters struct {
+	// HeartbeatsSent counts KindPing probes transmitted.
+	HeartbeatsSent atomic.Uint64
+	// Pongs counts heartbeat answers received.
+	Pongs atomic.Uint64
+	// Suspicions counts nodes declared suspect.
+	Suspicions atomic.Uint64
+	// Failovers counts standby promotions.
+	Failovers atomic.Uint64
+	// Reconnects counts client connections re-established after a failure
+	// (fed by the caller from dsd.Thread.Reconnects at shutdown).
+	Reconnects atomic.Uint64
+	// RepRecords counts replication records streamed to the standby.
+	RepRecords atomic.Uint64
+	// RepAcks counts replication acknowledgements received.
+	RepAcks atomic.Uint64
+}
+
+// Map returns the counters as plain data for JSON dumping (-stats-json).
+// Safe on a nil receiver.
+func (c *Counters) Map() map[string]uint64 {
+	if c == nil {
+		return map[string]uint64{}
+	}
+	return map[string]uint64{
+		"heartbeats_sent": c.HeartbeatsSent.Load(),
+		"pongs":           c.Pongs.Load(),
+		"suspicions":      c.Suspicions.Load(),
+		"failovers":       c.Failovers.Load(),
+		"reconnects":      c.Reconnects.Load(),
+		"rep_records":     c.RepRecords.Load(),
+		"rep_acks":        c.RepAcks.Load(),
+	}
+}

@@ -1,0 +1,157 @@
+package ha
+
+import (
+	"sync"
+
+	"hetdsm/internal/trace"
+	"hetdsm/internal/transport"
+	"hetdsm/internal/wire"
+)
+
+// Replicator streams home-state mutations to a standby over one connection
+// and implements dsd.Replicator. Record only enqueues (it is called with
+// the home mutex held); a sender goroutine ships KindReplicate frames and
+// an ack reader advances the cumulative acknowledgement. Flush blocks until
+// everything recorded so far is acknowledged — the synchronous-replication
+// barrier the home's handlers call before releasing a client — or until
+// replication has failed, in which case the home degrades to running
+// unreplicated rather than stalling the computation.
+type Replicator struct {
+	conn     transport.Conn
+	counters *Counters
+	// Trace, when non-nil, records one event per shipped record.
+	Trace *trace.Log
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*wire.Replication
+	next   uint64 // last sequence number stamped by Record
+	acked  uint64 // highest cumulative ack from the standby
+	failed error
+	closed bool
+}
+
+// NewReplicator starts replicating over an established connection to a
+// Backup's replication listener. counters may be nil.
+func NewReplicator(conn transport.Conn, counters *Counters) *Replicator {
+	r := &Replicator{conn: conn, counters: counters}
+	r.cond = sync.NewCond(&r.mu)
+	go r.sender()
+	go r.ackReader()
+	return r
+}
+
+// Record implements dsd.Replicator: stamp the record's log position and
+// enqueue it. Called with the home mutex held, so it must not block; the
+// stamp order under r.mu matches the mutation order because every caller
+// already serializes on the home mutex.
+func (r *Replicator) Record(rec *wire.Replication) {
+	r.mu.Lock()
+	r.next++
+	rec.Seq = r.next
+	r.queue = append(r.queue, rec)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if r.counters != nil {
+		r.counters.RepRecords.Add(1)
+	}
+}
+
+// Flush implements dsd.Replicator: block until the standby has acknowledged
+// every record enqueued so far, or replication has failed or been closed.
+func (r *Replicator) Flush() {
+	r.mu.Lock()
+	target := r.next
+	for r.acked < target && r.failed == nil && !r.closed {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// Err returns the error that stopped replication, or nil while healthy.
+func (r *Replicator) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failed
+}
+
+// Acked returns the standby's cumulative acknowledgement.
+func (r *Replicator) Acked() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acked
+}
+
+// Close stops replication and releases any Flush waiter.
+func (r *Replicator) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return r.conn.Close()
+}
+
+func (r *Replicator) fail(err error) {
+	r.mu.Lock()
+	if r.failed == nil {
+		r.failed = err
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.conn.Close()
+}
+
+func (r *Replicator) sender() {
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && r.failed == nil && !r.closed {
+			r.cond.Wait()
+		}
+		if r.failed != nil || r.closed {
+			r.mu.Unlock()
+			return
+		}
+		rec := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+		frame, err := wire.Encode(&wire.Message{
+			Kind:  wire.KindReplicate,
+			Seq:   rec.Seq,
+			Rank:  rec.Rank,
+			Mutex: rec.Mutex,
+			Rep:   rec,
+		})
+		if err == nil {
+			err = r.conn.SendFrame(frame)
+		}
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		r.Trace.Record("replicator", trace.KindReplicate, rec.Rank, rec.Mutex, len(rec.Image)+wire.UpdateBytes(rec.Updates), "")
+	}
+}
+
+func (r *Replicator) ackReader() {
+	for {
+		frame, err := r.conn.RecvFrame()
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		m, err := wire.Decode(frame)
+		if err != nil || m.Kind != wire.KindReplicateAck || m.Rep == nil {
+			r.fail(transport.ErrClosed)
+			return
+		}
+		r.mu.Lock()
+		if m.Rep.Seq > r.acked {
+			r.acked = m.Rep.Seq
+		}
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		if r.counters != nil {
+			r.counters.RepAcks.Add(1)
+		}
+	}
+}

@@ -176,6 +176,27 @@ func (b *Breakdown) Percentages() [NumPhases]float64 {
 	return out
 }
 
+// Map returns the breakdown as plain data keyed by phase name — seconds,
+// charge counts and bytes per Eq. 1 component plus the Cshare total — in a
+// shape that marshals directly to JSON (the -stats-json flags).
+func (b *Breakdown) Map() map[string]any {
+	b.mu.Lock()
+	phases, counts, bytes := b.phases, b.counts, b.bytes
+	b.mu.Unlock()
+	out := make(map[string]any, int(NumPhases)+1)
+	var total time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		total += phases[p]
+		out[p.String()] = map[string]any{
+			"seconds": phases[p].Seconds(),
+			"count":   counts[p],
+			"bytes":   bytes[p],
+		}
+	}
+	out["total_seconds"] = total.Seconds()
+	return out
+}
+
 // Series is a labeled sequence of measurements, one per sweep point — the
 // raw material of the paper's line plots (Figures 8–11).
 type Series struct {

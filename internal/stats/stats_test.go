@@ -138,3 +138,31 @@ func TestSeriesAndTable(t *testing.T) {
 		t.Errorf("missing cell should print '-':\n%s", table)
 	}
 }
+
+func TestMapForJSON(t *testing.T) {
+	var b Breakdown
+	b.Add(Index, 10*time.Millisecond)
+	b.AddBytes(Pack, 20*time.Millisecond, 512)
+	m := b.Map()
+	for p := Phase(0); p < NumPhases; p++ {
+		entry, ok := m[p.String()].(map[string]any)
+		if !ok {
+			t.Fatalf("Map() missing phase %q", p)
+		}
+		for _, key := range []string{"seconds", "count", "bytes"} {
+			if _, ok := entry[key]; !ok {
+				t.Errorf("phase %q missing %q", p, key)
+			}
+		}
+	}
+	pack := m[Pack.String()].(map[string]any)
+	if got := pack["seconds"].(float64); got != 0.02 {
+		t.Errorf("pack seconds = %v, want 0.02", got)
+	}
+	if got := pack["bytes"].(uint64); got != 512 {
+		t.Errorf("pack bytes = %v, want 512", got)
+	}
+	if got := m["total_seconds"].(float64); got != 0.03 {
+		t.Errorf("total_seconds = %v, want 0.03", got)
+	}
+}

@@ -39,6 +39,14 @@ const (
 	KindApply Kind = "apply"
 	// KindDetach is a home freezing for handoff.
 	KindDetach Kind = "detach"
+	// KindSuspect is a failure detector declaring a node suspected dead.
+	KindSuspect Kind = "suspect"
+	// KindPromote is a standby promoting itself to home after a failover.
+	KindPromote Kind = "promote"
+	// KindReconnect is a thread redialing a home after a connection loss.
+	KindReconnect Kind = "reconnect"
+	// KindReplicate is a home-state mutation shipped to a hot standby.
+	KindReplicate Kind = "replicate"
 )
 
 // Event is one recorded occurrence.

@@ -1,15 +1,29 @@
 package transport
 
-import "sync/atomic"
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
 
-// Flaky wraps a Network and kills connections deterministically: the Nth,
-// 2Nth, 3Nth... frame operations across the whole network fail and sever
-// their connection. It exists for failure-injection tests: a DSM layer
-// must turn a dying link into a clean error, never a hang or a panic.
+// Flaky wraps a Network and kills connections by failure injection: a DSM
+// layer must turn a dying link into a clean error, never a hang or a panic.
+// Two modes exist, both deterministic:
+//
+//   - every-Nth (NewFlaky): the Nth, 2Nth, 3Nth... frame operations across
+//     the whole network fail and sever their connection.
+//   - seeded-random (NewFlakyRand): each frame operation fails with
+//     probability p, drawn from a seeded generator, so chaos tests can vary
+//     failure timing across seeds while staying reproducible.
 type Flaky struct {
 	inner Network
 	every int64
 	ops   atomic.Int64
+
+	rmu  sync.Mutex
+	rng  *rand.Rand
+	p    float64
+	kill atomic.Int64
 }
 
 // NewFlaky wraps inner so every N-th frame operation fails.
@@ -20,8 +34,23 @@ func NewFlaky(inner Network, every int) *Flaky {
 	return &Flaky{inner: inner, every: int64(every)}
 }
 
+// NewFlakyRand wraps inner so each frame operation independently fails with
+// probability p, deterministically derived from seed.
+func NewFlakyRand(inner Network, p float64, seed int64) *Flaky {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &Flaky{inner: inner, p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
 // Ops returns the number of frame operations observed.
 func (f *Flaky) Ops() int64 { return f.ops.Load() }
+
+// Kills returns the number of operations the wrapper failed.
+func (f *Flaky) Kills() int64 { return f.kill.Load() }
 
 // Listen implements Network.
 func (f *Flaky) Listen(addr string) (Listener, error) {
@@ -64,7 +93,20 @@ type flakyConn struct {
 
 // shouldFail consumes one operation slot and reports whether it is doomed.
 func (c *flakyConn) shouldFail() bool {
-	return c.net.ops.Add(1)%c.net.every == 0
+	f := c.net
+	n := f.ops.Add(1)
+	var doomed bool
+	if f.rng != nil {
+		f.rmu.Lock()
+		doomed = f.rng.Float64() < f.p
+		f.rmu.Unlock()
+	} else {
+		doomed = n%f.every == 0
+	}
+	if doomed {
+		f.kill.Add(1)
+	}
+	return doomed
 }
 
 func (c *flakyConn) SendFrame(frame []byte) error {

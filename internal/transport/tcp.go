@@ -7,11 +7,13 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"hetdsm/internal/wire"
 )
 
-// maxFrame bounds a received frame length (64 MiB), mirroring the wire
-// package's payload bound.
-const maxFrame = 64 << 20
+// maxFrame bounds a received frame length: the single 64 MiB limit both
+// layers share lives in the wire package.
+const maxFrame = wire.MaxFrame
 
 // TCP is a Network over stdlib net. Addresses are host:port strings;
 // Listen accepts ":0" style addresses and Addr reports the bound port.

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEncodeDecodeHeartbeat(t *testing.T) {
+	for _, m := range []*Message{
+		{Kind: KindPing, Seq: 17, Rank: -1, Mutex: -1},
+		{Kind: KindPong, Seq: 17, Rank: 3},
+	} {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Kind, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%v: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, m)
+		}
+	}
+}
+
+func TestEncodeDecodeReplication(t *testing.T) {
+	m := &Message{
+		Kind:  KindReplicate,
+		Seq:   9,
+		Rank:  -1,
+		Mutex: 2,
+		Rep: &Replication{
+			Seq:      9,
+			Event:    RepInit,
+			Rank:     -1,
+			Mutex:    2,
+			Platform: "solaris-sparc",
+			Base:     0x40058000,
+			Image:    []byte{1, 2, 3, 4, 5, 6, 7, 8},
+			Tag:      "(4,-1)(4,3)",
+			Dirty:    true,
+			Proto:    1,
+			Nthreads: 4,
+			Updates: []Update{
+				{Entry: 1, First: 2, Count: 2, Tag: "(4,2)", Data: []byte{0, 0, 0, 1, 0, 0, 0, 2}},
+			},
+			Held:     []RepPair{{Rank: 1, Seq: 0}, {Rank: 2, Seq: 5}},
+			Applied:  []RepPair{{Rank: 0, Seq: 12}, {Rank: 1, Seq: 7}},
+			Released: []RepPair{{Rank: 2, Seq: 3}},
+			Joined:   []int32{0, 2},
+		},
+	}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("replication round trip mismatch:\n got %+v %+v\nwant %+v %+v", got, got.Rep, m, m.Rep)
+	}
+}
+
+func TestEncodeDecodeReplicationAck(t *testing.T) {
+	m := &Message{Kind: KindReplicateAck, Seq: 4, Rep: &Replication{Seq: 4}}
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("ack round trip mismatch:\n got %+v %+v\nwant %+v %+v", got, got.Rep, m, m.Rep)
+	}
+}
+
+func TestReplicationEventNames(t *testing.T) {
+	for ev, want := range map[RepEvent]string{
+		RepInit:    "rep-init",
+		RepUpdate:  "rep-update",
+		RepLock:    "rep-lock",
+		RepUnlock:  "rep-unlock",
+		RepBarrier: "rep-barrier",
+		RepJoin:    "rep-join",
+	} {
+		if got := ev.String(); got != want {
+			t.Errorf("RepEvent(%d).String() = %q, want %q", ev, got, want)
+		}
+	}
+}

@@ -64,6 +64,17 @@ const (
 	KindFetchReq
 	// KindFetchReply carries the requested spans with data.
 	KindFetchReply
+	// KindPing is a heartbeat probe (failure detection); any node that
+	// serves DSD traffic answers with KindPong.
+	KindPing
+	// KindPong answers a ping, echoing its Seq.
+	KindPong
+	// KindReplicate streams one home-state mutation to a hot-standby
+	// backup; the Rep payload describes the mutation and Updates carries
+	// span data (already in the home's representation).
+	KindReplicate
+	// KindReplicateAck acknowledges a replication record by its Rep.Seq.
+	KindReplicateAck
 	numKinds
 )
 
@@ -78,6 +89,8 @@ var kindNames = [...]string{
 	KindFlushReq: "flush-req", KindFlushAck: "flush-ack",
 	KindRedirect: "redirect",
 	KindFetchReq: "fetch-req", KindFetchReply: "fetch-reply",
+	KindPing: "ping", KindPong: "pong",
+	KindReplicate: "replicate", KindReplicateAck: "replicate-ack",
 }
 
 // String returns the protocol name of the kind.
@@ -120,6 +133,92 @@ type ThreadState struct {
 	Extra    []byte
 }
 
+// RepEvent discriminates replication records on the home→backup stream.
+type RepEvent uint8
+
+const (
+	// RepInvalid is the zero value; never sent.
+	RepInvalid RepEvent = iota
+	// RepInit bootstraps the backup: full master image plus lock, join
+	// and watermark state at stream start.
+	RepInit
+	// RepUpdate mirrors an applied update batch; the enclosing message's
+	// Updates carry the spans with data in the home's representation.
+	RepUpdate
+	// RepLock mirrors a mutex grant: Rank now holds Mutex.
+	RepLock
+	// RepUnlock mirrors a mutex becoming free.
+	RepUnlock
+	// RepBarrier mirrors a barrier generation opening; Released lists
+	// each arrived rank with the request id its release answers.
+	RepBarrier
+	// RepJoin mirrors a rank joining.
+	RepJoin
+)
+
+// String names the event for traces and diagnostics.
+func (e RepEvent) String() string {
+	switch e {
+	case RepInit:
+		return "rep-init"
+	case RepUpdate:
+		return "rep-update"
+	case RepLock:
+		return "rep-lock"
+	case RepUnlock:
+		return "rep-unlock"
+	case RepBarrier:
+		return "rep-barrier"
+	case RepJoin:
+		return "rep-join"
+	}
+	return fmt.Sprintf("rep-event-%d", uint8(e))
+}
+
+// RepPair is a (rank, sequence) pair used for replicated watermarks and,
+// with Seq holding a mutex index, for replicated lock holders.
+type RepPair struct {
+	Rank int32
+	Seq  uint64
+}
+
+// Replication is the payload of KindReplicate: one ordered mutation of the
+// home's state machine, letting a hot standby mirror it.
+type Replication struct {
+	// Seq is the record's position in the replication log; acks echo it.
+	Seq uint64
+	// Event discriminates the mutation.
+	Event RepEvent
+	// Rank is the thread involved (holder, joiner, updater); -1 if none.
+	Rank int32
+	// Mutex is the lock/barrier index; -1 if none.
+	Mutex int32
+	// Platform, Base, Image, Tag, Dirty, Proto and Nthreads describe the
+	// home at stream start (RepInit only): the master image travels in
+	// the home's own representation.
+	Platform string
+	Base     uint64
+	Image    []byte
+	Tag      string
+	Dirty    bool
+	Proto    uint8
+	Nthreads int32
+	// Updates carries the mutated spans with data in the home's own
+	// representation (RepUpdate only): the backup mirrors the master
+	// image byte-for-byte, no conversion.
+	Updates []Update
+	// Held lists currently held locks as {holder rank, mutex} (RepInit).
+	Held []RepPair
+	// Joined lists ranks that have joined (RepInit).
+	Joined []int32
+	// Applied carries per-rank idempotency watermarks: the highest
+	// update-bearing request id applied for each rank.
+	Applied []RepPair
+	// Released carries per-rank barrier-release watermarks: the request
+	// id of the last barrier arrival whose release was issued.
+	Released []RepPair
+}
+
 // Message is one protocol datagram.
 type Message struct {
 	// Kind discriminates the message.
@@ -153,6 +252,9 @@ type Message struct {
 	// the sender's replica already holds state from a previous home
 	// (redirect re-registration) rather than being freshly allocated.
 	Flags uint8
+	// Rep carries the replication payload on KindReplicate and the acked
+	// sequence number on KindReplicateAck.
+	Rep *Replication
 }
 
 // FlagWarmReplica marks a Hello from a thread whose replica is already
@@ -163,10 +265,14 @@ const FlagWarmReplica uint8 = 1 << 0
 // maxStringLen bounds decoded strings; tags and platform names are tiny.
 const maxStringLen = 1 << 16
 
-// maxDataLen bounds a decoded byte payload (64 MiB), far above any
-// experiment in the paper while still preventing a corrupt length from
-// allocating unbounded memory.
-const maxDataLen = 64 << 20
+// MaxFrame bounds any encoded frame and any decoded byte payload (64 MiB),
+// far above any experiment in the paper while still preventing a corrupt
+// length from allocating unbounded memory. The transport layer enforces
+// the same bound on received frames.
+const MaxFrame = 64 << 20
+
+// maxDataLen is MaxFrame under its historical internal name.
+const maxDataLen = MaxFrame
 
 // Encode serializes a message. This is the t_pack work.
 func Encode(m *Message) ([]byte, error) {
@@ -180,15 +286,7 @@ func Encode(m *Message) ([]byte, error) {
 	buf = be32(buf, uint32(m.Mutex))
 	buf = appendString(buf, m.Platform)
 	buf = be64(buf, m.Base)
-	buf = be32(buf, uint32(len(m.Updates)))
-	for i := range m.Updates {
-		u := &m.Updates[i]
-		buf = be32(buf, uint32(u.Entry))
-		buf = be32(buf, uint32(u.First))
-		buf = be32(buf, uint32(u.Count))
-		buf = appendString(buf, u.Tag)
-		buf = appendBytes(buf, u.Data)
-	}
+	buf = appendUpdates(buf, m.Updates)
 	if m.State != nil {
 		buf = append(buf, 1)
 		buf = be64(buf, uint64(m.State.PC))
@@ -203,7 +301,62 @@ func Encode(m *Message) ([]byte, error) {
 	buf = appendString(buf, m.Addr)
 	buf = append(buf, m.Proto)
 	buf = append(buf, m.Flags)
+	if m.Rep != nil {
+		buf = append(buf, 1)
+		buf = appendRep(buf, m.Rep)
+	} else {
+		buf = append(buf, 0)
+	}
 	return buf, nil
+}
+
+func appendRep(buf []byte, r *Replication) []byte {
+	buf = be64(buf, r.Seq)
+	buf = append(buf, byte(r.Event))
+	buf = be32(buf, uint32(r.Rank))
+	buf = be32(buf, uint32(r.Mutex))
+	buf = appendString(buf, r.Platform)
+	buf = be64(buf, r.Base)
+	buf = appendBytes(buf, r.Image)
+	buf = appendString(buf, r.Tag)
+	if r.Dirty {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, r.Proto)
+	buf = be32(buf, uint32(r.Nthreads))
+	buf = appendUpdates(buf, r.Updates)
+	buf = appendPairs(buf, r.Held)
+	buf = be32(buf, uint32(len(r.Joined)))
+	for _, rank := range r.Joined {
+		buf = be32(buf, uint32(rank))
+	}
+	buf = appendPairs(buf, r.Applied)
+	buf = appendPairs(buf, r.Released)
+	return buf
+}
+
+func appendUpdates(buf []byte, us []Update) []byte {
+	buf = be32(buf, uint32(len(us)))
+	for i := range us {
+		u := &us[i]
+		buf = be32(buf, uint32(u.Entry))
+		buf = be32(buf, uint32(u.First))
+		buf = be32(buf, uint32(u.Count))
+		buf = appendString(buf, u.Tag)
+		buf = appendBytes(buf, u.Data)
+	}
+	return buf
+}
+
+func appendPairs(buf []byte, ps []RepPair) []byte {
+	buf = be32(buf, uint32(len(ps)))
+	for _, p := range ps {
+		buf = be32(buf, uint32(p.Rank))
+		buf = be64(buf, p.Seq)
+	}
+	return buf
 }
 
 func encodedUpdatesSize(us []Update) int {
@@ -229,20 +382,9 @@ func Decode(b []byte) (*Message, error) {
 	m.Mutex = int32(d.u32())
 	m.Platform = d.str()
 	m.Base = d.u64()
-	n := int(d.u32())
-	if d.err == nil && n > 0 {
-		if n > maxDataLen/16 {
-			return nil, fmt.Errorf("wire: implausible update count %d", n)
-		}
-		m.Updates = make([]Update, n)
-		for i := 0; i < n; i++ {
-			u := &m.Updates[i]
-			u.Entry = int32(d.u32())
-			u.First = int32(d.u32())
-			u.Count = int32(d.u32())
-			u.Tag = d.str()
-			u.Data = d.bytes()
-		}
+	var err error
+	if m.Updates, err = d.updates(); err != nil {
+		return nil, err
 	}
 	if d.u8() == 1 {
 		st := &ThreadState{}
@@ -257,6 +399,13 @@ func Decode(b []byte) (*Message, error) {
 	m.Addr = d.str()
 	m.Proto = d.u8()
 	m.Flags = d.u8()
+	if d.u8() == 1 {
+		r, err := d.rep()
+		if err != nil {
+			return nil, err
+		}
+		m.Rep = r
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -347,6 +496,85 @@ func (d *decoder) str() string {
 	s := string(d.b[d.off : d.off+n])
 	d.off += n
 	return s
+}
+
+// maxRepEntries bounds the pair and joined lists in a replication record;
+// entries are per-rank, so even huge clusters stay far below this.
+const maxRepEntries = 1 << 20
+
+func (d *decoder) rep() (*Replication, error) {
+	r := &Replication{}
+	r.Seq = d.u64()
+	r.Event = RepEvent(d.u8())
+	r.Rank = int32(d.u32())
+	r.Mutex = int32(d.u32())
+	r.Platform = d.str()
+	r.Base = d.u64()
+	r.Image = d.bytes()
+	r.Tag = d.str()
+	r.Dirty = d.u8() == 1
+	r.Proto = d.u8()
+	r.Nthreads = int32(d.u32())
+	var err error
+	if r.Updates, err = d.updates(); err != nil {
+		return nil, err
+	}
+	if r.Held, err = d.pairs(); err != nil {
+		return nil, err
+	}
+	n := int(d.u32())
+	if d.err == nil && n > 0 {
+		if n > maxRepEntries {
+			return nil, fmt.Errorf("wire: implausible joined count %d", n)
+		}
+		r.Joined = make([]int32, n)
+		for i := range r.Joined {
+			r.Joined[i] = int32(d.u32())
+		}
+	}
+	if r.Applied, err = d.pairs(); err != nil {
+		return nil, err
+	}
+	if r.Released, err = d.pairs(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (d *decoder) updates() ([]Update, error) {
+	n := int(d.u32())
+	if d.err != nil || n == 0 {
+		return nil, nil
+	}
+	if n > maxDataLen/16 {
+		return nil, fmt.Errorf("wire: implausible update count %d", n)
+	}
+	us := make([]Update, n)
+	for i := range us {
+		u := &us[i]
+		u.Entry = int32(d.u32())
+		u.First = int32(d.u32())
+		u.Count = int32(d.u32())
+		u.Tag = d.str()
+		u.Data = d.bytes()
+	}
+	return us, nil
+}
+
+func (d *decoder) pairs() ([]RepPair, error) {
+	n := int(d.u32())
+	if d.err != nil || n == 0 {
+		return nil, nil
+	}
+	if n > maxRepEntries {
+		return nil, fmt.Errorf("wire: implausible pair count %d", n)
+	}
+	ps := make([]RepPair, n)
+	for i := range ps {
+		ps[i].Rank = int32(d.u32())
+		ps[i].Seq = d.u64()
+	}
+	return ps, nil
 }
 
 func (d *decoder) bytes() []byte {
