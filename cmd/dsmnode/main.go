@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"hetdsm/internal/apps"
@@ -49,6 +50,7 @@ import (
 	"hetdsm/internal/platform"
 	"hetdsm/internal/stats"
 	"hetdsm/internal/tag"
+	"hetdsm/internal/telemetry"
 	"hetdsm/internal/transport"
 )
 
@@ -70,6 +72,9 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 50*time.Millisecond, "backup: heartbeat probe interval")
 		failover  = flag.Duration("failover-timeout", 0, "backup: suspicion timeout (default 4 heartbeats)")
 		statsJSON = flag.Bool("stats-json", false, "dump Eq. 1 stats and HA counters as JSON on exit")
+		metrics   = flag.String("metrics-addr", "", "serve diagnostics HTTP on host:port (/metrics /stats /trace /spans /heat /debug/pprof)")
+		traceOut  = flag.String("trace-out", "", "write the protocol event ring as JSONL to this file on exit")
+		spanOut   = flag.String("span-out", "", "write release-pipeline spans as JSONL to this file on exit")
 	)
 	flag.Parse()
 
@@ -82,17 +87,29 @@ func main() {
 		fail(err)
 	}
 
+	kit := telemetry.NewKit(*metrics, *traceOut, *spanOut)
 	switch *role {
 	case "home":
-		runHome(*listen, *backup, plat, gthv, body, *threads, *localTh, *statsJSON)
+		runHome(*listen, *backup, plat, gthv, body, *threads, *localTh, *statsJSON, kit)
 	case "worker":
-		runWorker(*homeAddr, *standby, plat, gthv, body, int32(*rank), *statsJSON)
+		runWorker(*homeAddr, *standby, plat, gthv, body, int32(*rank), *statsJSON, kit)
 	case "backup":
-		runBackup(*listen, *replicaL, *homeAddr, plat, gthv, *threads, *heartbeat, *failover, *statsJSON)
+		runBackup(*listen, *replicaL, *homeAddr, plat, gthv, *threads, *heartbeat, *failover, *statsJSON, kit)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// nodeOptions is DefaultOptions with the kit's telemetry sinks attached.
+func nodeOptions(kit *telemetry.Kit) dsd.Options {
+	opts := dsd.DefaultOptions()
+	opts.Metrics = kit.Registry()
+	opts.Spans = kit.Spans()
+	if t := kit.TraceLog(); t != nil {
+		opts.Trace = t
+	}
+	return opts
 }
 
 func fail(err error) {
@@ -129,9 +146,10 @@ func dumpJSON(doc map[string]any) {
 	}
 }
 
-func runHome(listen, backupAddr string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, threads int, localThread, statsJSON bool) {
-	opts := dsd.DefaultOptions()
+func runHome(listen, backupAddr string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, threads int, localThread, statsJSON bool, kit *telemetry.Kit) {
+	opts := nodeOptions(kit)
 	counters := &ha.Counters{}
+	counters.Register(kit.Registry())
 	if backupAddr != "" {
 		// Replicated homes serve HA clients, whose disconnects are
 		// transient by design.
@@ -176,10 +194,11 @@ func runHome(listen, backupAddr string, plat *platform.Platform, gthv tag.Struct
 	// worker, only the master image.
 	threadStats := map[string]any{"home": home.Stats().Map()}
 	if localThread {
-		th, err := home.LocalThread(0, plat, dsd.DefaultOptions())
+		th, err := home.LocalThread(0, plat, opts)
 		if err != nil {
 			fail(err)
 		}
+		serveDiagnostics(kit, home, th)
 		errCh := make(chan error, 1)
 		go func() { errCh <- body(th, 0) }()
 
@@ -190,6 +209,7 @@ func runHome(listen, backupAddr string, plat *platform.Platform, gthv tag.Struct
 		fmt.Println("thread-0 breakdown: ", th.Stats())
 		threadStats["thread0"] = th.Stats().Map()
 	} else {
+		serveDiagnostics(kit, home, nil)
 		home.Wait()
 	}
 	fmt.Println("home: all threads joined")
@@ -204,25 +224,64 @@ func runHome(listen, backupAddr string, plat *platform.Platform, gthv tag.Struct
 			"ha":    counters.Map(),
 		})
 	}
+	if err := kit.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "dsmnode: telemetry:", err)
+	}
 	home.Close()
 }
 
-func runWorker(homeAddr, standbyAddr string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, rank int32, statsJSON bool) {
+// serveDiagnostics points the kit's HTTP endpoint at a home and an
+// optional co-resident thread. The stats document is live: every request
+// re-reads the breakdowns. The heat report is the thread's best-effort
+// snapshot (heat counters are written by the thread itself).
+func serveDiagnostics(kit *telemetry.Kit, home *dsd.Home, th *dsd.Thread) {
+	statsFn := func() map[string]any {
+		doc := map[string]any{"home": home.Stats().Map()}
+		if th != nil {
+			doc["thread0"] = th.Stats().Map()
+		}
+		return doc
+	}
+	var heatFn func() any
+	if th != nil {
+		heatFn = func() any { return th.Heat() }
+	}
+	if err := kit.Serve(statsFn, heatFn); err != nil {
+		fail(err)
+	}
+}
+
+func runWorker(homeAddr, standbyAddr string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, rank int32, statsJSON bool, kit *telemetry.Kit) {
 	if homeAddr == "" {
 		fail(fmt.Errorf("worker needs -home host:port"))
 	}
+	opts := nodeOptions(kit)
 	var nw transport.TCP
 	var th *dsd.Thread
 	var err error
 	if standbyAddr != "" {
-		th, err = dsd.DialHA(nw, []string{homeAddr, standbyAddr}, plat, rank, gthv, dsd.DefaultOptions())
+		th, err = dsd.DialHA(nw, []string{homeAddr, standbyAddr}, plat, rank, gthv, opts)
 	} else {
-		th, err = dsd.Dial(nw, homeAddr, plat, rank, gthv, dsd.DefaultOptions())
+		th, err = dsd.Dial(nw, homeAddr, plat, rank, gthv, opts)
 	}
 	if err != nil {
 		fail(err)
 	}
 	defer th.Close()
+	kit.Registry().GaugeFunc("dsm_ha_reconnects",
+		"client connections re-established after a failure",
+		func() float64 { return float64(th.Reconnects()) })
+	statsFn := func() map[string]any {
+		return map[string]any{"thread": th.Stats().Map()}
+	}
+	if err := kit.Serve(statsFn, func() any { return th.Heat() }); err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := kit.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmnode: telemetry:", err)
+		}
+	}()
 	fmt.Printf("worker: rank %d (%s) connected to %s\n", rank, plat, homeAddr)
 	if err := body(th, int(rank)); err != nil {
 		fail(err)
@@ -243,19 +302,20 @@ func runWorker(homeAddr, standbyAddr string, plat *platform.Platform, gthv tag.S
 	}
 }
 
-func runBackup(listen, replicaListen, homeAddr string, plat *platform.Platform, gthv tag.Struct, threads int, heartbeat, failover time.Duration, statsJSON bool) {
+func runBackup(listen, replicaListen, homeAddr string, plat *platform.Platform, gthv tag.Struct, threads int, heartbeat, failover time.Duration, statsJSON bool, kit *telemetry.Kit) {
 	if homeAddr == "" {
 		fail(fmt.Errorf("backup needs -home host:port to probe"))
 	}
 	var nw transport.TCP
 	counters := &ha.Counters{}
+	counters.Register(kit.Registry())
 	b := ha.NewBackup(gthv)
 	standby, err := ha.NewStandby(nw, b, ha.StandbyConfig{
 		PrimaryAddr:       homeAddr,
 		ReplicaAddr:       replicaListen,
 		ServeAddr:         listen,
 		Platform:          plat,
-		Opts:              dsd.DefaultOptions(),
+		Opts:              nodeOptions(kit),
 		HeartbeatInterval: heartbeat,
 		FailoverTimeout:   failover,
 	})
@@ -263,6 +323,16 @@ func runBackup(listen, replicaListen, homeAddr string, plat *platform.Platform, 
 		fail(err)
 	}
 	standby.Counters = counters
+	var promoted atomic.Pointer[dsd.Home]
+	statsFn := func() map[string]any {
+		if h := promoted.Load(); h != nil {
+			return map[string]any{"home": h.Stats().Map()}
+		}
+		return map[string]any{"home": map[string]any{}}
+	}
+	if err := kit.Serve(statsFn, nil); err != nil {
+		fail(err)
+	}
 	// The replication listener is live as soon as NewStandby returns, so
 	// the home may be started now — but don't arm the failure detector
 	// until the home is actually up, or its absence during cluster
@@ -286,6 +356,7 @@ func runBackup(listen, replicaListen, homeAddr string, plat *platform.Platform, 
 	if err != nil {
 		fail(fmt.Errorf("failover: %w", err))
 	}
+	promoted.Store(home)
 	fmt.Printf("standby: home suspected dead; promoted, serving on %s\n", listen)
 	home.Wait()
 	fmt.Println("standby: all threads joined")
@@ -296,6 +367,9 @@ func runBackup(listen, replicaListen, homeAddr string, plat *platform.Platform, 
 			"stats": map[string]any{"home": home.Stats().Map()},
 			"ha":    counters.Map(),
 		})
+	}
+	if err := kit.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "dsmnode: telemetry:", err)
 	}
 	home.Close()
 }

@@ -20,6 +20,7 @@ import (
 	"hetdsm/internal/dsd"
 	"hetdsm/internal/ha"
 	"hetdsm/internal/stats"
+	"hetdsm/internal/telemetry"
 	"hetdsm/internal/trace"
 	"hetdsm/internal/vmem"
 )
@@ -38,6 +39,10 @@ func main() {
 		traceN    = flag.Int("trace", 0, "print the last N protocol events after the run (0 disables)")
 		invalid   = flag.Bool("invalidate", false, "use the invalidate protocol instead of update")
 		statsJSON = flag.Bool("stats-json", false, "dump the Eq. 1 stats and HA counters as JSON on exit")
+		metrics   = flag.String("metrics-addr", "", "serve diagnostics HTTP on host:port (/metrics /stats /trace /spans /heat /debug/pprof)")
+		traceOut  = flag.String("trace-out", "", "write the protocol event ring as JSONL to this file on exit")
+		spanOut   = flag.String("span-out", "", "write release-pipeline spans as JSONL to this file on exit")
+		heatTop   = flag.Int("heat", 0, "print the N hottest pages of the page-heat report (0 disables)")
 	)
 	flag.Parse()
 
@@ -55,11 +60,18 @@ func main() {
 	if *invalid {
 		opts.Protocol = dsd.ProtocolInvalidate
 	}
+	kit := telemetry.NewKit(*metrics, *traceOut, *spanOut)
 	var tlog *trace.Log
 	if *traceN > 0 {
 		tlog = trace.NewLog(*traceN)
+		kit.SetTraceLog(tlog)
+	}
+	opts.Trace = kit.TraceLog()
+	if opts.Trace == nil {
 		opts.Trace = tlog
 	}
+	opts.Metrics = kit.Registry()
+	opts.Spans = kit.Spans()
 
 	res, err := apps.Run(apps.Config{
 		Workload: *workload,
@@ -69,6 +81,30 @@ func main() {
 		Opts:     opts,
 		Verify:   *verify,
 		Seed:     *seed,
+		// Point the diagnostics endpoint at the live cluster: /stats
+		// re-reads the breakdowns per request; /heat is a best-effort
+		// snapshot of the per-page counters.
+		OnCluster: func(home *dsd.Home, threads []*dsd.Thread) {
+			statsFn := func() map[string]any {
+				var agg stats.Breakdown
+				agg.Merge(home.Stats())
+				for _, th := range threads {
+					agg.Merge(th.Stats())
+				}
+				return agg.Map()
+			}
+			heatFn := func() any {
+				var heat vmem.HeatReport
+				for _, th := range threads {
+					heat.Merge(th.Heat())
+				}
+				return heat
+			}
+			if err := kit.Serve(statsFn, heatFn); err != nil {
+				fmt.Fprintln(os.Stderr, "dsmrun: telemetry:", err)
+				os.Exit(1)
+			}
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
@@ -108,6 +144,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		}
 	}
+	if *heatTop > 0 {
+		fmt.Printf("\npage heat (top %d of %d active pages, %d faults, %d twins, %d diff bytes):\n",
+			*heatTop, len(res.Heat.Pages), res.Heat.TotalFaults, res.Heat.TwinsMade, res.Heat.TotalDiffBytes)
+		for _, p := range res.Heat.Hot(*heatTop) {
+			suspect := ""
+			if p.FalseSharingSuspect {
+				suspect = "  FALSE-SHARING?"
+			}
+			fmt.Printf("  page %4d  faults=%-5d runs=%-6d bytes=%-8d%s\n",
+				p.Page, p.Faults, p.DiffRuns, p.DiffBytes, suspect)
+		}
+	}
 
 	if *statsJSON {
 		phases := func(a [stats.NumPhases]time.Duration) map[string]float64 {
@@ -140,6 +188,12 @@ func main() {
 			// present (and zero) so consumers see one schema across both
 			// commands.
 			"ha": (&ha.Counters{}).Map(),
+			"heat": map[string]any{
+				"total_faults":     res.Heat.TotalFaults,
+				"total_diff_bytes": res.Heat.TotalDiffBytes,
+				"twins_made":       res.Heat.TwinsMade,
+				"hot":              res.Heat.Hot(10),
+			},
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -147,5 +201,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dsmrun:", err)
 			os.Exit(1)
 		}
+	}
+	if err := kit.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun: telemetry:", err)
+		os.Exit(1)
 	}
 }

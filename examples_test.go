@@ -5,7 +5,39 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/telemetry"
 )
+
+// TestTelemetryOffByDefault guards the disabled-path contract end to
+// end: the default options carry no telemetry sinks, and the nil
+// handles a disabled node holds are free — no allocations on the DSD
+// hot path when nobody asked for -metrics-addr.
+func TestTelemetryOffByDefault(t *testing.T) {
+	opts := dsd.DefaultOptions()
+	if opts.Metrics != nil {
+		t.Error("DefaultOptions().Metrics must be nil")
+	}
+	if opts.Spans != nil {
+		t.Error("DefaultOptions().Spans must be nil")
+	}
+	if kit := telemetry.NewKit("", "", ""); kit != nil {
+		t.Error("NewKit with no outputs must return the disabled (nil) kit")
+	}
+	var disabled *telemetry.Kit
+	reg := disabled.Registry()
+	c := reg.Counter("dsm_locks_total", "")
+	h := reg.Histogram("dsm_lock_acquire_seconds", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(0.001)
+		disabled.Spans().Record("n", telemetry.StageShip, 0, 1, time.Time{}, time.Millisecond, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled telemetry allocated %v per operation set, want 0", allocs)
+	}
+}
 
 // TestExamplesRun builds and executes every example program and checks its
 // success marker, guarding the documented entry points against rot. Skipped

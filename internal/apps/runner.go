@@ -9,6 +9,7 @@ import (
 	"hetdsm/internal/platform"
 	"hetdsm/internal/stats"
 	"hetdsm/internal/tag"
+	"hetdsm/internal/vmem"
 )
 
 // Pair is a platform pairing in the paper's notation: the home machine and
@@ -72,6 +73,10 @@ type Config struct {
 	Verify bool
 	// Seed feeds the deterministic input generators.
 	Seed int64
+	// OnCluster, when non-nil, runs after the home and all threads are
+	// built but before the workload starts — the hook dsmrun uses to
+	// point a live diagnostics endpoint at the cluster.
+	OnCluster func(home *dsd.Home, threads []*dsd.Thread)
 }
 
 // Result is one experiment's measurements.
@@ -97,6 +102,10 @@ type Result struct {
 	// Verified reports whether the result matched the sequential run
 	// (only meaningful when Config.Verify).
 	Verified bool
+	// Heat is the cluster-wide page-heat profile: every replica's
+	// fault/diff counters merged page-wise, hottest page first, with
+	// false-sharing suspects flagged.
+	Heat vmem.HeatReport
 }
 
 // AggTotal returns Cshare: the sum of the aggregate components.
@@ -179,6 +188,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		threads[rank] = th
 	}
+	if cfg.OnCluster != nil {
+		cfg.OnCluster(home, threads)
+	}
 
 	start := time.Now()
 	errs := make([]error, cfg.Threads)
@@ -210,6 +222,7 @@ func Run(cfg Config) (*Result, error) {
 	res.UpdateBytes = home.Stats().Bytes(stats.Conv)
 	for rank, th := range threads {
 		res.PageFaults += th.Segment().Faults()
+		res.Heat.Merge(th.Heat())
 		agg.Merge(th.Stats())
 		snap := th.Stats().Snapshot()
 		key := th.Platform().Name

@@ -27,6 +27,7 @@ package dsd
 import (
 	"fmt"
 
+	"hetdsm/internal/telemetry"
 	"hetdsm/internal/trace"
 	"hetdsm/internal/vmem"
 )
@@ -54,6 +55,17 @@ type Options struct {
 	// Trace, when non-nil, records protocol events into the ring buffer
 	// for debugging; nil disables tracing.
 	Trace *trace.Log
+	// Metrics, when non-nil, receives operation histograms (lock-acquire
+	// latency, barrier-wait time, release round-trip, diff/frame sizes)
+	// and protocol counters. nil disables metric recording entirely; the
+	// hot path then takes no timestamps and allocates nothing.
+	Metrics *telemetry.Registry
+	// Spans, when non-nil, receives per-release pipeline span records:
+	// each release is stamped with its (rank, seq) request id and every
+	// stage — index, tag, pack, ship on the sender; unpack, conv, apply
+	// at the home — is recorded against it, so sender-side and home-side
+	// rings merge into a cross-node timeline (telemetry.MergeTimeline).
+	Spans *telemetry.SpanLog
 	// Protocol selects how the home propagates remote modifications. It
 	// is a home-side setting: threads adopt the home's protocol at
 	// registration.

@@ -10,6 +10,7 @@ import (
 	"hetdsm/internal/platform"
 	"hetdsm/internal/stats"
 	"hetdsm/internal/tag"
+	"hetdsm/internal/telemetry"
 	"hetdsm/internal/trace"
 	"hetdsm/internal/transport"
 	"hetdsm/internal/vmem"
@@ -66,6 +67,9 @@ type Home struct {
 	carried map[int32]bool
 
 	bd stats.Breakdown
+	hm homeMetrics
+	// node labels this home's trace events and spans.
+	node string
 
 	lmu       sync.Mutex
 	listeners []transport.Listener
@@ -147,6 +151,8 @@ func NewHome(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options) 
 		table:         table,
 		nthreads:      nthreads,
 		master:        master,
+		hm:            newHomeMetrics(opts.Metrics),
+		node:          "home@" + p.Name,
 		locks:         make(map[int32]*lockState),
 		barriers:      make(map[int32]*barrierState),
 		pending:       make(map[int32][]indextable.Span),
@@ -443,7 +449,7 @@ func (h *Home) handshake(c transport.Conn, msg *wire.Message) (*peer, error) {
 	if err := indextable.Compatible(h.table, ptable); err != nil {
 		return nil, err
 	}
-	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindHello, msg.Rank, -1, 0, msg.Platform)
+	h.opts.Trace.Record(h.node, trace.KindHello, msg.Rank, -1, 0, msg.Platform)
 	p := &peer{rank: msg.Rank, plat: plat, table: ptable}
 	h.mu.Lock()
 	if _, dup := h.peers[p.rank]; dup {
@@ -489,15 +495,22 @@ func (h *Home) handshake(c transport.Conn, msg *wire.Message) (*peer, error) {
 }
 
 func (h *Home) handleLock(c transport.Conn, p *peer, msg *wire.Message) error {
+	var acqStart time.Time
+	if h.hm.enabled {
+		acqStart = time.Now()
+	}
 	if !h.acquire(msg.Mutex, p.rank) {
 		return h.redirect(c, p.rank)
+	}
+	if h.hm.enabled {
+		h.hm.lockWait.Observe(time.Since(acqStart).Seconds())
 	}
 	// The grant must be durable at the standby before the client enters
 	// its critical section, or a failover could hand the mutex to a
 	// second thread.
 	h.repFlush()
 	updates, mark := h.peekPending(p)
-	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindLockGrant, p.rank, msg.Mutex, wire.UpdateBytes(updates), "")
+	h.opts.Trace.Record(h.node, trace.KindLockGrant, p.rank, msg.Mutex, wire.UpdateBytes(updates), "")
 	if err := h.send(c, &wire.Message{
 		Kind:     wire.KindLockGrant,
 		Mutex:    msg.Mutex,
@@ -541,7 +554,7 @@ func (h *Home) handleUnlock(c transport.Conn, p *peer, msg *wire.Message) error 
 		}
 		return err
 	}
-	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindUnlock, p.rank, msg.Mutex, wire.UpdateBytes(msg.Updates), "")
+	h.opts.Trace.Record(h.node, trace.KindUnlock, p.rank, msg.Mutex, wire.UpdateBytes(msg.Updates), "")
 	// Guarding on the holder makes a replayed unlock (re-sent after a
 	// reconnect, already applied via the watermark) a no-op instead of
 	// releasing a mutex some other thread now holds.
@@ -565,10 +578,17 @@ func (h *Home) handleBarrier(c transport.Conn, p *peer, msg *wire.Message) error
 		}
 		return err
 	}
-	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindBarrierArrive, p.rank, msg.Mutex, wire.UpdateBytes(msg.Updates), "")
+	h.opts.Trace.Record(h.node, trace.KindBarrierArrive, p.rank, msg.Mutex, wire.UpdateBytes(msg.Updates), "")
+	var waitStart time.Time
+	if h.hm.enabled {
+		waitStart = time.Now()
+	}
 	proceed, err := h.arrive(msg.Mutex, p.rank, msg.Seq)
 	if err != nil {
 		return err
+	}
+	if h.hm.enabled {
+		h.hm.barrierWait.Observe(time.Since(waitStart).Seconds())
 	}
 	if !proceed {
 		// The home handed off after this thread's updates were applied
@@ -609,7 +629,7 @@ func (h *Home) handleFlush(c transport.Conn, p *peer, msg *wire.Message) error {
 		}
 		return err
 	}
-	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindFlush, p.rank, -1, wire.UpdateBytes(msg.Updates), "")
+	h.opts.Trace.Record(h.node, trace.KindFlush, p.rank, -1, wire.UpdateBytes(msg.Updates), "")
 	h.repFlush()
 	return h.send(c, &wire.Message{Kind: wire.KindFlushAck, Rank: p.rank})
 }
@@ -689,7 +709,7 @@ func (h *Home) handleJoin(c transport.Conn, p *peer, msg *wire.Message) error {
 		close(h.done)
 	}
 	h.mu.Unlock()
-	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindJoin, p.rank, -1, 0, "")
+	h.opts.Trace.Record(h.node, trace.KindJoin, p.rank, -1, 0, "")
 	h.repFlush()
 	return h.send(c, &wire.Message{Kind: wire.KindJoinAck, Rank: p.rank})
 }
@@ -803,7 +823,7 @@ func (h *Home) arrive(idx, rank int32, reqID uint64) (proceed bool, err error) {
 		bs.ranks = make(map[int32]uint64)
 		bs.gen = make(chan struct{})
 		h.mu.Unlock()
-		h.opts.Trace.Record("home@"+h.plat.Name, trace.KindBarrierOpen, -1, idx, 0, "")
+		h.opts.Trace.Record(h.node, trace.KindBarrierOpen, -1, idx, 0, "")
 		close(gen)
 		return true, nil
 	}
@@ -863,8 +883,16 @@ func (h *Home) applyUpdates(p *peer, msg *wire.Message) error {
 			data: data,
 		})
 	}
-	h.bd.AddBytes(stats.Conv, time.Since(start), convBytes)
+	convDur := time.Since(start)
+	h.bd.AddBytes(stats.Conv, convDur, convBytes)
+	if h.opts.Spans != nil && msg.Seq != 0 {
+		h.opts.Spans.Record(h.node, telemetry.StageConv, p.rank, msg.Seq, start, convDur, convBytes)
+	}
 
+	var applyStart time.Time
+	if h.hm.enabled || h.opts.Spans != nil {
+		applyStart = time.Now()
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.snapshotted {
@@ -916,6 +944,13 @@ func (h *Home) applyUpdates(p *peer, msg *wire.Message) error {
 		Updates: rep,
 		Applied: []wire.RepPair{{Rank: p.rank, Seq: msg.Seq}},
 	})
+	if h.hm.enabled {
+		h.hm.applies.Inc()
+		h.hm.applyBytes.Observe(float64(convBytes))
+	}
+	if h.opts.Spans != nil && msg.Seq != 0 {
+		h.opts.Spans.Record(h.node, telemetry.StageApply, p.rank, msg.Seq, applyStart, time.Since(applyStart), convBytes)
+	}
 	return nil
 }
 
@@ -1081,20 +1116,28 @@ func (h *Home) send(c transport.Conn, m *wire.Message) error {
 		return err
 	}
 	h.bd.Add(stats.Pack, time.Since(start))
+	h.hm.frameSent.Observe(float64(len(frame)))
 	return c.SendFrame(frame)
 }
 
-// recv receives and decodes (t_unpack) a message.
+// recv receives and decodes (t_unpack) a message. Update-bearing
+// requests get an unpack span against their (rank, seq) release id —
+// the home-side continuation of the sender's index/tag/pack/ship spans.
 func (h *Home) recv(c transport.Conn) (*wire.Message, error) {
 	frame, err := c.RecvFrame()
 	if err != nil {
 		return nil, err
 	}
+	h.hm.frameRecv.Observe(float64(len(frame)))
 	start := time.Now()
 	m, err := wire.Decode(frame)
 	if err != nil {
 		return nil, err
 	}
-	h.bd.AddBytes(stats.Unpack, time.Since(start), wire.UpdateBytes(m.Updates))
+	unpackDur := time.Since(start)
+	h.bd.AddBytes(stats.Unpack, unpackDur, wire.UpdateBytes(m.Updates))
+	if h.opts.Spans != nil && m.Seq != 0 && len(m.Updates) > 0 {
+		h.opts.Spans.Record(h.node, telemetry.StageUnpack, m.Rank, m.Seq, start, unpackDur, wire.UpdateBytes(m.Updates))
+	}
 	return m, nil
 }

@@ -1,0 +1,107 @@
+package dsd
+
+import (
+	"time"
+
+	"hetdsm/internal/telemetry"
+	"hetdsm/internal/wire"
+)
+
+// threadMetrics holds the thread-side metric handles, resolved once at
+// construction. With Options.Metrics nil every handle is nil and every
+// record is a no-op; enabled additionally gates the time.Now calls so a
+// disabled thread takes no extra timestamps on the hot path.
+type threadMetrics struct {
+	enabled     bool
+	lockAcquire *telemetry.Histogram
+	barrierWait *telemetry.Histogram
+	releaseRTT  *telemetry.Histogram
+	diffBytes   *telemetry.Histogram
+	frameSent   *telemetry.Histogram
+	frameRecv   *telemetry.Histogram
+	locks       *telemetry.Counter
+	barriers    *telemetry.Counter
+	releases    *telemetry.Counter
+}
+
+func newThreadMetrics(r *telemetry.Registry) threadMetrics {
+	return threadMetrics{
+		enabled:     r != nil,
+		lockAcquire: r.Histogram("dsm_lock_acquire_seconds", "MTh_lock latency: request to grant, including queue wait and update transfer"),
+		barrierWait: r.Histogram("dsm_barrier_wait_seconds", "MTh_barrier latency: arrival to release, including peers' compute"),
+		releaseRTT:  r.Histogram("dsm_release_roundtrip_seconds", "release (unlock/flush/join) round-trip: updates shipped until ack"),
+		diffBytes:   r.Histogram("dsm_release_diff_bytes", "update payload bytes shipped per release"),
+		frameSent:   r.Histogram("dsm_frame_sent_bytes", "encoded frame sizes transmitted by threads"),
+		frameRecv:   r.Histogram("dsm_frame_recv_bytes", "encoded frame sizes received by threads"),
+		locks:       r.Counter("dsm_locks_total", "MTh_lock acquisitions"),
+		barriers:    r.Counter("dsm_barriers_total", "MTh_barrier arrivals"),
+		releases:    r.Counter("dsm_releases_total", "releases shipped (unlock, barrier, flush, join)"),
+	}
+}
+
+// homeMetrics is the home-side counterpart of threadMetrics.
+type homeMetrics struct {
+	enabled     bool
+	lockWait    *telemetry.Histogram
+	barrierWait *telemetry.Histogram
+	applyBytes  *telemetry.Histogram
+	frameSent   *telemetry.Histogram
+	frameRecv   *telemetry.Histogram
+	applies     *telemetry.Counter
+}
+
+func newHomeMetrics(r *telemetry.Registry) homeMetrics {
+	return homeMetrics{
+		enabled:     r != nil,
+		lockWait:    r.Histogram("dsm_home_lock_acquire_seconds", "time a lock request waited at the home before its grant"),
+		barrierWait: r.Histogram("dsm_home_barrier_wait_seconds", "time a barrier arrival waited for its generation to open"),
+		applyBytes:  r.Histogram("dsm_home_apply_bytes", "update payload bytes applied to the master copy per release"),
+		frameSent:   r.Histogram("dsm_home_frame_sent_bytes", "encoded frame sizes transmitted by the home"),
+		frameRecv:   r.Histogram("dsm_home_frame_recv_bytes", "encoded frame sizes received by the home"),
+		applies:     r.Counter("dsm_home_applies_total", "update batches applied to the master copy"),
+	}
+}
+
+// relStages captures the sender-side pipeline timings of one release;
+// collectUpdates fills it (the stage clocks already run for the Eq. 1
+// stats) and the caller emits spans once the request id is known.
+type relStages struct {
+	indexStart time.Time
+	indexDur   time.Duration
+	tagStart   time.Time
+	tagDur     time.Duration
+	packStart  time.Time
+	packDur    time.Duration
+	bytes      int
+}
+
+// emitReleaseSpans records the sender-side spans of one release. seq is
+// the request id the send stamped; ship covers send-to-ack.
+func (t *Thread) emitReleaseSpans(seq uint64, st relStages, shipStart time.Time, shipDur time.Duration) {
+	sl := t.opts.Spans
+	if sl == nil || seq == 0 {
+		return
+	}
+	node := t.traceName()
+	sl.Record(node, telemetry.StageIndex, t.rank, seq, st.indexStart, st.indexDur, 0)
+	if !st.tagStart.IsZero() {
+		sl.Record(node, telemetry.StageTag, t.rank, seq, st.tagStart, st.tagDur, 0)
+		sl.Record(node, telemetry.StagePack, t.rank, seq, st.packStart, st.packDur, st.bytes)
+	}
+	sl.Record(node, telemetry.StageShip, t.rank, seq, shipStart, shipDur, st.bytes)
+}
+
+// observesReleases reports whether the thread wants release round-trip
+// timestamps (metrics or spans enabled).
+func (t *Thread) observesReleases() bool {
+	return t.tm.enabled || t.opts.Spans != nil
+}
+
+// finishRelease records the metrics and spans of one completed release.
+func (t *Thread) finishRelease(m *wire.Message, st relStages, shipStart time.Time) {
+	d := time.Since(shipStart)
+	t.tm.releases.Inc()
+	t.tm.releaseRTT.Observe(d.Seconds())
+	t.tm.diffBytes.Observe(float64(st.bytes))
+	t.emitReleaseSpans(m.Seq, st, shipStart, d)
+}

@@ -37,6 +37,7 @@ type Thread struct {
 
 	bd  stats.Breakdown
 	seq atomic.Uint64
+	tm  threadMetrics
 
 	// proto is the home's propagation protocol, adopted at registration.
 	proto Protocol
@@ -89,6 +90,7 @@ func Connect(conn transport.Conn, p *platform.Platform, rank int32, gthv tag.Str
 		layout: layout,
 		table:  table,
 		seg:    seg,
+		tm:     newThreadMetrics(opts.Metrics),
 	}
 	t.globals = newGlobals(p, table, seg)
 	t.globals.ensure = t.ensureValid
@@ -254,6 +256,7 @@ func DialHABackoff(nw transport.Network, addrs []string, p *platform.Platform, r
 		seg:    seg,
 		nw:     nw,
 		rc:     rc,
+		tm:     newThreadMetrics(opts.Metrics),
 	}
 	t.globals = newGlobals(p, table, seg)
 	t.globals.ensure = t.ensureValid
@@ -298,6 +301,10 @@ func (t *Thread) Stats() *stats.Breakdown { return &t.bd }
 // Segment exposes the underlying replica segment for inspection (fault
 // counts, twin bytes); tests and the migration layer use it.
 func (t *Thread) Segment() *vmem.Segment { return t.seg }
+
+// Heat returns the replica's page-heat report: per-page fault/diff
+// counters with false-sharing suspects, hottest pages first.
+func (t *Thread) Heat() vmem.HeatReport { return t.seg.Heat() }
 
 // Close tears down the connection.
 func (t *Thread) Close() error { return t.conn.Close() }
@@ -398,9 +405,17 @@ func (t *Thread) followRedirect(addr string) error {
 // outstanding updates, which are converted receiver-makes-right and applied
 // before Lock returns.
 func (t *Thread) Lock(idx int) error {
+	var acqStart time.Time
+	if t.tm.enabled {
+		acqStart = time.Now()
+	}
 	grant, err := t.call(&wire.Message{Kind: wire.KindLockReq, Mutex: int32(idx), Rank: t.rank}, wire.KindLockGrant)
 	if err != nil {
 		return err
+	}
+	if t.tm.enabled {
+		t.tm.lockAcquire.Observe(time.Since(acqStart).Seconds())
+		t.tm.locks.Inc()
 	}
 	if err := t.applyIncoming(grant); err != nil {
 		return err
@@ -426,16 +441,24 @@ func (t *Thread) Lock(idx int) error {
 // diffs abstracted to index spans (t_index), tagged (t_tag), packed and
 // shipped home with the release.
 func (t *Thread) Unlock(idx int) error {
-	updates := t.collectUpdates()
-	if _, err := t.call(&wire.Message{
+	updates, st := t.collectUpdates()
+	m := &wire.Message{
 		Kind:     wire.KindUnlockReq,
 		Mutex:    int32(idx),
 		Rank:     t.rank,
 		Platform: t.plat.Name,
 		Base:     t.opts.Base,
 		Updates:  updates,
-	}, wire.KindUnlockAck); err != nil {
+	}
+	var shipStart time.Time
+	if t.observesReleases() {
+		shipStart = time.Now()
+	}
+	if _, err := t.call(m, wire.KindUnlockAck); err != nil {
 		return err
+	}
+	if t.observesReleases() {
+		t.finishRelease(m, st, shipStart)
 	}
 	t.rearm()
 	return nil
@@ -445,17 +468,29 @@ func (t *Thread) Unlock(idx int) error {
 // an unlock, the thread waits for all participants, and the merged updates
 // of the phase are applied before Barrier returns.
 func (t *Thread) Barrier(idx int) error {
-	updates := t.collectUpdates()
-	release, err := t.call(&wire.Message{
+	updates, st := t.collectUpdates()
+	m := &wire.Message{
 		Kind:     wire.KindBarrierReq,
 		Mutex:    int32(idx),
 		Rank:     t.rank,
 		Platform: t.plat.Name,
 		Base:     t.opts.Base,
 		Updates:  updates,
-	}, wire.KindBarrierRelease)
+	}
+	var shipStart time.Time
+	if t.observesReleases() {
+		shipStart = time.Now()
+	}
+	release, err := t.call(m, wire.KindBarrierRelease)
 	if err != nil {
 		return err
+	}
+	if t.observesReleases() {
+		d := time.Since(shipStart)
+		t.tm.barriers.Inc()
+		t.tm.barrierWait.Observe(d.Seconds())
+		t.tm.diffBytes.Observe(float64(st.bytes))
+		t.emitReleaseSpans(m.Seq, st, shipStart, d)
 	}
 	if err := t.applyIncoming(release); err != nil {
 		return err
@@ -469,15 +504,23 @@ func (t *Thread) Barrier(idx int) error {
 // point so writes made since the last release survive the replica being
 // abandoned; well-synchronized programs never need it directly.
 func (t *Thread) Flush() error {
-	updates := t.collectUpdates()
-	if _, err := t.call(&wire.Message{
+	updates, st := t.collectUpdates()
+	m := &wire.Message{
 		Kind:     wire.KindFlushReq,
 		Rank:     t.rank,
 		Platform: t.plat.Name,
 		Base:     t.opts.Base,
 		Updates:  updates,
-	}, wire.KindFlushAck); err != nil {
+	}
+	var shipStart time.Time
+	if t.observesReleases() {
+		shipStart = time.Now()
+	}
+	if _, err := t.call(m, wire.KindFlushAck); err != nil {
 		return err
+	}
+	if t.observesReleases() {
+		t.finishRelease(m, st, shipStart)
 	}
 	t.rearm()
 	return nil
@@ -486,15 +529,25 @@ func (t *Thread) Flush() error {
 // Join announces termination (MTh_join), flushing any remaining updates so
 // the final state reaches the base thread.
 func (t *Thread) Join() error {
-	updates := t.collectUpdates()
-	_, err := t.call(&wire.Message{
+	updates, st := t.collectUpdates()
+	m := &wire.Message{
 		Kind:     wire.KindJoinReq,
 		Rank:     t.rank,
 		Platform: t.plat.Name,
 		Base:     t.opts.Base,
 		Updates:  updates,
-	}, wire.KindJoinAck)
-	return err
+	}
+	var shipStart time.Time
+	if t.observesReleases() {
+		shipStart = time.Now()
+	}
+	if _, err := t.call(m, wire.KindJoinAck); err != nil {
+		return err
+	}
+	if t.observesReleases() {
+		t.finishRelease(m, st, shipStart)
+	}
+	return nil
 }
 
 // rearm restarts the write-detection window after a release point.
@@ -504,9 +557,12 @@ func (t *Thread) rearm() {
 
 // collectUpdates runs the release-side pipeline: twin/diff plus index
 // mapping (t_index), tag formation (t_tag), and data gathering (the copy
-// half of t_pack; the encode half is charged in send).
-func (t *Thread) collectUpdates() []wire.Update {
-	indexStart := time.Now()
+// half of t_pack; the encode half is charged in send). The returned
+// relStages reuses the stage clocks the Eq. 1 stats already require, so
+// span recording costs nothing extra here.
+func (t *Thread) collectUpdates() ([]wire.Update, relStages) {
+	var st relStages
+	st.indexStart = time.Now()
 	ranges := t.seg.Diff(t.opts.Diff)
 	var spans []indextable.Span
 	if t.opts.Coalesce {
@@ -515,19 +571,21 @@ func (t *Thread) collectUpdates() []wire.Update {
 		spans = t.table.MapRangesNoCoalesce(ranges)
 	}
 	spans = widenSpans(t.table, spans, t.opts.WholeArrayThreshold)
-	t.bd.Add(stats.Index, time.Since(indexStart))
+	st.indexDur = time.Since(st.indexStart)
+	t.bd.Add(stats.Index, st.indexDur)
 	if len(spans) == 0 {
-		return nil
+		return nil, st
 	}
 
-	tagStart := time.Now()
+	st.tagStart = time.Now()
 	tags := make([]string, len(spans))
 	for i, s := range spans {
 		tags[i] = t.table.SpanTag(s).String()
 	}
-	t.bd.Add(stats.Tag, time.Since(tagStart))
+	st.tagDur = time.Since(st.tagStart)
+	t.bd.Add(stats.Tag, st.tagDur)
 
-	packStart := time.Now()
+	st.packStart = time.Now()
 	updates := make([]wire.Update, len(spans))
 	var packBytes int
 	for i, s := range spans {
@@ -545,8 +603,10 @@ func (t *Thread) collectUpdates() []wire.Update {
 			Data:  buf,
 		}
 	}
-	t.bd.AddBytes(stats.Pack, time.Since(packStart), packBytes)
-	return updates
+	st.packDur = time.Since(st.packStart)
+	st.bytes = packBytes
+	t.bd.AddBytes(stats.Pack, st.packDur, packBytes)
+	return updates, st
 }
 
 // applyIncoming converts a grant's or release's updates to the local
@@ -628,6 +688,7 @@ func (t *Thread) sendOn(c transport.Conn, m *wire.Message) error {
 		return err
 	}
 	t.bd.Add(stats.Pack, time.Since(start))
+	t.tm.frameSent.Observe(float64(len(frame)))
 	return c.SendFrame(frame)
 }
 
@@ -642,6 +703,7 @@ func (t *Thread) recvOn(c transport.Conn) (*wire.Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.tm.frameRecv.Observe(float64(len(frame)))
 	start := time.Now()
 	m, err := wire.Decode(frame)
 	if err != nil {

@@ -27,7 +27,11 @@
 // of scope.
 package ha
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"hetdsm/internal/telemetry"
+)
 
 // Counters aggregates the package's observability counters; all fields are
 // safe for concurrent use and a nil *Counters is a valid sink that records
@@ -65,4 +69,41 @@ func (c *Counters) Map() map[string]uint64 {
 		"rep_records":     c.RepRecords.Load(),
 		"rep_acks":        c.RepAcks.Load(),
 	}
+}
+
+// ReplicationLag returns how many replication records have been streamed
+// to the standby but not yet acknowledged — 0 means the standby is fully
+// caught up. Safe on a nil receiver.
+func (c *Counters) ReplicationLag() uint64 {
+	if c == nil {
+		return 0
+	}
+	recs, acks := c.RepRecords.Load(), c.RepAcks.Load()
+	if acks > recs {
+		// Ack counting races record counting by a hair; never go negative.
+		return 0
+	}
+	return recs - acks
+}
+
+// Register publishes the counters — and the derived replication lag — on
+// a telemetry registry as live gauges, so a node's /metrics endpoint
+// exposes its HA health (suspicions, failovers, replication lag,
+// reconnects) alongside the DSD histograms. Safe when either receiver or
+// registry is nil.
+func (c *Counters) Register(r *telemetry.Registry) {
+	if c == nil || r == nil {
+		return
+	}
+	gauge := func(name, help string, load func() uint64) {
+		r.GaugeFunc(name, help, func() float64 { return float64(load()) })
+	}
+	gauge("dsm_ha_heartbeats_sent", "KindPing probes transmitted", c.HeartbeatsSent.Load)
+	gauge("dsm_ha_pongs", "heartbeat answers received", c.Pongs.Load)
+	gauge("dsm_ha_suspicions", "nodes declared suspect", c.Suspicions.Load)
+	gauge("dsm_ha_failovers", "standby promotions", c.Failovers.Load)
+	gauge("dsm_ha_reconnects", "client connections re-established after a failure", c.Reconnects.Load)
+	gauge("dsm_ha_rep_records", "replication records streamed to the standby", c.RepRecords.Load)
+	gauge("dsm_ha_rep_acks", "replication acknowledgements received", c.RepAcks.Load)
+	gauge("dsm_ha_replication_lag_records", "records streamed but not yet acknowledged by the standby", c.ReplicationLag)
 }

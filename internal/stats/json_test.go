@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMapJSONShape pins the wire shape of the -stats-json / /stats
+// output: count and bytes are JSON numbers (not strings), and the keys
+// marshal in a stable sorted order.
+func TestMapJSONShape(t *testing.T) {
+	var b Breakdown
+	b.AddBytes(Index, 2*time.Millisecond, 100)
+	b.AddBytes(Conv, 3*time.Millisecond, 7)
+	b.Add(Tag, time.Millisecond)
+
+	raw, err := json.Marshal(b.Map())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+
+	// encoding/json sorts map keys, so the phase keys appear in a fixed
+	// lexical order on every run.
+	wantOrder := []string{`"conv"`, `"index"`, `"pack"`, `"tag"`, `"total_seconds"`, `"unpack"`}
+	last := -1
+	for _, key := range wantOrder {
+		i := strings.Index(s, key)
+		if i < 0 {
+			t.Fatalf("output missing key %s: %s", key, s)
+		}
+		if i < last {
+			t.Fatalf("key %s out of order: %s", key, s)
+		}
+		last = i
+	}
+
+	if strings.Contains(s, `"count":"`) || strings.Contains(s, `"bytes":"`) {
+		t.Fatalf("count/bytes marshaled as strings: %s", s)
+	}
+	if !strings.Contains(s, `"bytes":100`) {
+		t.Fatalf("index bytes not a JSON number 100: %s", s)
+	}
+	if !strings.Contains(s, `"count":1`) {
+		t.Fatalf("counts not JSON numbers: %s", s)
+	}
+
+	// Marshal twice; byte-identical output means downstream diffing of
+	// /stats dumps is meaningful.
+	raw2, err := json.Marshal(b.Map())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != string(raw2) {
+		t.Fatalf("Map marshaling unstable:\n%s\n%s", s, raw2)
+	}
+}
+
+// TestStringSingleSnapshot checks the rendered total equals the sum of
+// the rendered phases — both must come from one locked snapshot.
+func TestStringSingleSnapshot(t *testing.T) {
+	var b Breakdown
+	b.Add(Index, 3*time.Millisecond)
+	b.Add(Unpack, 4*time.Millisecond)
+	got := b.String()
+	for _, want := range []string{"index=3ms", "unpack=4ms", "total=7ms"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func randomize(b *Breakdown, r *rand.Rand, ops int) {
+	for i := 0; i < ops; i++ {
+		p := Phase(r.Intn(int(NumPhases)))
+		d := time.Duration(r.Intn(1000)) * time.Microsecond
+		if r.Intn(2) == 0 {
+			b.Add(p, d)
+		} else {
+			b.AddBytes(p, d, r.Intn(4096))
+		}
+	}
+}
+
+func snapshotAll(b *Breakdown) (phases [NumPhases]time.Duration, counts, bytes [NumPhases]uint64) {
+	for p := Phase(0); p < NumPhases; p++ {
+		phases[p] = b.Phase(p)
+		counts[p] = b.Count(p)
+		bytes[p] = b.Bytes(p)
+	}
+	return
+}
+
+// TestMergeCommutativeLossless is a property test: for random
+// breakdowns x and y, merging x into y and y into x yield identical
+// accumulators, and both equal the element-wise sum of the inputs.
+func TestMergeCommutativeLossless(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var x, y Breakdown
+		randomize(&x, r, 1+r.Intn(40))
+		randomize(&y, r, 1+r.Intn(40))
+
+		xp, xc, xb := snapshotAll(&x)
+		yp, yc, yb := snapshotAll(&y)
+
+		var xy, yx Breakdown
+		xy.Merge(&x)
+		xy.Merge(&y)
+		yx.Merge(&y)
+		yx.Merge(&x)
+
+		ap, ac, ab := snapshotAll(&xy)
+		bp, bc, bb := snapshotAll(&yx)
+		if ap != bp || ac != bc || ab != bb {
+			t.Fatalf("trial %d: merge order changed the result:\n x+y: %v %v %v\n y+x: %v %v %v",
+				trial, ap, ac, ab, bp, bc, bb)
+		}
+		for p := Phase(0); p < NumPhases; p++ {
+			if ap[p] != xp[p]+yp[p] || ac[p] != xc[p]+yc[p] || ab[p] != xb[p]+yb[p] {
+				t.Fatalf("trial %d phase %v: merge lossy: got (%v,%d,%d), want (%v,%d,%d)",
+					trial, p, ap[p], ac[p], ab[p], xp[p]+yp[p], xc[p]+yc[p], xb[p]+yb[p])
+			}
+		}
+	}
+}
+
+// TestMergeUnderConcurrentAdds merges sources while they are still
+// being fed from other goroutines and checks nothing is lost once the
+// writers finish: final(dst)+final(residual sources) covers every Add.
+func TestMergeUnderConcurrentAdds(t *testing.T) {
+	const (
+		writers = 4
+		perW    = 500
+	)
+	srcs := make([]*Breakdown, writers)
+	for i := range srcs {
+		srcs[i] = &Breakdown{}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(b *Breakdown, seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for j := 0; j < perW; j++ {
+				b.AddBytes(Phase(r.Intn(int(NumPhases))), time.Microsecond, 8)
+			}
+		}(srcs[i], int64(i))
+	}
+
+	// Merge repeatedly while writers run; the lock ordering inside
+	// Merge must never deadlock or tear a (phases, counts, bytes) triple.
+	var mid Breakdown
+	for k := 0; k < 10; k++ {
+		for _, s := range srcs {
+			mid.Merge(s)
+		}
+	}
+	wg.Wait()
+
+	// After the writers stop, one final clean sweep must account for
+	// every operation: sum over sources of counts == writers*perW.
+	var final Breakdown
+	for _, s := range srcs {
+		final.Merge(s)
+	}
+	var totalCount, totalBytes uint64
+	for p := Phase(0); p < NumPhases; p++ {
+		totalCount += final.Count(p)
+		totalBytes += final.Bytes(p)
+	}
+	if totalCount != writers*perW {
+		t.Errorf("count lost under concurrency: got %d, want %d", totalCount, writers*perW)
+	}
+	if totalBytes != writers*perW*8 {
+		t.Errorf("bytes lost under concurrency: got %d, want %d", totalBytes, writers*perW*8)
+	}
+	if final.Total() != time.Duration(writers*perW)*time.Microsecond {
+		t.Errorf("durations lost: got %v", final.Total())
+	}
+}

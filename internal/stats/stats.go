@@ -146,13 +146,18 @@ func (b *Breakdown) Merge(o *Breakdown) {
 }
 
 // String renders a one-line summary: "index=1ms tag=2ms ... total=9ms".
+// One lock acquisition copies the phases; the total is computed from
+// that same copy, so the line is internally consistent even under
+// concurrent Adds.
 func (b *Breakdown) String() string {
-	snap := b.Snapshot()
+	b.mu.Lock()
+	phases := b.phases
+	b.mu.Unlock()
 	var parts []string
 	var total time.Duration
 	for p := Phase(0); p < NumPhases; p++ {
-		parts = append(parts, fmt.Sprintf("%s=%v", p, snap[p]))
-		total += snap[p]
+		parts = append(parts, fmt.Sprintf("%s=%v", p, phases[p]))
+		total += phases[p]
 	}
 	parts = append(parts, fmt.Sprintf("total=%v", total))
 	return strings.Join(parts, " ")

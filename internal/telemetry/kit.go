@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+
+	"hetdsm/internal/trace"
+)
+
+// Kit bundles the per-node observability plumbing the binaries share: a
+// metrics registry, a release-span ring, a protocol-event ring, the
+// diagnostics HTTP server, and the on-exit JSONL dumps. A nil *Kit is
+// fully disabled — every accessor returns nil and every method is a
+// no-op — so callers thread k.Registry()/k.Spans()/k.TraceLog() into
+// dsd.Options unconditionally.
+type Kit struct {
+	reg      *Registry
+	spans    *SpanLog
+	tlog     *trace.Log
+	srv      *Server
+	addr     string
+	traceOut string
+	spanOut  string
+}
+
+// NewKit builds the observability stack a node was asked for:
+//
+//   - metricsAddr != "": a registry, a span ring and a diagnostics
+//     server on that address (start it with Serve).
+//   - traceOut != "": a protocol-event ring whose contents Close writes
+//     to the file as JSONL.
+//   - spanOut != "": a span ring whose contents Close writes to the
+//     file as JSONL.
+//
+// When every argument is empty NewKit returns nil, the disabled kit.
+func NewKit(metricsAddr, traceOut, spanOut string) *Kit {
+	if metricsAddr == "" && traceOut == "" && spanOut == "" {
+		return nil
+	}
+	k := &Kit{addr: metricsAddr, traceOut: traceOut, spanOut: spanOut}
+	if metricsAddr != "" {
+		k.reg = New()
+		k.spans = NewSpanLog(0)
+	}
+	if spanOut != "" && k.spans == nil {
+		k.spans = NewSpanLog(0)
+	}
+	if traceOut != "" {
+		k.tlog = trace.NewLog(0)
+	}
+	return k
+}
+
+// Registry returns the metrics registry (nil when disabled).
+func (k *Kit) Registry() *Registry {
+	if k == nil {
+		return nil
+	}
+	return k.reg
+}
+
+// Spans returns the release-span ring (nil when disabled).
+func (k *Kit) Spans() *SpanLog {
+	if k == nil {
+		return nil
+	}
+	return k.spans
+}
+
+// TraceLog returns the protocol-event ring (nil when none was asked
+// for).
+func (k *Kit) TraceLog() *trace.Log {
+	if k == nil {
+		return nil
+	}
+	return k.tlog
+}
+
+// SetTraceLog substitutes an externally-created event ring (dsmrun's
+// -trace flag builds its own), so /trace and -trace-out see it.
+func (k *Kit) SetTraceLog(l *trace.Log) {
+	if k == nil || l == nil {
+		return
+	}
+	k.tlog = l
+}
+
+// Serve starts the diagnostics HTTP server when the kit was built with
+// a metrics address. stats and heat back the /stats and /heat routes
+// and may be nil.
+func (k *Kit) Serve(stats func() map[string]any, heat func() any) error {
+	if k == nil || k.addr == "" {
+		return nil
+	}
+	srv, err := ListenAndServe(k.addr, ServerConfig{
+		Registry: k.reg,
+		Stats:    stats,
+		Trace:    k.tlog,
+		Spans:    k.spans,
+		Heat:     heat,
+	})
+	if err != nil {
+		return err
+	}
+	k.srv = srv
+	fmt.Fprintf(os.Stderr, "telemetry: diagnostics on http://%s/ (/metrics /stats /trace /spans /heat /debug/pprof)\n", srv.Addr())
+	return nil
+}
+
+// Close writes the requested JSONL dumps and stops the server. The
+// first error wins, but every step still runs.
+func (k *Kit) Close() error {
+	if k == nil {
+		return nil
+	}
+	var first error
+	dump := func(path string, write func(f *os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	dump(k.traceOut, func(f *os.File) error { return k.tlog.DumpJSON(f) })
+	dump(k.spanOut, func(f *os.File) error { return k.spans.DumpJSON(f) })
+	if err := k.srv.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

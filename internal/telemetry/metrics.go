@@ -1,0 +1,410 @@
+// Package telemetry is the observability layer of the DSM: a
+// dependency-light metrics registry (atomic counters, gauges and
+// log-bucketed histograms with quantile export), per-release pipeline
+// spans, and a per-node HTTP diagnostics server.
+//
+// The paper's entire evaluation is an observability exercise — it
+// instruments Cshare = t_index + t_tag + t_pack + t_unpack + t_conv
+// (Eq. 1) and reads the breakdown off live runs. The stats package keeps
+// those aggregate sums; this package adds what aggregates cannot show:
+// latency distributions (p50/p95/p99 of lock acquire, barrier wait,
+// release round-trip), live scraping while a node runs, and per-release
+// cross-node traces.
+//
+// Everything here is nil-safe and allocation-free when disabled: a nil
+// *Registry hands out nil metric handles, and every method on a nil
+// handle is a no-op. Layers therefore hold handles unconditionally and
+// never branch on "is telemetry on".
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram buckets observations by order of magnitude: bucket i holds
+// values v with floor(log2 v) == i - histOffset, so the full range
+// 2^-40 .. 2^40 (sub-nanosecond latencies in seconds up to terabyte
+// sizes in bytes) is covered by histBuckets counters with no
+// configuration. Observations and quantile reads are lock-free. All
+// methods are no-ops on a nil receiver.
+type Histogram struct {
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+	buckets [histBuckets]atomic.Uint64
+}
+
+const (
+	histOffset  = 40
+	histBuckets = 81 // exponents -40 .. +40
+)
+
+// histBucket maps a value to its bucket index.
+func histBucket(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	i := math.Ilogb(v) + histOffset
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// histUpper returns the exclusive upper bound of bucket i.
+func histUpper(i int) float64 {
+	return math.Ldexp(1, i-histOffset+1)
+}
+
+// histLower returns the inclusive lower bound of bucket i.
+func histLower(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	return math.Ldexp(1, i-histOffset)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[histBucket(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the log bucket containing it. It returns 0 when
+// the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := 0; i < histBuckets; i++ {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := histLower(i), histUpper(i)
+			frac := (target - cum) / n
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return histUpper(histBuckets - 1)
+}
+
+// snapshotBuckets returns the non-empty buckets as (upper bound,
+// cumulative count) pairs, for exposition.
+func (h *Histogram) snapshotBuckets() (uppers []float64, cumulative []uint64) {
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		uppers = append(uppers, histUpper(i))
+		cumulative = append(cumulative, cum)
+	}
+	return uppers, cumulative
+}
+
+// Registry is a named collection of metrics. The zero value is not
+// usable; construct with New. A nil *Registry is the disabled registry:
+// it hands out nil handles and registers nothing, so an un-instrumented
+// node pays nothing.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*Histogram
+	help       map[string]string
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() float64),
+		hists:      make(map[string]*Histogram),
+		help:       make(map[string]string),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.help[name] = help
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.help[name] = help
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from f at exposition
+// time — the bridge for externally-maintained counters (ha.Counters).
+// No-op on a nil registry; a later registration under the same name
+// replaces the earlier one.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = f
+	r.help[name] = help
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+		r.help[name] = help
+	}
+	return h
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4). Histograms are exposed as native histogram
+// families (bucket/sum/count) plus derived _p50/_p95/_p99 gauges, so a
+// plain curl shows the quantiles without a query engine. Safe on a nil
+// registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]uint64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges)+len(r.gaugeFuncs))
+	for n, g := range r.gauges {
+		gauges[n] = g.Value()
+	}
+	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for n, f := range r.gaugeFuncs {
+		funcs[n] = f
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	help := make(map[string]string, len(r.help))
+	for n, h := range r.help {
+		help[n] = h
+	}
+	r.mu.Unlock()
+	// Calling gauge funcs outside the registry lock keeps re-entrant
+	// registrations from deadlocking.
+	for n, f := range funcs {
+		gauges[n] = f()
+	}
+
+	var b strings.Builder
+	writeHeader := func(name, kind string) {
+		if h := help[name]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+	}
+	for _, name := range sortedKeys(counters) {
+		writeHeader(name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name])
+	}
+	for _, name := range sortedKeysF(gauges) {
+		writeHeader(name, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", name, formatFloat(gauges[name]))
+	}
+	histNames := make([]string, 0, len(hists))
+	for n := range hists {
+		histNames = append(histNames, n)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := hists[name]
+		writeHeader(name, "histogram")
+		uppers, cum := h.snapshotBuckets()
+		for i := range uppers {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(uppers[i]), cum[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+		fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+			fmt.Fprintf(&b, "# TYPE %s%s gauge\n", name, q.suffix)
+			fmt.Fprintf(&b, "%s%s %s\n", name, q.suffix, formatFloat(h.Quantile(q.q)))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysF(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("Value = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{-3, 0},
+		{math.NaN(), 0},
+		{math.Ldexp(1, -100), 0},            // below the range: clamp low
+		{1, histOffset},                     // 2^0
+		{1.5, histOffset},                   // still in [1, 2)
+		{2, histOffset + 1},                 // 2^1
+		{0.5, histOffset - 1},               // 2^-1
+		{math.Ldexp(1, 100), histBuckets - 1}, // above the range: clamp high
+	}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.want {
+			t.Errorf("histBucket(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must land strictly below its bucket's upper bound and
+	// (for in-range values) at or above its lower bound.
+	for _, v := range []float64{1e-9, 2.5e-6, 0.001, 0.7, 1, 3, 1024, 1e9} {
+		i := histBucket(v)
+		if v >= histUpper(i) {
+			t.Errorf("v=%v >= upper bound %v of its bucket %d", v, histUpper(i), i)
+		}
+		if v < histLower(i) {
+			t.Errorf("v=%v < lower bound %v of its bucket %d", v, histLower(i), i)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	// 100 observations of 1ms and 1 of 1s: p50 must sit in the 1ms
+	// bucket, p99+ near the outlier decade.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	h.Observe(1.0)
+
+	if h.Count() != 101 {
+		t.Fatalf("Count = %d, want 101", h.Count())
+	}
+	if got, want := h.Sum(), 100*0.001+1.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < histLower(histBucket(0.001)) || p50 >= histUpper(histBucket(0.001)) {
+		t.Errorf("p50 = %v, want within the 1ms bucket [%v, %v)",
+			p50, histLower(histBucket(0.001)), histUpper(histBucket(0.001)))
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < histLower(histBucket(1.0)) {
+		t.Errorf("p99.9 = %v, should reach the 1s outlier bucket (lower %v)",
+			p999, histLower(histBucket(1.0)))
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v < Quantile of smaller q %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perW; j++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*perW {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*perW)
+	}
+	if got, want := h.Sum(), float64(workers*perW)*0.5; math.Abs(got-want) > 1e-6 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	r := New()
+	c1 := r.Counter("requests_total", "requests")
+	c2 := r.Counter("requests_total", "requests")
+	if c1 != c2 {
+		t.Error("same name returned distinct counters")
+	}
+	h1 := r.Histogram("latency_seconds", "latency")
+	h2 := r.Histogram("latency_seconds", "latency")
+	if h1 != h2 {
+		t.Error("same name returned distinct histograms")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("dsm_locks_total", "lock acquisitions").Add(3)
+	r.Gauge("dsm_threads", "registered threads").Set(4)
+	r.GaugeFunc("dsm_ha_replication_lag_records", "lag", func() float64 { return 2 })
+	h := r.Histogram("dsm_lock_acquire_seconds", "lock acquire latency")
+	for i := 0; i < 10; i++ {
+		h.Observe(0.002)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dsm_locks_total counter",
+		"dsm_locks_total 3",
+		"# TYPE dsm_threads gauge",
+		"dsm_threads 4",
+		"dsm_ha_replication_lag_records 2",
+		"# TYPE dsm_lock_acquire_seconds histogram",
+		`dsm_lock_acquire_seconds_bucket{le="+Inf"} 10`,
+		"dsm_lock_acquire_seconds_count 10",
+		"dsm_lock_acquire_seconds_sum 0.02",
+		"dsm_lock_acquire_seconds_p50",
+		"dsm_lock_acquire_seconds_p95",
+		"dsm_lock_acquire_seconds_p99",
+		"# HELP dsm_locks_total lock acquisitions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// There must be at least one finite bucket line before +Inf.
+	if !strings.Contains(out, `dsm_lock_acquire_seconds_bucket{le="0.00390625"} 10`) {
+		t.Errorf("missing finite bucket for the 2ms observations:\n%s", out)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("nil registry wrote %q", sb.String())
+	}
+}
+
+func TestNilHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "")
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// All of these must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil handles must read as zero")
+	}
+}

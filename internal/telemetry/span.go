@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The stages of one release as it moves through the DSD pipeline. The
+// sender emits index, tag, pack and ship; the home emits unpack, conv
+// and apply. A merged timeline for one (rank, seq) id therefore shows
+// the paper's Eq. 1 components as an actual cross-node trace instead of
+// an aggregate sum.
+const (
+	// StageIndex is the sender's diff→index-table span mapping (t_index).
+	StageIndex = "index"
+	// StageTag is CGT-RMR tag formation (t_tag).
+	StageTag = "tag"
+	// StagePack is data gathering and serialization (t_pack).
+	StagePack = "pack"
+	// StageShip is the request round-trip: send until the reply lands.
+	StageShip = "ship"
+	// StageUnpack is the home's frame decode (t_unpack).
+	StageUnpack = "unpack"
+	// StageConv is receiver-makes-right conversion at the home (t_conv).
+	StageConv = "conv"
+	// StageApply is the master-copy write plus pending-queue fan-out.
+	StageApply = "apply"
+)
+
+// Span is one timed stage of one release, identified by the (rank, seq)
+// pair the wire protocol already stamps on every request: Rank is the
+// releasing thread and Seq its per-connection request id, so sender-side
+// and home-side records of the same release carry the same id and can be
+// merged across nodes.
+type Span struct {
+	// Rank is the releasing thread's rank.
+	Rank int32 `json:"rank"`
+	// Seq is the release's request sequence number on that rank.
+	Seq uint64 `json:"seq"`
+	// Node is the recording node ("rank-1@linux-x86", "home@...").
+	Node string `json:"node"`
+	// Stage is one of the Stage* constants.
+	Stage string `json:"stage"`
+	// Start is the stage's wall-clock start in Unix nanoseconds.
+	Start int64 `json:"start_unix_ns"`
+	// Dur is the stage duration in nanoseconds.
+	Dur int64 `json:"dur_ns"`
+	// Bytes is the payload size the stage handled, 0 when not applicable.
+	Bytes int `json:"bytes,omitempty"`
+}
+
+// SpanLog is a concurrency-safe ring of span records, mirroring
+// trace.Log. A nil *SpanLog is a valid disabled sink. Construct with
+// NewSpanLog.
+type SpanLog struct {
+	mu      sync.Mutex
+	buf     []Span
+	next    uint64 // total spans ever recorded
+	dropped uint64
+}
+
+// NewSpanLog returns a ring holding the last capacity spans.
+func NewSpanLog(capacity int) *SpanLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &SpanLog{buf: make([]Span, 0, capacity)}
+}
+
+// Record adds one span; no-op on a nil receiver.
+func (l *SpanLog) Record(node, stage string, rank int32, seq uint64, start time.Time, d time.Duration, bytes int) {
+	if l == nil {
+		return
+	}
+	s := Span{
+		Rank:  rank,
+		Seq:   seq,
+		Node:  node,
+		Stage: stage,
+		Start: start.UnixNano(),
+		Dur:   int64(d),
+		Bytes: bytes,
+	}
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, s)
+	} else {
+		l.buf[int(l.next)%cap(l.buf)] = s
+		l.dropped++
+	}
+	l.next++
+	l.mu.Unlock()
+}
+
+// Len returns the number of retained spans (0 on nil).
+func (l *SpanLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Total returns the number of spans ever recorded (0 on nil).
+func (l *SpanLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Dropped returns how many spans the ring overwrote (0 on nil).
+func (l *SpanLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Spans returns the retained spans in recording order (nil on nil).
+func (l *SpanLog) Spans() []Span {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Span, 0, len(l.buf))
+	if len(l.buf) < cap(l.buf) {
+		return append(out, l.buf...)
+	}
+	start := int(l.next) % cap(l.buf)
+	out = append(out, l.buf[start:]...)
+	return append(out, l.buf[:start]...)
+}
+
+// DumpJSON writes the retained spans as JSONL, one span per line.
+func (l *SpanLog) DumpJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range l.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Release is one release's merged cross-node timeline: every recorded
+// stage for a (rank, seq) id, ordered by wall-clock start.
+type Release struct {
+	// Rank and Seq identify the release.
+	Rank int32  `json:"rank"`
+	Seq  uint64 `json:"seq"`
+	// Spans holds the stages in start order.
+	Spans []Span `json:"spans"`
+}
+
+// Stage returns the release's first span of the named stage and whether
+// one was recorded.
+func (r *Release) Stage(stage string) (Span, bool) {
+	for _, s := range r.Spans {
+		if s.Stage == stage {
+			return s, true
+		}
+	}
+	return Span{}, false
+}
+
+// MergeTimeline groups spans from any number of logs (sender-side and
+// home-side) by (rank, seq) and returns per-release timelines ordered by
+// rank, then seq. Spans with Seq == 0 (no release id) are dropped.
+func MergeTimeline(logs ...[]Span) []Release {
+	type key struct {
+		rank int32
+		seq  uint64
+	}
+	byID := make(map[key][]Span)
+	for _, spans := range logs {
+		for _, s := range spans {
+			if s.Seq == 0 {
+				continue
+			}
+			k := key{s.Rank, s.Seq}
+			byID[k] = append(byID[k], s)
+		}
+	}
+	out := make([]Release, 0, len(byID))
+	for k, spans := range byID {
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		out = append(out, Release{Rank: k.rank, Seq: k.seq, Spans: spans})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

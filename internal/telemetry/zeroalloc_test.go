@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledPathZeroAlloc pins the central promise of the package: a
+// node built without -metrics-addr holds nil handles everywhere, and
+// every operation on them is a no-op that allocates nothing.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var (
+		r *Registry
+		c *Counter
+		g *Gauge
+		h *Histogram
+		l *SpanLog
+	)
+	start := time.Unix(0, 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(0.001)
+		l.Record("n", StagePack, 1, 1, start, time.Millisecond, 64)
+		_ = c.Value()
+		_ = h.Quantile(0.99)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled handles allocated %v per op set, want 0", allocs)
+	}
+	// Handing out handles from a nil registry is also free.
+	allocs = testing.AllocsPerRun(1000, func() {
+		_ = r.Counter("x", "")
+		_ = r.Histogram("x", "")
+	})
+	if allocs != 0 {
+		t.Errorf("nil registry handle creation allocated %v, want 0", allocs)
+	}
+}
+
+// TestEnabledObserveLockFree guards the hot path on the enabled side:
+// counter increments and histogram observations stay allocation-free.
+func TestEnabledObserveLockFree(t *testing.T) {
+	r := New()
+	c := r.Counter("x_total", "")
+	h := r.Histogram("x_seconds", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(0.002)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled Observe/Inc allocated %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDumpJSONFieldNames pins the JSONL schema: stable lowercase keys,
+// one object per line, in sequence order.
+func TestDumpJSONFieldNames(t *testing.T) {
+	l := NewLog(8)
+	l.Record("home@linux-x86", KindLockGrant, 2, 5, 128, "grant")
+	l.Record("rank-1@solaris-sparc", KindApply, 1, -1, 64, "")
+
+	var buf bytes.Buffer
+	if err := l.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	for _, key := range []string{"seq", "at", "node", "kind", "rank", "mutex", "bytes", "detail"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("line 0 missing key %q: %s", key, lines[0])
+		}
+	}
+	if first["kind"] != "lock-grant" {
+		t.Errorf("kind = %v, want lock-grant", first["kind"])
+	}
+	if first["seq"] != float64(0) {
+		t.Errorf("seq = %v, want 0", first["seq"])
+	}
+	// The second event has no detail; omitempty keeps the line lean.
+	if strings.Contains(lines[1], "detail") {
+		t.Errorf("empty detail should be omitted: %s", lines[1])
+	}
+
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if e.Node != "home@linux-x86" || e.Kind != KindLockGrant || e.Bytes != 128 {
+		t.Errorf("round-trip lost fields: %+v", e)
+	}
+}
+
+// TestDumpJSONNil checks the nil log writes nothing and does not panic.
+func TestDumpJSONNil(t *testing.T) {
+	var l *Log
+	var buf bytes.Buffer
+	if err := l.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil log wrote %q", buf.String())
+	}
+}
+
+// TestEventsOrderAfterPartialWrap drives the ring to a fill level that
+// is not a multiple of its capacity, where a naive oldest-first
+// reconstruction goes wrong.
+func TestEventsOrderAfterPartialWrap(t *testing.T) {
+	l := NewLog(5)
+	const total = 13 // 13 % 5 = 3: ring seam sits mid-buffer
+	for i := 0; i < total; i++ {
+		l.Add(Event{Node: "n", Kind: KindFlush, Rank: int32(i)})
+	}
+	evs := l.Events()
+	if len(evs) != 5 {
+		t.Fatalf("retained %d, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(total - 5 + i); e.Seq != want {
+			t.Fatalf("slot %d seq = %d, want %d", i, e.Seq, want)
+		}
+		if want := int32(total - 5 + i); e.Rank != want {
+			t.Fatalf("slot %d rank = %d, want %d (payload must travel with its seq)", i, e.Rank, want)
+		}
+	}
+	if got, want := l.Dropped(), uint64(total-5); got != want {
+		t.Errorf("dropped = %d, want %d", got, want)
+	}
+	if l.Total() != total {
+		t.Errorf("total = %d, want %d", l.Total(), total)
+	}
+}
+
+// TestFilterAfterWrap checks Filter sees only retained events, in
+// order, once the ring has overwritten earlier matches.
+func TestFilterAfterWrap(t *testing.T) {
+	l := NewLog(6)
+	// Alternate two kinds for 20 events; the ring keeps the last 6
+	// (seqs 14..19), of which the even seqs are locks.
+	for i := 0; i < 20; i++ {
+		kind := KindLockGrant
+		if i%2 == 1 {
+			kind = KindUnlock
+		}
+		l.Add(Event{Node: "n", Kind: kind})
+	}
+	got := l.Filter(KindLockGrant)
+	want := []uint64{14, 16, 18}
+	if len(got) != len(want) {
+		t.Fatalf("filter kept %d events, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Seq != want[i] {
+			t.Errorf("filter[%d].Seq = %d, want %d", i, e.Seq, want[i])
+		}
+		if e.Kind != KindLockGrant {
+			t.Errorf("filter[%d].Kind = %v, want lock-grant", i, e.Kind)
+		}
+	}
+}

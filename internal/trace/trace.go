@@ -7,6 +7,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -49,24 +50,26 @@ const (
 	KindReplicate Kind = "replicate"
 )
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. Events marshal to JSON with stable
+// lowercase field names, so the ring can be dumped as JSONL (-trace-out,
+// the /trace endpoint) and post-processed by standard tooling.
 type Event struct {
 	// Seq is the global order of the event within this Log.
-	Seq uint64
+	Seq uint64 `json:"seq"`
 	// At is the wall-clock timestamp.
-	At time.Time
+	At time.Time `json:"at"`
 	// Node identifies the recorder ("home", "rank-2/linux-x86", ...).
-	Node string
+	Node string `json:"node"`
 	// Kind classifies the event.
-	Kind Kind
+	Kind Kind `json:"kind"`
 	// Rank is the thread rank involved, -1 when not applicable.
-	Rank int32
+	Rank int32 `json:"rank"`
 	// Mutex is the lock/barrier index, -1 when not applicable.
-	Mutex int32
+	Mutex int32 `json:"mutex"`
 	// Bytes is the update payload size, 0 when not applicable.
-	Bytes int
+	Bytes int `json:"bytes"`
 	// Detail carries free-form context.
-	Detail string
+	Detail string `json:"detail,omitempty"`
 }
 
 // String renders one line of trace output.
@@ -180,6 +183,21 @@ func (l *Log) Filter(kind Kind) []Event {
 func (l *Log) Dump(w io.Writer) error {
 	for _, e := range l.Events() {
 		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpJSON writes the retained events as JSONL, one JSON object per
+// line, in sequence order. Safe on a nil receiver (writes nothing).
+func (l *Log) DumpJSON(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events() {
+		if err := enc.Encode(e); err != nil {
 			return err
 		}
 	}

@@ -31,6 +31,16 @@ type Segment struct {
 	twins    [][]byte
 	onFault  FaultFunc
 	faults   uint64
+
+	// Per-page heat accounting, cumulative since creation: write traps
+	// taken, diff runs produced and diff bytes found on each page. A page
+	// with many faults and many small diff runs is a false-sharing
+	// suspect — distinct objects on one page ping-ponging the twin/diff
+	// machinery.
+	heatFaults    []uint64
+	heatDiffRuns  []uint64
+	heatDiffBytes []uint64
+	twinsMade     uint64
 }
 
 // NewSegment creates a segment of the given size at virtual address base
@@ -48,11 +58,14 @@ func NewSegment(base uint64, size, pageSize int) (*Segment, error) {
 	}
 	pages := (size + pageSize - 1) / pageSize
 	return &Segment{
-		base:     base,
-		pageSize: pageSize,
-		data:     make([]byte, pages*pageSize),
-		prot:     make([]bool, pages),
-		twins:    make([][]byte, pages),
+		base:          base,
+		pageSize:      pageSize,
+		data:          make([]byte, pages*pageSize),
+		prot:          make([]bool, pages),
+		twins:         make([][]byte, pages),
+		heatFaults:    make([]uint64, pages),
+		heatDiffRuns:  make([]uint64, pages),
+		heatDiffBytes: make([]uint64, pages),
 	}, nil
 }
 
@@ -170,6 +183,8 @@ func (s *Segment) trap(p int) {
 	s.twins[p] = twin
 	s.prot[p] = false
 	s.faults++
+	s.heatFaults[p]++
+	s.twinsMade++
 	if s.onFault != nil {
 		s.onFault(p)
 	}
@@ -272,12 +287,18 @@ func (s *Segment) DiffPage(page int, g DiffGranularity) []Range {
 	}
 	base := page * s.pageSize
 	cur := s.data[base : base+s.pageSize]
+	var out []Range
 	switch g {
 	case DiffWord:
-		return diffWord(cur, tw, base)
+		out = diffWord(cur, tw, base)
 	default:
-		return diffByte(cur, tw, base)
+		out = diffByte(cur, tw, base)
 	}
+	s.heatDiffRuns[page] += uint64(len(out))
+	for _, r := range out {
+		s.heatDiffBytes[page] += uint64(r.Len())
+	}
+	return out
 }
 
 func diffByte(cur, tw []byte, base int) []Range {
