@@ -1,0 +1,194 @@
+// Command dsmsim sweeps the deterministic cluster simulator across seeds,
+// fault profiles, and platform mixes, validating every run against the
+// release-consistency checker. A violation prints its reproducer (seed +
+// fault schedule + minimized event trace) and fails the sweep; -out saves
+// the full reports as artifacts for CI upload.
+//
+// Usage:
+//
+//	dsmsim -seeds 64 -profile all -mix all        # CI sweep
+//	dsmsim -replay 41 -profile partition -mix Lsl  # reproduce one failure
+//	dsmsim -seeds 8 -negative                      # oracle self-test
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"hetdsm/internal/sim"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 8, "number of seeds to sweep (seed 0..N-1)")
+		profile  = flag.String("profile", "all", "fault profile (clean|flaky|partition|failover|handoff|all)")
+		mix      = flag.String("mix", "all", "platform mix (e.g. LL, SL, Lsl) or all")
+		negative = flag.Bool("negative", false, "corrupt wire frames and require the checker to notice")
+		replay   = flag.Int64("replay", -1, "replay one seed (with -profile/-mix) and verify byte-identical traces")
+		out      = flag.String("out", "", "directory for violation-report artifacts")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+		verbose  = flag.Bool("v", false, "print every run, not just failures")
+	)
+	flag.Parse()
+
+	profiles, err := pickProfiles(*profile, *negative)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mixes, err := pickMixes(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	if *replay >= 0 {
+		os.Exit(replayOne(*replay, profiles, mixes, *negative, *out))
+	}
+
+	plans := make([]sim.Plan, 0, *seeds*len(profiles)*len(mixes))
+	for seed := int64(0); seed < int64(*seeds); seed++ {
+		for _, p := range profiles {
+			for _, m := range mixes {
+				plan := sim.NewPlan(seed, p, m)
+				plan.Negative = *negative
+				plans = append(plans, plan)
+			}
+		}
+	}
+	os.Exit(sweep(plans, *negative, *workers, *verbose, *out))
+}
+
+func pickProfiles(name string, negative bool) ([]sim.Profile, error) {
+	if negative {
+		// Negative mode only composes with the clean profile.
+		return []sim.Profile{sim.ProfileClean}, nil
+	}
+	if name == "all" {
+		return sim.Profiles(), nil
+	}
+	p := sim.Profile(name)
+	if !sim.ValidProfile(p) {
+		return nil, fmt.Errorf("dsmsim: unknown profile %q (want clean|flaky|partition|failover|handoff|all)", name)
+	}
+	return []sim.Profile{p}, nil
+}
+
+func pickMixes(name string) ([]string, error) {
+	if name == "all" {
+		return sim.Mixes(), nil
+	}
+	if len(name) < 2 {
+		return nil, fmt.Errorf("dsmsim: mix %q needs at least a home and one thread letter", name)
+	}
+	return []string{name}, nil
+}
+
+// sweep runs every plan, bounded by the worker count, and reports the
+// tally. Exit 0 only if every run matched its expectation (clean sweeps
+// validate, negative sweeps are flagged).
+func sweep(plans []sim.Plan, negative bool, workers int, verbose bool, out string) int {
+	if workers < 1 {
+		workers = 1
+	}
+	type outcome struct {
+		res sim.Result
+		bad bool
+	}
+	results := make([]outcome, len(plans))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, plan := range plans {
+		wg.Add(1)
+		go func(i int, plan sim.Plan) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := sim.Run(plan)
+			bad := !res.OK()
+			if negative {
+				// The oracle must notice the corruption; a clean result or
+				// an infrastructure error is the failure here.
+				bad = res.Err != nil || len(res.Violations) == 0 || res.Corrupted == 0
+			}
+			results[i] = outcome{res: res, bad: bad}
+		}(i, plan)
+	}
+	wg.Wait()
+
+	failed := 0
+	for _, o := range results {
+		if o.bad {
+			failed++
+			if negative && o.res.Err == nil && len(o.res.Violations) == 0 {
+				fmt.Printf("NEGATIVE MISS: %s validated clean despite %d corrupted frames\n", o.res.Plan, o.res.Corrupted)
+			} else {
+				fmt.Printf("FAIL: %s\n%s", o.res.Plan, o.res.Report())
+			}
+			saveArtifact(out, o.res)
+		} else if verbose {
+			fmt.Printf("ok: %s (%d events)\n", o.res.Plan, o.res.Events)
+		}
+	}
+	mode := "violation-free"
+	if negative {
+		mode = "corruption-detecting"
+	}
+	fmt.Printf("dsmsim: %d/%d runs %s\n", len(plans)-failed, len(plans), mode)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// replayOne runs a single plan twice and verifies the byte-identical
+// canonical-trace guarantee, printing the full report.
+func replayOne(seed int64, profiles []sim.Profile, mixes []string, negative bool, out string) int {
+	plan := sim.NewPlan(seed, profiles[0], mixes[0])
+	plan.Negative = negative
+	a := sim.Run(plan)
+	fmt.Print(a.Report())
+	saveArtifact(out, a)
+	b := sim.Run(plan)
+	if !bytes.Equal(a.Canonical, b.Canonical) {
+		fmt.Printf("REPLAY DIVERGED: second run of %s produced a different canonical trace\n", plan)
+		return 1
+	}
+	fmt.Println("replay: byte-identical canonical trace")
+	if negative {
+		if a.Err != nil || len(a.Violations) == 0 {
+			return 1
+		}
+		return 0
+	}
+	if !a.OK() {
+		return 1
+	}
+	return 0
+}
+
+// saveArtifact writes the run's report and canonical trace for CI upload.
+func saveArtifact(dir string, res sim.Result) {
+	if dir == "" {
+		return
+	}
+	name := fmt.Sprintf("seed%d-%s-%s", res.Plan.Seed, res.Plan.Profile, res.Plan.Mix)
+	if res.Plan.Negative {
+		name += "-negative"
+	}
+	report := res.Report() + "\n--- canonical trace ---\n" + string(res.Canonical)
+	if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(report), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmsim: artifact %s: %v\n", name, err)
+	}
+}

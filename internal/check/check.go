@@ -1,0 +1,447 @@
+// Package check is the correctness oracle for deterministic DSM runs: it
+// records every thread's synchronization operations and typed replica
+// accesses through the dsd.Recorder interface, then validates the recorded
+// history against an explicit release-consistency model.
+//
+// The model mirrors the paper's home-based protocol at the level of
+// observable values, not wire traffic: each rank owns a model replica,
+// writes are locally visible immediately and commit to the model master at
+// release points (unlock, barrier enter, join), and replicas refresh from
+// the master at acquire points (lock grant, barrier exit). Against that
+// model the checker enforces:
+//
+//   - mutual exclusion — two ranks never hold the same mutex;
+//   - read coherence — every read observes exactly the value the model
+//     replica holds, i.e. the latest write ordered before it by the same
+//     lock's (or barrier's) happens-before edges;
+//   - barrier epoch consistency — all enters of generation i precede every
+//     exit of generation i, with exactly one enter per participating rank;
+//   - join finality — no rank acts after announcing termination.
+//
+// A violation carries the offending event and a minimized slice of the
+// history (the events that touch the same cell or the same synchronization
+// object), so a failing seed prints a readable reproducer instead of ten
+// thousand raw events.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Op classifies a history event.
+type Op uint8
+
+// The event kinds a Recorder produces.
+const (
+	OpAcquire Op = iota
+	OpRelease
+	OpBarrierEnter
+	OpBarrierExit
+	OpJoin
+	OpRead
+	OpWrite
+)
+
+// String returns the lowercase op name.
+func (o Op) String() string {
+	switch o {
+	case OpAcquire:
+		return "acquire"
+	case OpRelease:
+		return "release"
+	case OpBarrierEnter:
+		return "barrier-enter"
+	case OpBarrierExit:
+		return "barrier-exit"
+	case OpJoin:
+		return "join"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Event is one recorded occurrence. Stamp is the global arrival order at
+// the History — a valid linearization of the run that produced it, because
+// every hook fires at the moment its effect is visible to the thread.
+type Event struct {
+	Stamp uint64
+	Rank  int32
+	Op    Op
+	// Sync is the mutex or barrier index; -1 for join/read/write.
+	Sync int
+	// Var and Index name the accessed cell for OpRead/OpWrite.
+	Var   string
+	Index int
+	// Value is the canonical stored/loaded value for OpRead/OpWrite.
+	Value int64
+}
+
+// String renders one event for violation traces.
+func (e Event) String() string {
+	switch e.Op {
+	case OpRead, OpWrite:
+		return fmt.Sprintf("#%04d r%d %s %s[%d] = %d", e.Stamp, e.Rank, e.Op, e.Var, e.Index, e.Value)
+	case OpJoin:
+		return fmt.Sprintf("#%04d r%d join", e.Stamp, e.Rank)
+	default:
+		return fmt.Sprintf("#%04d r%d %s %d", e.Stamp, e.Rank, e.Op, e.Sync)
+	}
+}
+
+// History accumulates events from concurrently running threads. It
+// implements dsd.Recorder; install it via dsd.Options.Recorder on every
+// thread of a run, then hand Events() to Validate.
+type History struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+func (h *History) add(e Event) {
+	h.mu.Lock()
+	e.Stamp = uint64(len(h.events))
+	h.events = append(h.events, e)
+	h.mu.Unlock()
+}
+
+// Acquire implements dsd.Recorder.
+func (h *History) Acquire(rank int32, mutex int) {
+	h.add(Event{Rank: rank, Op: OpAcquire, Sync: mutex})
+}
+
+// Release implements dsd.Recorder.
+func (h *History) Release(rank int32, mutex int) {
+	h.add(Event{Rank: rank, Op: OpRelease, Sync: mutex})
+}
+
+// BarrierEnter implements dsd.Recorder.
+func (h *History) BarrierEnter(rank int32, barrier int) {
+	h.add(Event{Rank: rank, Op: OpBarrierEnter, Sync: barrier})
+}
+
+// BarrierExit implements dsd.Recorder.
+func (h *History) BarrierExit(rank int32, barrier int) {
+	h.add(Event{Rank: rank, Op: OpBarrierExit, Sync: barrier})
+}
+
+// Join implements dsd.Recorder.
+func (h *History) Join(rank int32) {
+	h.add(Event{Rank: rank, Op: OpJoin, Sync: -1})
+}
+
+// Read implements dsd.Recorder.
+func (h *History) Read(rank int32, name string, index int, value int64) {
+	h.add(Event{Rank: rank, Op: OpRead, Sync: -1, Var: name, Index: index, Value: value})
+}
+
+// Write implements dsd.Recorder.
+func (h *History) Write(rank int32, name string, index int, value int64) {
+	h.add(Event{Rank: rank, Op: OpWrite, Sync: -1, Var: name, Index: index, Value: value})
+}
+
+// Events returns a copy of the history in stamp order.
+func (h *History) Events() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Event, len(h.events))
+	copy(out, h.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.events)
+}
+
+// PerRank splits the history into per-rank sequences, preserving each
+// rank's program order.
+func PerRank(events []Event) map[int32][]Event {
+	out := make(map[int32][]Event)
+	for _, e := range events {
+		out[e.Rank] = append(out[e.Rank], e)
+	}
+	return out
+}
+
+// Canonical renders the history as a deterministic byte string: one line
+// per event, grouped by rank in rank order, without global stamps. Global
+// stamps vary run to run for concurrent phases (barrier arrivals race for
+// the history mutex), but each rank's own sequence is its program order —
+// so two runs of the same deterministic plan produce byte-identical
+// canonical traces, which is the replay guarantee dsmsim asserts.
+func Canonical(events []Event) []byte {
+	byRank := PerRank(events)
+	ranks := make([]int32, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	var b strings.Builder
+	for _, r := range ranks {
+		fmt.Fprintf(&b, "rank %d:\n", r)
+		for _, e := range byRank[r] {
+			switch e.Op {
+			case OpRead, OpWrite:
+				fmt.Fprintf(&b, "  %s %s[%d] = %d\n", e.Op, e.Var, e.Index, e.Value)
+			case OpJoin:
+				fmt.Fprintf(&b, "  join\n")
+			default:
+				fmt.Fprintf(&b, "  %s %d\n", e.Op, e.Sync)
+			}
+		}
+	}
+	return []byte(b.String())
+}
+
+// Violation is one detected inconsistency.
+type Violation struct {
+	// Msg states what rule broke and how.
+	Msg string
+	// Event is the offending event.
+	Event Event
+	// Trace is the minimized context: the events relevant to the
+	// violation, in stamp order, ending with the offending event.
+	Trace []Event
+}
+
+// String renders the violation with its minimized trace.
+func (v Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "violation: %s\n  at: %s\n  minimized trace (%d events):\n", v.Msg, v.Event, len(v.Trace))
+	for _, e := range v.Trace {
+		fmt.Fprintf(&b, "    %s\n", e)
+	}
+	return b.String()
+}
+
+// cell addresses one element of one GThV member.
+type cell struct {
+	name  string
+	index int
+}
+
+// model is the release-consistency reference machine Validate replays the
+// history through.
+type model struct {
+	mem    map[cell]int64           // committed master state
+	repl   map[int32]map[cell]int64 // per-rank replica view
+	dirty  map[int32]map[cell]bool  // per-rank uncommitted writes
+	holder map[int]int32            // mutex -> holding rank (or none)
+}
+
+func newModel() *model {
+	return &model{
+		mem:    make(map[cell]int64),
+		repl:   make(map[int32]map[cell]int64),
+		dirty:  make(map[int32]map[cell]bool),
+		holder: make(map[int]int32),
+	}
+}
+
+func (m *model) replOf(r int32) map[cell]int64 {
+	v, ok := m.repl[r]
+	if !ok {
+		v = make(map[cell]int64)
+		m.repl[r] = v
+	}
+	return v
+}
+
+func (m *model) dirtyOf(r int32) map[cell]bool {
+	v, ok := m.dirty[r]
+	if !ok {
+		v = make(map[cell]bool)
+		m.dirty[r] = v
+	}
+	return v
+}
+
+// commit flushes rank r's dirty cells into the master (a release point).
+func (m *model) commit(r int32) {
+	repl := m.replOf(r)
+	for c := range m.dirtyOf(r) {
+		m.mem[c] = repl[c]
+	}
+	m.dirty[r] = make(map[cell]bool)
+}
+
+// refresh brings rank r's replica up to the master (an acquire point),
+// keeping locally dirty cells authoritative.
+func (m *model) refresh(r int32) {
+	repl := m.replOf(r)
+	dirty := m.dirtyOf(r)
+	for c, v := range m.mem {
+		if !dirty[c] {
+			repl[c] = v
+		}
+	}
+}
+
+// Validate replays the history in stamp order through the model and
+// returns every violation found. nranks is the number of barrier
+// participants (every rank is expected at every barrier generation);
+// pass 0 to infer it from the distinct ranks present.
+func Validate(events []Event, nranks int) []Violation {
+	if nranks == 0 {
+		seen := make(map[int32]bool)
+		for _, e := range events {
+			seen[e.Rank] = true
+		}
+		nranks = len(seen)
+	}
+	m := newModel()
+	var out []Violation
+	report := func(e Event, format string, args ...interface{}) {
+		out = append(out, Violation{
+			Msg:   fmt.Sprintf(format, args...),
+			Event: e,
+			Trace: Minimize(events, e, 40),
+		})
+	}
+
+	type epoch struct{ barrier, gen int }
+	enters := make(map[epoch]int) // arrivals per barrier generation
+	rankGen := make(map[int32]map[int]int)
+	pendingBarrier := make(map[int32]*epoch)
+	joined := make(map[int32]bool)
+
+	genOf := func(r int32) map[int]int {
+		g, ok := rankGen[r]
+		if !ok {
+			g = make(map[int]int)
+			rankGen[r] = g
+		}
+		return g
+	}
+
+	for _, e := range events {
+		if joined[e.Rank] {
+			report(e, "rank %d acted after join", e.Rank)
+			continue
+		}
+		switch e.Op {
+		case OpAcquire:
+			if h, held := m.holder[e.Sync]; held {
+				report(e, "mutual exclusion broken: rank %d acquired mutex %d while rank %d holds it", e.Rank, e.Sync, h)
+			}
+			m.holder[e.Sync] = e.Rank
+			m.refresh(e.Rank)
+		case OpRelease:
+			h, held := m.holder[e.Sync]
+			if !held || h != e.Rank {
+				report(e, "rank %d released mutex %d it does not hold", e.Rank, e.Sync)
+			}
+			delete(m.holder, e.Sync)
+			m.commit(e.Rank)
+		case OpBarrierEnter:
+			if p := pendingBarrier[e.Rank]; p != nil {
+				report(e, "rank %d entered barrier %d while still inside barrier %d", e.Rank, e.Sync, p.barrier)
+			}
+			g := genOf(e.Rank)
+			ep := epoch{barrier: e.Sync, gen: g[e.Sync]}
+			g[e.Sync]++
+			enters[ep]++
+			pendingBarrier[e.Rank] = &ep
+			m.commit(e.Rank)
+		case OpBarrierExit:
+			p := pendingBarrier[e.Rank]
+			if p == nil || p.barrier != e.Sync {
+				report(e, "rank %d exited barrier %d without entering it", e.Rank, e.Sync)
+			} else {
+				if got := enters[*p]; got != nranks {
+					report(e, "barrier %d generation %d opened with %d/%d arrivals", p.barrier, p.gen, got, nranks)
+				}
+				pendingBarrier[e.Rank] = nil
+			}
+			m.refresh(e.Rank)
+		case OpJoin:
+			m.commit(e.Rank)
+			joined[e.Rank] = true
+		case OpWrite:
+			c := cell{e.Var, e.Index}
+			m.replOf(e.Rank)[c] = e.Value
+			m.dirtyOf(e.Rank)[c] = true
+		case OpRead:
+			c := cell{e.Var, e.Index}
+			if want := m.replOf(e.Rank)[c]; e.Value != want {
+				report(e, "stale read: rank %d read %s[%d] = %d, release-consistency model expects %d",
+					e.Rank, e.Var, e.Index, e.Value, want)
+			}
+		}
+	}
+	return out
+}
+
+// FinalState replays the history and returns the model's committed master
+// state, cell by cell. Compare it against the home's master replica to
+// catch corruption that no read observed (e.g. a corrupted last write).
+func FinalState(events []Event) map[string]map[int]int64 {
+	m := newModel()
+	for _, e := range events {
+		switch e.Op {
+		case OpAcquire, OpBarrierExit:
+			m.refresh(e.Rank)
+		case OpRelease, OpBarrierEnter, OpJoin:
+			m.commit(e.Rank)
+		case OpWrite:
+			c := cell{e.Var, e.Index}
+			m.replOf(e.Rank)[c] = e.Value
+			m.dirtyOf(e.Rank)[c] = true
+		}
+	}
+	out := make(map[string]map[int]int64)
+	for c, v := range m.mem {
+		inner, ok := out[c.name]
+		if !ok {
+			inner = make(map[int]int64)
+			out[c.name] = inner
+		}
+		inner[c.index] = v
+	}
+	return out
+}
+
+// Minimize extracts the events relevant to bad from the full history: for
+// a read/write violation, the accesses to the same cell plus bad.Rank's
+// synchronization events; for a synchronization violation, every event on
+// the same object. At most limit events are kept, nearest to bad.
+func Minimize(events []Event, bad Event, limit int) []Event {
+	var kept []Event
+	for _, e := range events {
+		if e.Stamp > bad.Stamp {
+			break
+		}
+		relevant := false
+		switch bad.Op {
+		case OpRead, OpWrite:
+			switch e.Op {
+			case OpRead, OpWrite:
+				relevant = e.Var == bad.Var && e.Index == bad.Index
+			default:
+				relevant = e.Rank == bad.Rank
+			}
+		default:
+			relevant = e.Sync == bad.Sync || e.Rank == bad.Rank
+			if e.Op == OpRead || e.Op == OpWrite {
+				relevant = e.Rank == bad.Rank
+			}
+		}
+		if relevant || e.Stamp == bad.Stamp {
+			kept = append(kept, e)
+		}
+	}
+	if limit > 0 && len(kept) > limit {
+		kept = kept[len(kept)-limit:]
+	}
+	return kept
+}

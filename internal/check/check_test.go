@@ -1,0 +1,246 @@
+package check
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetdsm/internal/platform"
+	"hetdsm/internal/trace"
+)
+
+// record replays a compact script onto a History using the Recorder
+// interface, so the tests exercise the same entry points dsd threads call.
+type step struct {
+	rank  int32
+	op    Op
+	sync  int
+	name  string
+	index int
+	value int64
+}
+
+func record(steps []step) *History {
+	h := NewHistory()
+	for _, s := range steps {
+		switch s.op {
+		case OpAcquire:
+			h.Acquire(s.rank, s.sync)
+		case OpRelease:
+			h.Release(s.rank, s.sync)
+		case OpBarrierEnter:
+			h.BarrierEnter(s.rank, s.sync)
+		case OpBarrierExit:
+			h.BarrierExit(s.rank, s.sync)
+		case OpJoin:
+			h.Join(s.rank)
+		case OpRead:
+			h.Read(s.rank, s.name, s.index, s.value)
+		case OpWrite:
+			h.Write(s.rank, s.name, s.index, s.value)
+		}
+	}
+	return h
+}
+
+func TestValidateCleanLockHistory(t *testing.T) {
+	// r0 writes A[0]=5 in a CS; r1 then reads 5 and writes 7; r0 reads 7.
+	h := record([]step{
+		{rank: 0, op: OpAcquire, sync: 0},
+		{rank: 0, op: OpWrite, name: "A", value: 5},
+		{rank: 0, op: OpRead, name: "A", value: 5}, // read-own-write
+		{rank: 0, op: OpRelease, sync: 0},
+		{rank: 1, op: OpAcquire, sync: 0},
+		{rank: 1, op: OpRead, name: "A", value: 5},
+		{rank: 1, op: OpWrite, name: "A", value: 7},
+		{rank: 1, op: OpRelease, sync: 0},
+		{rank: 0, op: OpAcquire, sync: 0},
+		{rank: 0, op: OpRead, name: "A", value: 7},
+		{rank: 0, op: OpRelease, sync: 0},
+		{rank: 0, op: OpJoin},
+		{rank: 1, op: OpJoin},
+	})
+	if vs := Validate(h.Events(), 2); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+func TestValidateDetectsStaleRead(t *testing.T) {
+	h := record([]step{
+		{rank: 0, op: OpAcquire, sync: 0},
+		{rank: 0, op: OpWrite, name: "A", value: 5},
+		{rank: 0, op: OpRelease, sync: 0},
+		{rank: 1, op: OpAcquire, sync: 0},
+		{rank: 1, op: OpRead, name: "A", value: 0}, // lost update: must see 5
+		{rank: 1, op: OpRelease, sync: 0},
+	})
+	vs := Validate(h.Events(), 2)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(vs), vs)
+	}
+	if !strings.Contains(vs[0].Msg, "stale read") {
+		t.Fatalf("unexpected violation: %v", vs[0])
+	}
+	if len(vs[0].Trace) == 0 {
+		t.Fatal("violation carries no minimized trace")
+	}
+}
+
+func TestValidateDetectsMutualExclusionBreak(t *testing.T) {
+	h := record([]step{
+		{rank: 0, op: OpAcquire, sync: 0},
+		{rank: 1, op: OpAcquire, sync: 0}, // double grant
+		{rank: 0, op: OpRelease, sync: 0},
+		{rank: 1, op: OpRelease, sync: 0},
+	})
+	vs := Validate(h.Events(), 2)
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Msg, "mutual exclusion") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("double grant not flagged: %v", vs)
+	}
+}
+
+func TestValidateDetectsEarlyBarrierOpen(t *testing.T) {
+	// r0 exits generation 0 although r1 never entered it.
+	h := record([]step{
+		{rank: 0, op: OpBarrierEnter, sync: 0},
+		{rank: 0, op: OpBarrierExit, sync: 0},
+		{rank: 1, op: OpBarrierEnter, sync: 0},
+		{rank: 1, op: OpBarrierExit, sync: 0},
+	})
+	vs := Validate(h.Events(), 2)
+	if len(vs) == 0 || !strings.Contains(vs[0].Msg, "arrivals") {
+		t.Fatalf("early barrier open not flagged: %v", vs)
+	}
+}
+
+func TestValidateCleanBarrierHistory(t *testing.T) {
+	h := record([]step{
+		{rank: 0, op: OpWrite, name: "A", index: 0, value: 1},
+		{rank: 1, op: OpWrite, name: "A", index: 1, value: 2},
+		{rank: 0, op: OpBarrierEnter, sync: 0},
+		{rank: 1, op: OpBarrierEnter, sync: 0},
+		{rank: 0, op: OpBarrierExit, sync: 0},
+		{rank: 1, op: OpBarrierExit, sync: 0},
+		// After the barrier both ranks see both writes.
+		{rank: 0, op: OpRead, name: "A", index: 1, value: 2},
+		{rank: 1, op: OpRead, name: "A", index: 0, value: 1},
+	})
+	if vs := Validate(h.Events(), 2); len(vs) != 0 {
+		t.Fatalf("clean barrier history flagged: %v", vs)
+	}
+}
+
+func TestValidateDetectsActAfterJoin(t *testing.T) {
+	h := record([]step{
+		{rank: 0, op: OpJoin},
+		{rank: 0, op: OpAcquire, sync: 0},
+	})
+	vs := Validate(h.Events(), 1)
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "after join") {
+		t.Fatalf("act-after-join not flagged: %v", vs)
+	}
+}
+
+func TestFinalState(t *testing.T) {
+	h := record([]step{
+		{rank: 0, op: OpAcquire, sync: 0},
+		{rank: 0, op: OpWrite, name: "A", index: 3, value: 9},
+		{rank: 0, op: OpRelease, sync: 0},
+		{rank: 1, op: OpWrite, name: "B", index: 0, value: 4},
+		{rank: 1, op: OpJoin}, // join flushes the dirty write
+	})
+	fs := FinalState(h.Events())
+	if got := fs["A"][3]; got != 9 {
+		t.Errorf("A[3] = %d, want 9", got)
+	}
+	if got := fs["B"][0]; got != 4 {
+		t.Errorf("B[0] = %d, want 4", got)
+	}
+}
+
+func TestCanonicalIgnoresInterleaving(t *testing.T) {
+	// Same per-rank programs, different global interleavings.
+	a := record([]step{
+		{rank: 0, op: OpWrite, name: "A", value: 1},
+		{rank: 1, op: OpWrite, name: "B", value: 2},
+		{rank: 0, op: OpJoin},
+		{rank: 1, op: OpJoin},
+	})
+	b := record([]step{
+		{rank: 1, op: OpWrite, name: "B", value: 2},
+		{rank: 0, op: OpWrite, name: "A", value: 1},
+		{rank: 1, op: OpJoin},
+		{rank: 0, op: OpJoin},
+	})
+	ca, cb := Canonical(a.Events()), Canonical(b.Events())
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("canonical traces differ across interleavings:\n%s\nvs\n%s", ca, cb)
+	}
+}
+
+func TestMinimizeKeepsOnlyRelevantEvents(t *testing.T) {
+	h := record([]step{
+		{rank: 0, op: OpWrite, name: "A", index: 0, value: 1},
+		{rank: 1, op: OpWrite, name: "Z", index: 9, value: 99}, // unrelated
+		{rank: 0, op: OpRead, name: "A", index: 0, value: 1},
+	})
+	events := h.Events()
+	bad := events[len(events)-1]
+	min := Minimize(events, bad, 40)
+	for _, e := range min {
+		if e.Var == "Z" {
+			t.Fatalf("minimized trace kept unrelated event %s", e)
+		}
+	}
+	if min[len(min)-1].Stamp != bad.Stamp {
+		t.Fatal("minimized trace does not end at the violation")
+	}
+}
+
+func TestRoundTripInts(t *testing.T) {
+	vals := []int64{0, 1, -1, 1 << 20, -(1 << 20), 2147483647, -2147483648}
+	pairs := [][2]*platform.Platform{
+		{platform.LinuxX86, platform.SolarisSPARC}, // endianness flip
+		{platform.LinuxX86, platform.LinuxX8664},   // ILP32 vs LP64
+		{platform.SolarisSPARC, platform.SolarisSPARC64},
+		{platform.LinuxX8664, platform.SolarisSPARC64}, // both LP64, endian flip
+	}
+	for _, p := range pairs {
+		for _, ct := range []platform.CType{platform.CInt, platform.CLong, platform.CLongLong} {
+			if err := RoundTripInts(vals, ct, p[0], p[1]); err != nil {
+				t.Errorf("%v %s<->%s: %v", ct, p[0], p[1], err)
+			}
+		}
+	}
+}
+
+func TestCrossCheckTrace(t *testing.T) {
+	h := record([]step{
+		{rank: 0, op: OpAcquire, sync: 0},
+		{rank: 0, op: OpRelease, sync: 0},
+		{rank: 0, op: OpBarrierEnter, sync: 0},
+		{rank: 0, op: OpBarrierExit, sync: 0},
+	})
+	full := trace.NewLog(64)
+	full.Record("home", trace.KindLockGrant, 0, 0, 0, "")
+	full.Record("home", trace.KindBarrierArrive, 0, 0, 0, "")
+	if vs := CrossCheckTrace(h.Events(), full); len(vs) != 0 {
+		t.Fatalf("covered history flagged: %v", vs)
+	}
+	// Replays may over-count in the log: still fine.
+	full.Record("home", trace.KindLockGrant, 0, 0, 0, "replay")
+	if vs := CrossCheckTrace(h.Events(), full); len(vs) != 0 {
+		t.Fatalf("over-counted log flagged: %v", vs)
+	}
+	empty := trace.NewLog(64)
+	vs := CrossCheckTrace(h.Events(), empty)
+	if len(vs) != 2 {
+		t.Fatalf("missing grants/arrivals not flagged: %v", vs)
+	}
+}

@@ -70,6 +70,11 @@ type Options struct {
 	// is a home-side setting: threads adopt the home's protocol at
 	// registration.
 	Protocol Protocol
+	// Recorder, when non-nil, observes this thread's synchronization
+	// operations and typed replica accesses for the deterministic test
+	// harness (internal/check). It is a thread-side setting; homes ignore
+	// it. nil disables recording entirely.
+	Recorder Recorder
 	// StickyLocks keeps a disconnected rank's mutexes held instead of
 	// force-releasing them. Set it when threads reconnect after transient
 	// failures (HA mode): the holder will come back and re-send its

@@ -24,6 +24,10 @@ type Globals struct {
 	// locally: a stale marking no longer applies (the local value is the
 	// truth until the next release).
 	wrote func(entry, first, count int)
+	// rec, when set, observes typed signed-integer accesses for the
+	// deterministic test harness; rank labels them.
+	rec  Recorder
+	rank int32
 }
 
 func newGlobals(p *platform.Platform, t *indextable.Table, s *vmem.Segment) *Globals {
@@ -103,7 +107,16 @@ func (v *Var) SetInt(i int, x int64) error {
 	buf := make([]byte, v.e.ElemSize)
 	v.g.plat.PutInt(buf, v.e.ElemSize, x)
 	v.noteWrite(i, 1)
-	return v.g.seg.Write(off, buf)
+	if err := v.g.seg.Write(off, buf); err != nil {
+		return err
+	}
+	if v.g.rec != nil {
+		// Record the canonical stored value — what a load returns after the
+		// element's size truncation — not the caller's argument, so a
+		// checker's memory model matches the replica bit-for-bit.
+		v.g.rec.Write(v.g.rank, v.e.Name, i, v.g.plat.Int(buf, v.e.ElemSize))
+	}
+	return nil
 }
 
 // Int loads element i as a signed integer.
@@ -119,7 +132,11 @@ func (v *Var) Int(i int) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return v.g.plat.Int(b, v.e.ElemSize), nil
+	x := v.g.plat.Int(b, v.e.ElemSize)
+	if v.g.rec != nil {
+		v.g.rec.Read(v.g.rank, v.e.Name, i, x)
+	}
+	return x, nil
 }
 
 // SetInts stores consecutive elements starting at first with one segment
@@ -139,7 +156,15 @@ func (v *Var) SetInts(first int, xs []int64) error {
 		v.g.plat.PutInt(buf[i*v.e.ElemSize:], v.e.ElemSize, x)
 	}
 	v.noteWrite(first, len(xs))
-	return v.g.seg.Write(v.e.Offset+first*v.e.ElemSize, buf)
+	if err := v.g.seg.Write(v.e.Offset+first*v.e.ElemSize, buf); err != nil {
+		return err
+	}
+	if v.g.rec != nil {
+		for i := range xs {
+			v.g.rec.Write(v.g.rank, v.e.Name, first+i, v.g.plat.Int(buf[i*v.e.ElemSize:], v.e.ElemSize))
+		}
+	}
+	return nil
 }
 
 // Ints loads count consecutive elements starting at first.
@@ -163,6 +188,11 @@ func (v *Var) Ints(first, count int) ([]int64, error) {
 	out := make([]int64, count)
 	for i := range out {
 		out[i] = v.g.plat.Int(b[i*v.e.ElemSize:], v.e.ElemSize)
+	}
+	if v.g.rec != nil {
+		for i, x := range out {
+			v.g.rec.Read(v.g.rank, v.e.Name, first+i, x)
+		}
 	}
 	return out, nil
 }

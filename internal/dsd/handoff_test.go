@@ -1,6 +1,7 @@
 package dsd
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -72,7 +73,28 @@ func TestHomeHandoffMidRun(t *testing.T) {
 	}
 
 	// Let the run get going, then hand the home over to a SPARC box.
-	time.Sleep(5 * time.Millisecond)
+	// Polling the idempotency watermarks — rather than sleeping a fixed
+	// interval — guarantees the detach really lands mid-run: at least one
+	// thread has committed an update by the time we pull the rug.
+	trafficDeadline := time.Now().Add(5 * time.Second)
+	for {
+		oldHome.mu.Lock()
+		started := false
+		for _, seq := range oldHome.applied {
+			if seq > 0 {
+				started = true
+				break
+			}
+		}
+		oldHome.mu.Unlock()
+		if started {
+			break
+		}
+		if time.Now().After(trafficDeadline) {
+			t.Fatal("workers never started committing updates")
+		}
+		runtime.Gosched()
+	}
 	state, err := oldHome.Detach(10 * time.Second)
 	if err != nil {
 		t.Fatal(err)

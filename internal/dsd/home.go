@@ -704,9 +704,12 @@ func (h *Home) handleJoin(c transport.Conn, p *peer, msg *wire.Message) error {
 	if !h.joined[p.rank] {
 		h.joined[p.rank] = true
 		h.repRecord(&wire.Replication{Event: wire.RepJoin, Rank: p.rank, Mutex: -1})
-	}
-	if len(h.joined) == h.nthreads {
-		close(h.done)
+		// Close only on the transition: a thread whose JoinAck was lost
+		// in flight replays its join after reconnecting, and a second
+		// close would panic while h.mu is held — hanging every peer.
+		if len(h.joined) == h.nthreads {
+			close(h.done)
+		}
 	}
 	h.mu.Unlock()
 	h.opts.Trace.Record(h.node, trace.KindJoin, p.rank, -1, 0, "")

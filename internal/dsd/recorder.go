@@ -1,0 +1,34 @@
+package dsd
+
+// Recorder observes a thread's synchronization operations and its typed
+// accesses to the GThV replica. The deterministic test harness
+// (internal/check) installs one via Options.Recorder to build the event
+// history the release-consistency checker validates; production runs leave
+// it nil and pay nothing.
+//
+// All methods are invoked from the goroutine that owns the thread, in
+// program order for that rank:
+//
+//   - Acquire fires after a lock grant's updates have been applied — reads
+//     that follow observe everything the grant carried.
+//   - Release fires after the home acknowledged the unlock — the writes of
+//     the critical section are now visible to the next acquirer.
+//   - BarrierEnter fires before the barrier request ships (local writes of
+//     the phase are flushed with it); BarrierExit fires after the release's
+//     merged updates have been applied.
+//   - Join fires after the home acknowledged termination.
+//   - Read/Write fire on the typed signed-integer accessors with the
+//     canonical stored value (what a subsequent load returns after the
+//     platform's size truncation), so a checker models memory exactly.
+//
+// Implementations must be safe for concurrent use: distinct ranks call
+// concurrently.
+type Recorder interface {
+	Acquire(rank int32, mutex int)
+	Release(rank int32, mutex int)
+	BarrierEnter(rank int32, barrier int)
+	BarrierExit(rank int32, barrier int)
+	Join(rank int32)
+	Read(rank int32, name string, index int, value int64)
+	Write(rank int32, name string, index int, value int64)
+}

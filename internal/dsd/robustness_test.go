@@ -3,6 +3,7 @@ package dsd
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -310,7 +311,22 @@ func TestDeadHolderLockRecovered(t *testing.T) {
 	// The survivor queues behind the lock, then the holder crashes.
 	got := make(chan error, 1)
 	go func() { got <- survivor.Lock(0) }()
-	time.Sleep(10 * time.Millisecond) // let the waiter enqueue
+	// Wait until the survivor's request is actually queued at the home —
+	// a fixed sleep under-waits on a loaded single-core runner.
+	enqueueDeadline := time.Now().Add(5 * time.Second)
+	for {
+		h.mu.Lock()
+		ls := h.locks[0]
+		queued := ls != nil && len(ls.waiters) > 0
+		h.mu.Unlock()
+		if queued {
+			break
+		}
+		if time.Now().After(enqueueDeadline) {
+			t.Fatal("survivor never enqueued behind the held lock")
+		}
+		runtime.Gosched()
+	}
 	dying.Close()
 
 	select {

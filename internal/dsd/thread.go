@@ -95,6 +95,8 @@ func Connect(conn transport.Conn, p *platform.Platform, rank int32, gthv tag.Str
 	t.globals = newGlobals(p, table, seg)
 	t.globals.ensure = t.ensureValid
 	t.globals.wrote = t.noteLocalWrite
+	t.globals.rec = opts.Recorder
+	t.globals.rank = rank
 	if err := t.handshake(); err != nil {
 		return nil, err
 	}
@@ -261,6 +263,8 @@ func DialHABackoff(nw transport.Network, addrs []string, p *platform.Platform, r
 	t.globals = newGlobals(p, table, seg)
 	t.globals.ensure = t.ensureValid
 	t.globals.wrote = t.noteLocalWrite
+	t.globals.rec = opts.Recorder
+	t.globals.rank = rank
 	rc.OnConnect = func(c transport.Conn) error {
 		if err := t.handshakeOn(c); err != nil {
 			return err
@@ -420,6 +424,9 @@ func (t *Thread) Lock(idx int) error {
 	if err := t.applyIncoming(grant); err != nil {
 		return err
 	}
+	if t.opts.Recorder != nil {
+		t.opts.Recorder.Acquire(t.rank, idx)
+	}
 	// The ack is the one request without a reply; for HA threads a re-send
 	// rides the reconnecting conn onto a fresh connection, whose home-side
 	// stub tolerates a stray ack.
@@ -457,6 +464,9 @@ func (t *Thread) Unlock(idx int) error {
 	if _, err := t.call(m, wire.KindUnlockAck); err != nil {
 		return err
 	}
+	if t.opts.Recorder != nil {
+		t.opts.Recorder.Release(t.rank, idx)
+	}
 	if t.observesReleases() {
 		t.finishRelease(m, st, shipStart)
 	}
@@ -468,6 +478,9 @@ func (t *Thread) Unlock(idx int) error {
 // an unlock, the thread waits for all participants, and the merged updates
 // of the phase are applied before Barrier returns.
 func (t *Thread) Barrier(idx int) error {
+	if t.opts.Recorder != nil {
+		t.opts.Recorder.BarrierEnter(t.rank, idx)
+	}
 	updates, st := t.collectUpdates()
 	m := &wire.Message{
 		Kind:     wire.KindBarrierReq,
@@ -494,6 +507,9 @@ func (t *Thread) Barrier(idx int) error {
 	}
 	if err := t.applyIncoming(release); err != nil {
 		return err
+	}
+	if t.opts.Recorder != nil {
+		t.opts.Recorder.BarrierExit(t.rank, idx)
 	}
 	t.rearm()
 	return nil
@@ -543,6 +559,9 @@ func (t *Thread) Join() error {
 	}
 	if _, err := t.call(m, wire.KindJoinAck); err != nil {
 		return err
+	}
+	if t.opts.Recorder != nil {
+		t.opts.Recorder.Join(t.rank)
 	}
 	if t.observesReleases() {
 		t.finishRelease(m, st, shipStart)

@@ -7,6 +7,7 @@ import (
 
 	"hetdsm/internal/trace"
 	"hetdsm/internal/transport"
+	"hetdsm/internal/vclock"
 	"hetdsm/internal/wire"
 )
 
@@ -99,6 +100,10 @@ type Detector struct {
 	Counters *Counters
 	// Trace, when non-nil, records suspect events.
 	Trace *trace.Log
+	// Clock provides probe timing; nil means the system clock. Tests
+	// drive suspicion deterministically with a vclock.Virtual instead of
+	// sleeping past real timeouts.
+	Clock vclock.Clock
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -139,11 +144,15 @@ func (d *Detector) Done() <-chan struct{} { return d.done }
 
 func (d *Detector) run() {
 	defer close(d.done)
-	lastOK := time.Now()
+	clock := d.Clock
+	if clock == nil {
+		clock = vclock.System()
+	}
+	lastOK := clock.Now()
 	var conn transport.Conn
 	var pongs chan uint64
 	var seq uint64
-	ticker := time.NewTicker(d.interval)
+	ticker := clock.Ticker(d.interval)
 	defer ticker.Stop()
 	defer func() {
 		if conn != nil {
@@ -161,15 +170,15 @@ func (d *Detector) run() {
 				conn, pongs = nil, nil
 				continue
 			}
-			lastOK = time.Now()
+			lastOK = clock.Now()
 			if d.Counters != nil {
 				d.Counters.Pongs.Add(1)
 			}
 			if d.View != nil {
 				d.View.set(d.addr, StateAlive)
 			}
-		case <-ticker.C:
-			if time.Since(lastOK) > d.timeout {
+		case <-ticker.Chan():
+			if clock.Now().Sub(lastOK) > d.timeout {
 				d.suspect(fmt.Errorf("ha: no pong from %s in %v", d.addr, d.timeout))
 				return
 			}

@@ -1,6 +1,7 @@
 package ha_test
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"hetdsm/internal/platform"
 	"hetdsm/internal/tag"
 	"hetdsm/internal/transport"
+	"hetdsm/internal/vclock"
 	"hetdsm/internal/wire"
 )
 
@@ -26,7 +28,9 @@ func testGThV() tag.Struct {
 	}
 }
 
-// waitFor polls cond until it holds or the deadline passes.
+// waitFor polls cond until it holds or the deadline passes. Yielding
+// instead of sleeping keeps the poll loop deterministic under -race and on
+// loaded single-core CI runners.
 func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(d)
@@ -34,7 +38,7 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 		if time.Now().After(deadline) {
 			t.Fatalf("timed out waiting for %s", what)
 		}
-		time.Sleep(time.Millisecond)
+		runtime.Gosched()
 	}
 }
 
@@ -52,6 +56,10 @@ func TestDetectorSuspectsUnreachableAddress(t *testing.T) {
 
 	var suspected atomic.Bool
 	d := ha.NewDetector(nw, "ghost", 2*time.Millisecond, 10*time.Millisecond)
+	// Drive probe timing on a virtual clock: the suspicion timeout
+	// elapses because the test advances time, not because it sleeps.
+	vc := vclock.NewVirtual(time.Time{})
+	d.Clock = vc
 	d.Counters = counters
 	d.View = view
 	d.OnSuspect = func(addr string, reason error) {
@@ -62,10 +70,18 @@ func TestDetectorSuspectsUnreachableAddress(t *testing.T) {
 	}
 	d.Start()
 
-	select {
-	case <-d.Done():
-	case <-time.After(5 * time.Second):
-		t.Fatal("detector never gave a verdict on an unreachable address")
+	deadline := time.Now().Add(5 * time.Second)
+	for verdict := false; !verdict; {
+		select {
+		case <-d.Done():
+			verdict = true
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("detector never gave a verdict on an unreachable address")
+			}
+			vc.Advance(2 * time.Millisecond)
+			runtime.Gosched()
+		}
 	}
 	if !suspected.Load() {
 		t.Error("OnSuspect did not fire")

@@ -8,6 +8,7 @@ import (
 	"hetdsm/internal/dsd"
 	"hetdsm/internal/platform"
 	"hetdsm/internal/transport"
+	"hetdsm/internal/vclock"
 )
 
 // StandbyConfig tunes a Standby.
@@ -28,6 +29,9 @@ type StandbyConfig struct {
 	HeartbeatInterval time.Duration
 	// FailoverTimeout is the suspicion timeout (default 4 intervals).
 	FailoverTimeout time.Duration
+	// Clock, when set, drives the detector's probe timing (tests use a
+	// vclock.Virtual); nil means the system clock.
+	Clock vclock.Clock
 }
 
 // Standby ties the pieces into automatic failover: it serves the
@@ -88,6 +92,7 @@ func NewStandby(nw transport.Network, b *Backup, cfg StandbyConfig) (*Standby, e
 // honored.
 func (s *Standby) Start() {
 	s.det = NewDetector(s.nw, s.cfg.PrimaryAddr, s.cfg.HeartbeatInterval, s.cfg.FailoverTimeout)
+	s.det.Clock = s.cfg.Clock
 	s.det.Counters = s.Counters
 	s.det.Trace = s.Backup.Trace
 	s.det.OnSuspect = func(addr string, reason error) { s.failover() }

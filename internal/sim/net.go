@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetdsm/internal/transport"
+	"hetdsm/internal/wire"
+)
+
+// Net wraps a transport.Network with transient-partition support: Cut
+// makes an address unreachable (new dials fail, existing connections to it
+// are severed) until Heal. The heal is scheduled on a real timer so a
+// driver blocked behind a partitioned request still recovers — retries do
+// not change any observed value, so wall-clock fault timing never leaks
+// into the canonical event trace.
+type Net struct {
+	inner transport.Network
+
+	mu    sync.Mutex
+	cut   map[string]bool
+	conns map[string][]transport.Conn // live dialed conns per address
+	cuts  int
+}
+
+// NewNet wraps inner.
+func NewNet(inner transport.Network) *Net {
+	return &Net{inner: inner, cut: make(map[string]bool), conns: make(map[string][]transport.Conn)}
+}
+
+// Listen implements transport.Network.
+func (n *Net) Listen(addr string) (transport.Listener, error) { return n.inner.Listen(addr) }
+
+// Dial implements transport.Network; it fails while addr is cut and tracks
+// the connection so a later Cut can sever it.
+func (n *Net) Dial(addr string) (transport.Conn, error) {
+	n.mu.Lock()
+	if n.cut[addr] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("sim: %q partitioned", addr)
+	}
+	n.mu.Unlock()
+	c, err := n.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	// Re-check: a Cut may have raced the dial; sever immediately if so.
+	if n.cut[addr] {
+		n.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("sim: %q partitioned", addr)
+	}
+	n.conns[addr] = append(n.conns[addr], c)
+	n.mu.Unlock()
+	return c, nil
+}
+
+// Cut partitions addr: existing connections are severed and dials fail
+// until heal elapses (real time), after which the address is reachable
+// again. Cuts returns how many times it ran.
+func (n *Net) Cut(addr string, heal time.Duration) {
+	n.mu.Lock()
+	n.cut[addr] = true
+	n.cuts++
+	doomed := n.conns[addr]
+	n.conns[addr] = nil
+	n.mu.Unlock()
+	for _, c := range doomed {
+		c.Close()
+	}
+	time.AfterFunc(heal, func() {
+		n.mu.Lock()
+		n.cut[addr] = false
+		n.mu.Unlock()
+	})
+}
+
+// Cuts returns the number of partitions injected.
+func (n *Net) Cuts() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cuts
+}
+
+// CorruptNet implements the negative-test fault: it decodes client frames
+// in flight and flips one bit in the data payload of every unlock request,
+// re-encoding the frame so it still parses. The corruption changes
+// committed values without the sender's recorder knowing — the
+// release-consistency checker MUST flag the run, or the oracle is broken.
+//
+// Every data-bearing unlock is corrupted (not just one) so detection is
+// guaranteed for every seed: a single mid-run corruption can be silently
+// erased when the corrupting rank is itself the next read-modify-writer of
+// the cell (its own replica still holds the uncorrupted value), but the
+// run's final unlock has nothing after it to overwrite the damage, so the
+// final-state comparison always diverges.
+type CorruptNet struct {
+	inner transport.Network
+
+	mu        sync.Mutex
+	corrupted int
+}
+
+// NewCorruptNet wraps inner, corrupting every unlock request's payload.
+func NewCorruptNet(inner transport.Network) *CorruptNet {
+	return &CorruptNet{inner: inner}
+}
+
+// Corrupted returns how many frames were corrupted.
+func (n *CorruptNet) Corrupted() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.corrupted
+}
+
+// Listen implements transport.Network.
+func (n *CorruptNet) Listen(addr string) (transport.Listener, error) { return n.inner.Listen(addr) }
+
+// Dial implements transport.Network.
+func (n *CorruptNet) Dial(addr string) (transport.Conn, error) {
+	c, err := n.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &corruptConn{Conn: c, net: n}, nil
+}
+
+type corruptConn struct {
+	transport.Conn
+	net *CorruptNet
+}
+
+func (c *corruptConn) SendFrame(frame []byte) error {
+	if mutated, ok := c.mangle(frame); ok {
+		frame = mutated
+	}
+	return c.Conn.SendFrame(frame)
+}
+
+// mangle flips one bit in the first update payload of an unlock request.
+func (c *corruptConn) mangle(frame []byte) ([]byte, bool) {
+	m, err := wire.Decode(frame)
+	if err != nil || m.Kind != wire.KindUnlockReq {
+		return nil, false
+	}
+	hit := false
+	for i := range m.Updates {
+		if len(m.Updates[i].Data) > 0 {
+			m.Updates[i].Data[0] ^= 0x01
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return nil, false
+	}
+	out, err := wire.Encode(m)
+	if err != nil {
+		return nil, false
+	}
+	c.net.mu.Lock()
+	c.net.corrupted++
+	c.net.mu.Unlock()
+	return out, true
+}

@@ -1,0 +1,168 @@
+// Package sim is the deterministic cluster simulator: it runs a complete
+// DSM deployment — home, worker threads on heterogeneous virtual platforms,
+// and an in-memory transport — under a seeded plan that composes a workload
+// with a fault schedule (connection kills, transient partitions, home
+// failover via internal/ha, live home handoff). Every thread's operations
+// are recorded through internal/check and validated against its
+// release-consistency model, so a run either reports zero violations or
+// prints a replayable seed with a minimized event trace.
+//
+// Determinism is by construction, not by luck: a single driver goroutine
+// owns the operation schedule (drawn from the plan's seed), critical
+// sections are globally serialized (concurrent only across distinct locks
+// over disjoint data), and barrier phases write rank-owned slices — so the
+// values every thread reads and writes are a pure function of the seed,
+// and the canonical per-rank event trace is byte-identical across runs of
+// the same plan even when fault timing varies.
+package sim
+
+import (
+	"fmt"
+
+	"hetdsm/internal/platform"
+)
+
+// Profile names a fault schedule.
+type Profile string
+
+// The fault profiles dsmsim explores.
+const (
+	// ProfileClean runs without faults.
+	ProfileClean Profile = "clean"
+	// ProfileFlaky kills connections at seeded-random frame operations;
+	// threads ride sticky locks + sequence replay through the failures.
+	ProfileFlaky Profile = "flaky"
+	// ProfilePartition makes the home unreachable for short windows,
+	// severing every client connection; threads reconnect with backoff.
+	ProfilePartition Profile = "partition"
+	// ProfileFailover kills the primary home mid-run; a hot standby
+	// (internal/ha) detects the death and promotes its replicated backup.
+	ProfileFailover Profile = "failover"
+	// ProfileHandoff detaches the home at a quiesced point and migrates
+	// its state to a successor, redirecting every thread.
+	ProfileHandoff Profile = "handoff"
+)
+
+// Profiles returns every fault profile, in sweep order.
+func Profiles() []Profile {
+	return []Profile{ProfileClean, ProfileFlaky, ProfilePartition, ProfileFailover, ProfileHandoff}
+}
+
+// ValidProfile reports whether p names a known profile.
+func ValidProfile(p Profile) bool {
+	for _, q := range Profiles() {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Mixes returns the standard platform mixes: homogeneous little-endian,
+// homogeneous big-endian, and the heterogeneous home/thread splits.
+func Mixes() []string {
+	return []string{"LL", "SS", "SL", "LS", "Lsl", "Sls"}
+}
+
+// Plan is one fully-specified simulation run. Two runs of an identical
+// plan produce byte-identical canonical event traces.
+type Plan struct {
+	// Seed drives the workload schedule and all randomized fault timing.
+	Seed int64
+	// Mix encodes the platform assignment: the first letter is the home's
+	// platform, the rest cycle across thread ranks (L = linux-x86,
+	// S = solaris-sparc, l = linux-x86-64, s = solaris-sparc64).
+	// "SL" is a big-endian home serving little-endian threads.
+	Mix string
+	// Profile selects the fault schedule.
+	Profile Profile
+	// Threads is the worker thread count (default 3).
+	Threads int
+	// Steps is the number of driver steps (default 25).
+	Steps int
+	// Negative injects a deliberate wire corruption into one unlock's
+	// update payload; the run is then expected to FAIL validation. dsmsim
+	// uses it to test the oracle itself.
+	Negative bool
+}
+
+// NewPlan returns the default-shaped plan for a seed, profile and mix.
+func NewPlan(seed int64, profile Profile, mix string) Plan {
+	return Plan{Seed: seed, Mix: mix, Profile: profile, Threads: 3, Steps: 25}
+}
+
+// withDefaults fills unset knobs.
+func (p Plan) withDefaults() Plan {
+	if p.Mix == "" {
+		p.Mix = "LL"
+	}
+	if p.Profile == "" {
+		p.Profile = ProfileClean
+	}
+	if p.Threads <= 0 {
+		p.Threads = 3
+	}
+	if p.Steps <= 0 {
+		p.Steps = 25
+	}
+	return p
+}
+
+// String is the one-line reproducer printed with every violation.
+func (p Plan) String() string {
+	s := fmt.Sprintf("-seed %d -profile %s -mix %s", p.Seed, p.Profile, p.Mix)
+	if p.Negative {
+		s += " -negative"
+	}
+	return s
+}
+
+// platforms resolves the mix into the home platform and one platform per
+// thread rank.
+func (p Plan) platforms() (*platform.Platform, []*platform.Platform, error) {
+	if len(p.Mix) < 2 {
+		return nil, nil, fmt.Errorf("sim: mix %q needs at least a home and one thread letter", p.Mix)
+	}
+	byLetter := func(c byte) *platform.Platform {
+		switch c {
+		case 'L':
+			return platform.LinuxX86
+		case 'S':
+			return platform.SolarisSPARC
+		case 'l':
+			return platform.LinuxX8664
+		case 's':
+			return platform.SolarisSPARC64
+		}
+		return nil
+	}
+	home := byLetter(p.Mix[0])
+	if home == nil {
+		return nil, nil, fmt.Errorf("sim: mix %q: unknown platform letter %q", p.Mix, p.Mix[0])
+	}
+	rest := p.Mix[1:]
+	threads := make([]*platform.Platform, p.Threads)
+	for i := range threads {
+		pl := byLetter(rest[i%len(rest)])
+		if pl == nil {
+			return nil, nil, fmt.Errorf("sim: mix %q: unknown platform letter %q", p.Mix, rest[i%len(rest)])
+		}
+		threads[i] = pl
+	}
+	return home, threads, nil
+}
+
+// Heterogeneous reports whether the plan mixes ABIs (any thread platform
+// differing from the home's).
+func (p Plan) Heterogeneous() bool {
+	home, threads, err := p.withDefaults().platforms()
+	if err != nil {
+		return false
+	}
+	for _, t := range threads {
+		if !t.SameABI(home) {
+			return true
+		}
+	}
+	return false
+}

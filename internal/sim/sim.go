@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"hetdsm/internal/check"
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/ha"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/trace"
+	"hetdsm/internal/transport"
+	"hetdsm/internal/vclock"
+)
+
+// The history recorder must satisfy the dsd hook interface.
+var _ dsd.Recorder = (*check.History)(nil)
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// Plan is the plan that ran (defaults filled in).
+	Plan Plan
+	// Violations holds every release-consistency violation the checker
+	// found; empty on a correct run.
+	Violations []check.Violation
+	// Canonical is the deterministic per-rank event trace; byte-identical
+	// across runs of the same plan.
+	Canonical []byte
+	// Events is the recorded history length.
+	Events int
+	// FaultLog describes each injected fault with its logical timestamp.
+	FaultLog []string
+	// Reconnects counts thread redials across all ranks.
+	Reconnects uint64
+	// Corrupted counts negative-mode frame corruptions.
+	Corrupted int
+	// Err reports an infrastructure failure (the run could not complete);
+	// distinct from a validation failure.
+	Err error
+}
+
+// OK reports whether the run completed and validated clean.
+func (r Result) OK() bool { return r.Err == nil && len(r.Violations) == 0 }
+
+// Report renders the result for humans: the reproducer line, the fault
+// schedule, and each violation with its minimized trace.
+func (r Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %s (%d events", r.Plan, r.Events)
+	if r.Reconnects > 0 {
+		fmt.Fprintf(&b, ", %d reconnects", r.Reconnects)
+	}
+	if r.Corrupted > 0 {
+		fmt.Fprintf(&b, ", %d corrupted frames", r.Corrupted)
+	}
+	b.WriteString(")\n")
+	for _, f := range r.FaultLog {
+		fmt.Fprintf(&b, "fault: %s\n", f)
+	}
+	if r.Err != nil {
+		fmt.Fprintf(&b, "run error: %v\n", r.Err)
+	}
+	for _, v := range r.Violations {
+		b.WriteString(v.String())
+	}
+	if r.OK() {
+		b.WriteString("ok: 0 violations\n")
+	}
+	return b.String()
+}
+
+// simBackoff is the fast reconnect policy simulation threads dial with:
+// sub-millisecond retries so partition heals and failover promotions are
+// picked up promptly, seeded per rank for reproducible jitter.
+func simBackoff(seed int64, rank int32) transport.Backoff {
+	return transport.Backoff{
+		Base:     200 * time.Microsecond,
+		Max:      5 * time.Millisecond,
+		Factor:   2,
+		Jitter:   0.3,
+		Attempts: 400,
+		Seed:     seed*1000 + int64(rank) + 1,
+	}
+}
+
+// Run executes one plan and validates the recorded history. It never
+// panics on protocol misbehavior — everything lands in Result.
+func Run(plan Plan) Result {
+	plan = plan.withDefaults()
+	res := Result{Plan: plan}
+	homePlat, threadPlats, err := plan.platforms()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if plan.Negative && plan.Profile != ProfileClean {
+		res.Err = fmt.Errorf("sim: negative mode requires the clean profile, got %q", plan.Profile)
+		return res
+	}
+
+	rng := rand.New(rand.NewSource(plan.Seed))
+	clock := vclock.NewVirtual(time.Time{})
+	hist := check.NewHistory()
+	tlog := trace.NewLog(1 << 16)
+	gthv := simGThV(plan.Threads)
+
+	opts := dsd.DefaultOptions()
+	// Whole-array widening off: the workload's blind rank-owned slice
+	// writes must never ship a stale copy of a neighbor's cells.
+	opts.WholeArrayThreshold = 0
+	// Sticky locks: all fault profiles reconnect rather than fail-stop.
+	opts.StickyLocks = true
+	opts.Trace = tlog
+
+	// Fault-injection network stack.
+	base := transport.NewInproc()
+	var nw transport.Network = base
+	var snet *Net
+	var corrupt *CorruptNet
+	switch {
+	case plan.Negative:
+		corrupt = NewCorruptNet(base)
+		nw = corrupt
+	case plan.Profile == ProfileFlaky:
+		nw = transport.NewFlakyRand(base, 0.01, plan.Seed)
+	case plan.Profile == ProfilePartition:
+		snet = NewNet(base)
+		nw = snet
+	}
+
+	// Home-side deployment.
+	addrs := []string{"home"}
+	var primary *dsd.Home
+	var standby *ha.Standby
+	var repl *ha.Replicator
+	// haClock drives the standby's failure detector. It advances only
+	// after the scheduled kill, so the detector cannot falsely suspect a
+	// live primary no matter how starved the host CPU is — early
+	// promotion would freeze the backup (it rejects replication after
+	// Promote) and silently lose every release between promotion and the
+	// kill.
+	var haClock *vclock.Virtual
+	if plan.Profile == ProfileFailover {
+		addrs = []string{"primary", "standby"}
+		primary, err = dsd.NewHome(gthv, homePlat, plan.Threads, opts)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		pl, err := nw.Listen("primary")
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		go primary.Serve(pl)
+		backup := ha.NewBackup(gthv)
+		counters := &ha.Counters{}
+		haClock = vclock.NewVirtual(time.Time{})
+		standby, err = ha.NewStandby(nw, backup, ha.StandbyConfig{
+			PrimaryAddr:       "primary",
+			ReplicaAddr:       "replica",
+			ServeAddr:         "standby",
+			Platform:          homePlat,
+			Opts:              opts,
+			HeartbeatInterval: 2 * time.Millisecond,
+			FailoverTimeout:   12 * time.Millisecond,
+			Clock:             haClock,
+		})
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		standby.Counters = counters
+		repConn, err := nw.Dial("replica")
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		repl = ha.NewReplicator(repConn, counters)
+		if err := primary.StartReplication(repl); err != nil {
+			res.Err = err
+			return res
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for !backup.Ready() {
+			if time.Now().After(deadline) {
+				res.Err = fmt.Errorf("sim: replication bootstrap never arrived")
+				return res
+			}
+			runtime.Gosched()
+		}
+		standby.Start()
+		defer standby.Stop()
+	} else {
+		primary, err = dsd.NewHome(gthv, homePlat, plan.Threads, opts)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		l, err := nw.Listen("home")
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		go primary.Serve(l)
+	}
+
+	// Worker threads, one goroutine each, recording into the history.
+	workers := make([]*worker, plan.Threads)
+	for rank := 0; rank < plan.Threads; rank++ {
+		topts := opts
+		topts.Recorder = hist
+		th, err := dsd.DialHABackoff(nw, addrs, threadPlats[rank], int32(rank), gthv, topts, simBackoff(plan.Seed, int32(rank)))
+		if err != nil {
+			res.Err = fmt.Errorf("sim: rank %d dial: %w", rank, err)
+			return res
+		}
+		workers[rank] = newWorker(rank, th)
+	}
+
+	// Fault schedule, stamped on the logical clock (one tick per step).
+	var successor *dsd.Home
+	epoch := clock.Now()
+	logicalNow := func() time.Duration { return clock.Now().Sub(epoch) }
+	faultAt := func(step int) error {
+		defer clock.Advance(time.Millisecond)
+		switch plan.Profile {
+		case ProfilePartition:
+			if step == plan.Steps/3 || step == (2*plan.Steps)/3 {
+				const heal = 2 * time.Millisecond
+				snet.Cut("home", heal)
+				res.FaultLog = append(res.FaultLog,
+					fmt.Sprintf("step %d t=%s: partition home for %s", step, logicalNow(), heal))
+			}
+		case ProfileFailover:
+			if step == plan.Steps/2 {
+				primary.Kill()
+				repl.Close()
+				// Only now let detector time pass: advance the virtual
+				// clock until suspicion promotes the standby.
+				go func() {
+					for {
+						select {
+						case <-standby.Promoted():
+							return
+						default:
+							haClock.Advance(2 * time.Millisecond)
+							runtime.Gosched()
+						}
+					}
+				}()
+				res.FaultLog = append(res.FaultLog,
+					fmt.Sprintf("step %d t=%s: kill primary home", step, logicalNow()))
+			}
+		case ProfileHandoff:
+			if step == plan.Steps/2 {
+				state, err := primary.Detach(10 * time.Second)
+				if err != nil {
+					return fmt.Errorf("sim: detach: %w", err)
+				}
+				succ, err := dsd.NewHomeFromHandoff(gthv, homePlat, plan.Threads, opts, state)
+				if err != nil {
+					return fmt.Errorf("sim: handoff: %w", err)
+				}
+				l2, err := nw.Listen("home2")
+				if err != nil {
+					return fmt.Errorf("sim: handoff listen: %w", err)
+				}
+				go succ.Serve(l2)
+				primary.RedirectTo("home2")
+				successor = succ
+				res.FaultLog = append(res.FaultLog,
+					fmt.Sprintf("step %d t=%s: home handoff to home2", step, logicalNow()))
+			}
+		}
+		return nil
+	}
+
+	d := &driver{rng: rng, workers: workers, faultAt: faultAt}
+	runErr := d.run(plan.Steps)
+	for _, w := range workers {
+		w.shutdown()
+	}
+	if runErr != nil {
+		res.Err = runErr
+		return res
+	}
+
+	// Resolve the home that holds the authoritative final state.
+	finalHome := primary
+	if plan.Profile == ProfileFailover {
+		select {
+		case <-standby.Promoted():
+		case <-time.After(30 * time.Second):
+			res.Err = fmt.Errorf("sim: standby never promoted after kill")
+			return res
+		}
+		promoted, err := standby.Home()
+		if err != nil {
+			res.Err = fmt.Errorf("sim: failover: %w", err)
+			return res
+		}
+		finalHome = promoted
+	} else if successor != nil {
+		finalHome = successor
+	}
+	finalHome.Wait() // every rank joined
+	defer finalHome.Close()
+
+	for _, w := range workers {
+		res.Reconnects += w.th.Reconnects()
+	}
+	if corrupt != nil {
+		res.Corrupted = corrupt.Corrupted()
+	}
+
+	// Validation: model replay, master comparison, trace cross-check, and
+	// conversion round-trips for heterogeneous mixes.
+	events := hist.Events()
+	res.Events = len(events)
+	res.Canonical = check.Canonical(events)
+	vs := check.Validate(events, plan.Threads)
+	vs = append(vs, compareMaster(finalHome, events, plan.Threads)...)
+	vs = append(vs, check.CrossCheckTrace(events, tlog)...)
+	vs = append(vs, roundTripViolations(events, homePlat, threadPlats)...)
+	res.Violations = vs
+	return res
+}
+
+// compareMaster checks the home's final master state cell-by-cell against
+// the model's committed state.
+func compareMaster(home *dsd.Home, events []check.Event, nthreads int) []check.Violation {
+	model := check.FinalState(events)
+	g := home.Globals()
+	var out []check.Violation
+	for _, spec := range []struct {
+		name string
+		n    int
+	}{{"a", protLen}, {"b", protLen}, {"slice", nthreads * sliceLen}} {
+		got, err := g.MustVar(spec.name).Ints(0, spec.n)
+		if err != nil {
+			out = append(out, check.Violation{Msg: fmt.Sprintf("reading master %s: %v", spec.name, err)})
+			continue
+		}
+		for i, v := range got {
+			want := model[spec.name][i] // missing cells default to 0
+			if v != want {
+				bad := check.Event{Rank: -1, Op: check.OpRead, Sync: -1, Var: spec.name, Index: i, Value: v}
+				out = append(out, check.Violation{
+					Msg:   fmt.Sprintf("master state diverged: %s[%d] = %d, model expects %d", spec.name, i, v, want),
+					Event: bad,
+					Trace: check.Minimize(events, lastTouch(events, spec.name, i, bad), 40),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// lastTouch finds the last event on the cell so the minimized trace ends
+// at the most recent relevant access rather than an unrelated point.
+func lastTouch(events []check.Event, name string, index int, fallback check.Event) check.Event {
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if (e.Op == check.OpRead || e.Op == check.OpWrite) && e.Var == name && e.Index == index {
+			return e
+		}
+	}
+	return fallback
+}
+
+// roundTripViolations verifies every written value survives a conversion
+// round trip between the home's ABI and each distinct thread ABI.
+func roundTripViolations(events []check.Event, home *platform.Platform, threads []*platform.Platform) []check.Violation {
+	vals := make([]int64, 0, 64)
+	seen := make(map[int64]bool)
+	for _, e := range events {
+		if e.Op == check.OpWrite && !seen[e.Value] {
+			seen[e.Value] = true
+			vals = append(vals, e.Value)
+			if len(vals) == cap(vals) {
+				break
+			}
+		}
+	}
+	done := make(map[*platform.Platform]bool)
+	var out []check.Violation
+	for _, tp := range threads {
+		if tp.SameABI(home) || done[tp] {
+			continue
+		}
+		done[tp] = true
+		if err := check.RoundTripInts(vals, platform.CInt, home, tp); err != nil {
+			out = append(out, check.Violation{Msg: fmt.Sprintf("conversion round trip %s<->%s: %v", home, tp, err)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunCleanProfile is the first smoke test: a homogeneous clean run
+// must validate with zero violations.
+func TestRunCleanProfile(t *testing.T) {
+	res := Run(NewPlan(1, ProfileClean, "LL"))
+	if res.Err != nil {
+		t.Fatalf("run failed: %v", res.Err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("clean run flagged:\n%s", res.Report())
+	}
+	if res.Events == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+// TestRunHeterogeneousMixes runs each standard mix once on the clean
+// profile; heterogeneous mixes route every value through internal/convert.
+func TestRunHeterogeneousMixes(t *testing.T) {
+	for _, mix := range Mixes() {
+		mix := mix
+		t.Run(mix, func(t *testing.T) {
+			t.Parallel()
+			res := Run(NewPlan(2, ProfileClean, mix))
+			if !res.OK() {
+				t.Fatalf("mix %s:\n%s", mix, res.Report())
+			}
+		})
+	}
+}
+
+// TestRunFaultProfiles exercises each fault schedule once.
+func TestRunFaultProfiles(t *testing.T) {
+	for _, prof := range Profiles() {
+		prof := prof
+		t.Run(string(prof), func(t *testing.T) {
+			res := Run(NewPlan(3, prof, "SL"))
+			if !res.OK() {
+				t.Fatalf("profile %s:\n%s", prof, res.Report())
+			}
+		})
+	}
+}
+
+// TestRunReplayIsByteIdentical is the determinism guarantee: the same
+// plan run twice yields byte-identical canonical event traces, even on a
+// fault profile where wall-clock timing varies run to run.
+func TestRunReplayIsByteIdentical(t *testing.T) {
+	for _, prof := range []Profile{ProfileClean, ProfilePartition} {
+		prof := prof
+		t.Run(string(prof), func(t *testing.T) {
+			plan := NewPlan(7, prof, "Lsl")
+			a := Run(plan)
+			if !a.OK() {
+				t.Fatalf("first run:\n%s", a.Report())
+			}
+			b := Run(plan)
+			if !b.OK() {
+				t.Fatalf("second run:\n%s", b.Report())
+			}
+			if !bytes.Equal(a.Canonical, b.Canonical) {
+				t.Fatalf("replay diverged:\n--- first ---\n%s\n--- second ---\n%s", a.Canonical, b.Canonical)
+			}
+		})
+	}
+}
+
+// TestRunSeedSweepShort is the short-mode sweep wired into go test: 8
+// seeds across rotating profiles and mixes, all expected clean.
+func TestRunSeedSweepShort(t *testing.T) {
+	profiles := Profiles()
+	mixes := Mixes()
+	for seed := int64(0); seed < 8; seed++ {
+		plan := NewPlan(seed, profiles[seed%int64(len(profiles))], mixes[seed%int64(len(mixes))])
+		res := Run(plan)
+		if !res.OK() {
+			t.Errorf("seed sweep:\n%s", res.Report())
+		}
+	}
+}
+
+// TestRunNegativeModeIsDetected injects wire corruption and asserts the
+// checker flags the run — the oracle's own test.
+func TestRunNegativeModeIsDetected(t *testing.T) {
+	plan := NewPlan(5, ProfileClean, "LL")
+	plan.Negative = true
+	res := Run(plan)
+	if res.Err != nil {
+		t.Fatalf("negative run failed to complete: %v", res.Err)
+	}
+	if res.Corrupted == 0 {
+		t.Fatal("negative mode corrupted no frames")
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("corrupted run validated clean — the oracle is broken:\n%s", res.Report())
+	}
+	v := res.Violations[0]
+	if len(v.Trace) == 0 {
+		t.Fatalf("violation carries no minimized trace: %s", v)
+	}
+}
+
+// TestRunNegativeRequiresClean rejects negative mode on fault profiles.
+func TestRunNegativeRequiresClean(t *testing.T) {
+	plan := NewPlan(1, ProfileFlaky, "LL")
+	plan.Negative = true
+	if res := Run(plan); res.Err == nil {
+		t.Fatal("negative+flaky accepted")
+	}
+}

@@ -1,0 +1,224 @@
+// Package vclock abstracts time for components that must be testable
+// without real sleeps: a Clock interface with a system implementation and a
+// virtual, manually-advanced implementation.
+//
+// The failure detector (internal/ha) and the deterministic simulator
+// (internal/sim) take a Clock instead of calling the time package directly.
+// Production code passes System(); tests pass a Virtual clock and drive it
+// with Advance, so a "50ms suspicion timeout" elapses in microseconds of
+// wall time and every timer firing is an explicit, deterministic step of
+// the test rather than a race against the scheduler.
+package vclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the time surface the DSM's timing-sensitive components use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a channel that delivers one tick once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Ticker returns a ticker firing every d.
+	Ticker(d time.Duration) Ticker
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+// Ticker is a stoppable periodic timer.
+type Ticker interface {
+	// Chan returns the tick delivery channel.
+	Chan() <-chan time.Time
+	// Stop halts future deliveries.
+	Stop()
+}
+
+// --- System clock ---
+
+type systemClock struct{}
+
+var system Clock = systemClock{}
+
+// System returns the real-time clock backed by the time package.
+func System() Clock { return system }
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (systemClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+func (systemClock) Ticker(d time.Duration) Ticker {
+	return systemTicker{time.NewTicker(d)}
+}
+
+type systemTicker struct{ t *time.Ticker }
+
+func (t systemTicker) Chan() <-chan time.Time { return t.t.C }
+func (t systemTicker) Stop()                  { t.t.Stop() }
+
+// --- Virtual clock ---
+
+// Virtual is a manually-advanced clock. Time moves only when Advance (or
+// AdvanceTo) is called; due timers fire in timestamp order during the
+// advance. Deliveries are non-blocking onto capacity-1 channels, matching
+// the time package's coalescing ticker semantics: a consumer that falls
+// behind sees fewer ticks, never a deadlocked clock.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*vtimer
+}
+
+type vtimer struct {
+	when   time.Time
+	period time.Duration // 0 for one-shot
+	ch     chan time.Time
+	done   chan struct{} // closed when a Sleep's deadline passes
+	stop   bool
+}
+
+// NewVirtual returns a virtual clock starting at start. A zero start is
+// normalized to a fixed, arbitrary epoch so tests are reproducible.
+func NewVirtual(start time.Time) *Virtual {
+	if start.IsZero() {
+		start = time.Date(2006, 8, 14, 0, 0, 0, 0, time.UTC)
+	}
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &vtimer{when: v.now.Add(d), ch: make(chan time.Time, 1)}
+	v.timers = append(v.timers, t)
+	return t.ch
+}
+
+// Ticker implements Clock.
+func (v *Virtual) Ticker(d time.Duration) Ticker {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &vtimer{when: v.now.Add(d), period: d, ch: make(chan time.Time, 1)}
+	v.timers = append(v.timers, t)
+	return &virtualTicker{v: v, t: t}
+}
+
+type virtualTicker struct {
+	v *Virtual
+	t *vtimer
+}
+
+func (t *virtualTicker) Chan() <-chan time.Time { return t.t.ch }
+
+func (t *virtualTicker) Stop() {
+	t.v.mu.Lock()
+	t.t.stop = true
+	t.v.mu.Unlock()
+}
+
+// Sleep implements Clock: it blocks until another goroutine advances the
+// clock past the deadline.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	t := &vtimer{when: v.now.Add(d), done: make(chan struct{})}
+	v.timers = append(v.timers, t)
+	v.mu.Unlock()
+	<-t.done
+}
+
+// Advance moves the clock forward by d, firing every due timer in
+// timestamp order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	v.mu.Unlock()
+	v.AdvanceTo(target)
+}
+
+// AdvanceTo moves the clock to t (no-op when t is in the past), firing
+// every due timer in timestamp order. Periodic timers re-arm and may fire
+// multiple times within one advance.
+func (v *Virtual) AdvanceTo(target time.Time) {
+	for {
+		v.mu.Lock()
+		if !target.After(v.now) {
+			v.mu.Unlock()
+			return
+		}
+		// Find the earliest pending timer at or before target.
+		var next *vtimer
+		for _, t := range v.timers {
+			if t.stop || t.when.After(target) {
+				continue
+			}
+			if next == nil || t.when.Before(next.when) {
+				next = t
+			}
+		}
+		if next == nil {
+			v.now = target
+			v.mu.Unlock()
+			return
+		}
+		if next.when.After(v.now) {
+			v.now = next.when
+		}
+		fireAt := v.now
+		if next.period > 0 {
+			next.when = next.when.Add(next.period)
+		} else {
+			next.stop = true
+		}
+		v.compactLocked()
+		ch, done := next.ch, next.done
+		v.mu.Unlock()
+		if done != nil {
+			close(done)
+		}
+		if ch != nil {
+			select {
+			case ch <- fireAt:
+			default: // consumer behind; coalesce like time.Ticker
+			}
+		}
+	}
+}
+
+// compactLocked drops stopped timers; caller holds v.mu.
+func (v *Virtual) compactLocked() {
+	live := v.timers[:0]
+	for _, t := range v.timers {
+		if !t.stop {
+			live = append(live, t)
+		}
+	}
+	v.timers = live
+}
+
+// Pending returns the deadlines of the live timers, soonest first; tests
+// use it to assert what the clock is waiting on.
+func (v *Virtual) Pending() []time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]time.Time, 0, len(v.timers))
+	for _, t := range v.timers {
+		if !t.stop {
+			out = append(out, t.when)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
