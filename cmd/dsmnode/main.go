@@ -32,6 +32,16 @@
 //	# workers (ranks 0..threads-1) name the standby as their candidate
 //	dsmnode -role worker -rank 0 -home host:7000 -standby standbyhost:7001 ...
 //
+// A home started with -wal-dir appends every committed release to a
+// write-ahead log before acknowledging it; if the directory already holds
+// state (the process was kill -9ed), the home restarts from the snapshot
+// plus log tail at a bumped fencing epoch and workers replay idempotently.
+// Run such a home with -local-thread=false, since a worker living in the
+// home process cannot be resurrected:
+//
+//	dsmnode -role home -listen :7000 -wal-dir /var/tmp/dsm-wal \
+//	        -local-thread=false ...
+//
 // The home prints the Eq. 1 breakdown when every thread has joined;
 // -stats-json additionally dumps the breakdown and the HA counters as JSON.
 package main
@@ -52,6 +62,7 @@ import (
 	"hetdsm/internal/tag"
 	"hetdsm/internal/telemetry"
 	"hetdsm/internal/transport"
+	"hetdsm/internal/wal"
 )
 
 func main() {
@@ -72,6 +83,7 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 50*time.Millisecond, "backup: heartbeat probe interval")
 		failover  = flag.Duration("failover-timeout", 0, "backup: suspicion timeout (default 4 heartbeats)")
 		statsJSON = flag.Bool("stats-json", false, "dump Eq. 1 stats and HA counters as JSON on exit")
+		walDir    = flag.String("wal-dir", "", "home: write-ahead log directory; if it holds prior state the home restarts from it")
 		metrics   = flag.String("metrics-addr", "", "serve diagnostics HTTP on host:port (/metrics /stats /trace /spans /heat /debug/pprof)")
 		traceOut  = flag.String("trace-out", "", "write the protocol event ring as JSONL to this file on exit")
 		spanOut   = flag.String("span-out", "", "write release-pipeline spans as JSONL to this file on exit")
@@ -90,7 +102,7 @@ func main() {
 	kit := telemetry.NewKit(*metrics, *traceOut, *spanOut)
 	switch *role {
 	case "home":
-		runHome(*listen, *backup, plat, gthv, body, *threads, *localTh, *statsJSON, kit)
+		runHome(*listen, *backup, *walDir, plat, gthv, body, *threads, *localTh, *statsJSON, kit)
 	case "worker":
 		runWorker(*homeAddr, *standby, plat, gthv, body, int32(*rank), *statsJSON, kit)
 	case "backup":
@@ -146,18 +158,48 @@ func dumpJSON(doc map[string]any) {
 	}
 }
 
-func runHome(listen, backupAddr string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, threads int, localThread, statsJSON bool, kit *telemetry.Kit) {
+func runHome(listen, backupAddr, walDir string, plat *platform.Platform, gthv tag.Struct, body func(*dsd.Thread, int) error, threads int, localThread, statsJSON bool, kit *telemetry.Kit) {
 	opts := nodeOptions(kit)
 	counters := &ha.Counters{}
 	counters.Register(kit.Registry())
-	if backupAddr != "" {
-		// Replicated homes serve HA clients, whose disconnects are
-		// transient by design.
+	if backupAddr != "" || walDir != "" {
+		// Replicated and durable homes serve HA clients, whose
+		// disconnects are transient by design.
 		opts.StickyLocks = true
 	}
-	home, err := dsd.NewHome(gthv, plat, threads, opts)
-	if err != nil {
-		fail(err)
+	var wlog *wal.Log
+	var home *dsd.Home
+	var err error
+	if walDir != "" {
+		wlog, err = wal.Open(wal.Options{Dir: walDir, GThV: gthv, Metrics: kit.Registry()})
+		if err != nil {
+			fail(err)
+		}
+		defer wlog.Close()
+	}
+	if wlog != nil && wlog.Ready() {
+		// Crash restart: replay snapshot + log tail and fence the old
+		// incarnation with the bumped epoch.
+		home, err = wlog.RecoverHome(plat, opts)
+		if err != nil {
+			fail(fmt.Errorf("recovering from WAL %s: %w", walDir, err))
+		}
+		fmt.Printf("home: recovered from WAL %s at epoch %d (%d records replayed)\n",
+			walDir, wlog.Epoch(), wlog.Replayed())
+	} else {
+		if wlog != nil {
+			opts.Epoch = wlog.Epoch()
+		}
+		home, err = dsd.NewHome(gthv, plat, threads, opts)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if wlog != nil {
+		if err := home.StartReplication(wlog); err != nil {
+			fail(err)
+		}
+		fmt.Printf("home: write-ahead logging to %s (epoch %d)\n", walDir, wlog.Epoch())
 	}
 	var nw transport.TCP
 	if backupAddr != "" {
@@ -198,7 +240,7 @@ func runHome(listen, backupAddr string, plat *platform.Platform, gthv tag.Struct
 		if err != nil {
 			fail(err)
 		}
-		serveDiagnostics(kit, home, th)
+		serveDiagnostics(kit, home, th, wlog)
 		errCh := make(chan error, 1)
 		go func() { errCh <- body(th, 0) }()
 
@@ -209,7 +251,7 @@ func runHome(listen, backupAddr string, plat *platform.Platform, gthv tag.Struct
 		fmt.Println("thread-0 breakdown: ", th.Stats())
 		threadStats["thread0"] = th.Stats().Map()
 	} else {
-		serveDiagnostics(kit, home, nil)
+		serveDiagnostics(kit, home, nil, wlog)
 		home.Wait()
 	}
 	fmt.Println("home: all threads joined")
@@ -234,11 +276,18 @@ func runHome(listen, backupAddr string, plat *platform.Platform, gthv tag.Struct
 // optional co-resident thread. The stats document is live: every request
 // re-reads the breakdowns. The heat report is the thread's best-effort
 // snapshot (heat counters are written by the thread itself).
-func serveDiagnostics(kit *telemetry.Kit, home *dsd.Home, th *dsd.Thread) {
+func serveDiagnostics(kit *telemetry.Kit, home *dsd.Home, th *dsd.Thread, wlog *wal.Log) {
 	statsFn := func() map[string]any {
 		doc := map[string]any{"home": home.Stats().Map()}
 		if th != nil {
 			doc["thread0"] = th.Stats().Map()
+		}
+		doc["epoch"] = home.Epoch()
+		doc["fenced"] = home.Fenced()
+		applied, released := home.Watermarks()
+		doc["watermarks"] = map[string]any{"applied": applied, "released": released}
+		if wlog != nil {
+			doc["wal"] = wlog.Stats()
 		}
 		return doc
 	}

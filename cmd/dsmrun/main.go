@@ -43,6 +43,9 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write the protocol event ring as JSONL to this file on exit")
 		spanOut   = flag.String("span-out", "", "write release-pipeline spans as JSONL to this file on exit")
 		heatTop   = flag.Int("heat", 0, "print the N hottest pages of the page-heat report (0 disables)")
+		ckptDir   = flag.String("wal-dir", "", "directory for coordinated cluster checkpoints")
+		ckptEvery = flag.Int("checkpoint-every", 0, "write a cluster checkpoint every N barrier generations (0 disables; needs -wal-dir)")
+		restore   = flag.Bool("restore", false, "resume from the cluster checkpoint in -wal-dir (matmul and lu only)")
 	)
 	flag.Parse()
 
@@ -74,13 +77,16 @@ func main() {
 	opts.Spans = kit.Spans()
 
 	res, err := apps.Run(apps.Config{
-		Workload: *workload,
-		N:        *n,
-		Pair:     pair,
-		Threads:  *threads,
-		Opts:     opts,
-		Verify:   *verify,
-		Seed:     *seed,
+		Workload:        *workload,
+		N:               *n,
+		Pair:            pair,
+		Threads:         *threads,
+		Opts:            opts,
+		Verify:          *verify,
+		Seed:            *seed,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Restore:         *restore,
 		// Point the diagnostics endpoint at the live cluster: /stats
 		// re-reads the breakdowns per request; /heat is a best-effort
 		// snapshot of the per-page counters.

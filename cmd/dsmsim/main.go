@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		seeds    = flag.Int("seeds", 8, "number of seeds to sweep (seed 0..N-1)")
-		profile  = flag.String("profile", "all", "fault profile (clean|flaky|partition|failover|handoff|all)")
+		profile  = flag.String("profile", "all", "fault profile (clean|flaky|partition|failover|handoff|lostack|homecrash-restart|all)")
 		mix      = flag.String("mix", "all", "platform mix (e.g. LL, SL, Lsl) or all")
 		negative = flag.Bool("negative", false, "corrupt wire frames and require the checker to notice")
 		replay   = flag.Int64("replay", -1, "replay one seed (with -profile/-mix) and verify byte-identical traces")
@@ -80,7 +80,7 @@ func pickProfiles(name string, negative bool) ([]sim.Profile, error) {
 	}
 	p := sim.Profile(name)
 	if !sim.ValidProfile(p) {
-		return nil, fmt.Errorf("dsmsim: unknown profile %q (want clean|flaky|partition|failover|handoff|all)", name)
+		return nil, fmt.Errorf("dsmsim: unknown profile %q (want clean|flaky|partition|failover|handoff|lostack|homecrash-restart|all)", name)
 	}
 	return []sim.Profile{p}, nil
 }

@@ -95,7 +95,20 @@ func LUThread(th *dsd.Thread, rank, nthreads, n int, seed int64) error {
 		return fmt.Errorf("apps: thread %d sees n=%d, want %d", rank, gotN, n)
 	}
 
-	for k := 0; k < n-1; k++ {
+	if err := luEliminate(th, rank, nthreads, n, 0); err != nil {
+		return err
+	}
+	return th.Join()
+}
+
+// luEliminate runs the elimination steps from startK through n-2, one
+// barrier per step publishing the new pivot row.
+func luEliminate(th *dsd.Thread, rank, nthreads, n, startK int) error {
+	vA, err := th.Globals().Var("A")
+	if err != nil {
+		return err
+	}
+	for k := startK; k < n-1; k++ {
 		// The pivot row is final after the previous step's barrier.
 		rowK, err := vA.Float64s(k*n+k, n-k)
 		if err != nil {
@@ -122,6 +135,26 @@ func LUThread(th *dsd.Thread, rank, nthreads, n int, seed int64) error {
 		if err := th.Barrier(0); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// LUThreadFrom resumes the factorization at a barrier generation from a
+// coordinated cluster checkpoint. Generation g opens after steps 0..g-2
+// completed (generation 1 is the input-publishing barrier), so the resumed
+// run starts eliminating at k = phase-1. Phase 0 is a fresh run. As with
+// matmul, every resumed rank opens with a resynchronization barrier: a
+// fresh replica holds zeros until its first acquire delivers the restored
+// image, so nothing may be read before it.
+func LUThreadFrom(th *dsd.Thread, rank, nthreads, n int, seed int64, phase uint64) error {
+	if phase == 0 {
+		return LUThread(th, rank, nthreads, n, seed)
+	}
+	if err := th.Barrier(0); err != nil {
+		return err
+	}
+	if err := luEliminate(th, rank, nthreads, n, int(phase)-1); err != nil {
+		return err
 	}
 	return th.Join()
 }

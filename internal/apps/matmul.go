@@ -93,10 +93,6 @@ func MatMulThread(th *dsd.Thread, rank, nthreads, n int, seedA, seedB int64) err
 	if err != nil {
 		return err
 	}
-	vC, err := g.Var("C")
-	if err != nil {
-		return err
-	}
 	vN, err := g.Var("n")
 	if err != nil {
 		return err
@@ -120,6 +116,33 @@ func MatMulThread(th *dsd.Thread, rank, nthreads, n int, seedA, seedB int64) err
 		}
 	}
 	if err := th.Barrier(0); err != nil {
+		return err
+	}
+	if err := matmulCompute(th, rank, nthreads, n); err != nil {
+		return err
+	}
+	return th.Join()
+}
+
+// matmulCompute is the post-publish half of the workload: verify the
+// published size, compute this rank's block of C rows, and flush the
+// products home through the closing barrier.
+func matmulCompute(th *dsd.Thread, rank, nthreads, n int) error {
+	g := th.Globals()
+	vA, err := g.Var("A")
+	if err != nil {
+		return err
+	}
+	vB, err := g.Var("B")
+	if err != nil {
+		return err
+	}
+	vC, err := g.Var("C")
+	if err != nil {
+		return err
+	}
+	vN, err := g.Var("n")
+	if err != nil {
 		return err
 	}
 
@@ -160,8 +183,28 @@ func MatMulThread(th *dsd.Thread, rank, nthreads, n int, seedA, seedB int64) err
 			return err
 		}
 	}
+	return th.Barrier(0)
+}
+
+// MatMulThreadFrom resumes the matmul body at a barrier generation taken
+// from a coordinated cluster checkpoint: phase 0 is a fresh run, phase 1
+// resumes with the inputs already published (the compute phase remains),
+// and phase 2 resumes after the products were flushed (only the join
+// remains). Every resumed rank opens with a resynchronization barrier — a
+// fresh replica is all zeros until its first acquire pulls the restored
+// image home-to-thread, so no global may be read before that acquire, and
+// every rank must take part for the barrier count to close.
+func MatMulThreadFrom(th *dsd.Thread, rank, nthreads, n int, seedA, seedB int64, phase uint64) error {
+	if phase == 0 {
+		return MatMulThread(th, rank, nthreads, n, seedA, seedB)
+	}
 	if err := th.Barrier(0); err != nil {
 		return err
+	}
+	if phase == 1 {
+		if err := matmulCompute(th, rank, nthreads, n); err != nil {
+			return err
+		}
 	}
 	return th.Join()
 }

@@ -10,6 +10,8 @@ import (
 	"hetdsm/internal/stats"
 	"hetdsm/internal/tag"
 	"hetdsm/internal/vmem"
+	"hetdsm/internal/wal"
+	"hetdsm/internal/wire"
 )
 
 // Pair is a platform pairing in the paper's notation: the home machine and
@@ -77,6 +79,15 @@ type Config struct {
 	// built but before the workload starts — the hook dsmrun uses to
 	// point a live diagnostics endpoint at the cluster.
 	OnCluster func(home *dsd.Home, threads []*dsd.Thread)
+	// CheckpointDir, with CheckpointEvery > 0, makes the home write a
+	// coordinated cluster checkpoint there every CheckpointEvery barrier
+	// generations (matmul and lu only).
+	CheckpointDir   string
+	CheckpointEvery int
+	// Restore resumes from the cluster checkpoint in CheckpointDir: the
+	// home image is converted receiver-makes-right onto Pair.Home and the
+	// workload bodies rejoin at the checkpointed barrier generation.
+	Restore bool
 }
 
 // Result is one experiment's measurements.
@@ -135,18 +146,42 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Opts = dsd.DefaultOptions()
 	}
 
+	if (cfg.Restore || cfg.CheckpointEvery > 0) && cfg.Workload != "matmul" && cfg.Workload != "lu" {
+		return nil, fmt.Errorf("apps: checkpoint/restore supports matmul and lu only, not %q", cfg.Workload)
+	}
+
+	// Restore resumes from a coordinated cluster cut; phase is the barrier
+	// generation the cut was taken at and basePhase renumbers generations
+	// of the resumed run so further cuts continue the logical count.
+	var cut *wal.Cut
+	var phase uint64
+	if cfg.Restore {
+		if cfg.CheckpointDir == "" {
+			return nil, fmt.Errorf("apps: restore needs a checkpoint dir")
+		}
+		var err error
+		if cut, err = wal.LoadCut(cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+		if len(cut.Ranks) != cfg.Threads {
+			return nil, fmt.Errorf("apps: checkpoint has %d ranks, run has %d threads",
+				len(cut.Ranks), cfg.Threads)
+		}
+		phase = cut.Gen
+	}
+
 	var gthv tag.Struct
 	var body func(th *dsd.Thread, rank int) error
 	switch cfg.Workload {
 	case "matmul":
 		gthv = MatMulGThV(cfg.N)
 		body = func(th *dsd.Thread, rank int) error {
-			return MatMulThread(th, rank, cfg.Threads, cfg.N, cfg.Seed, cfg.Seed+1)
+			return MatMulThreadFrom(th, rank, cfg.Threads, cfg.N, cfg.Seed, cfg.Seed+1, phase)
 		}
 	case "lu":
 		gthv = LUGThV(cfg.N)
 		body = func(th *dsd.Thread, rank int) error {
-			return LUThread(th, rank, cfg.Threads, cfg.N, cfg.Seed)
+			return LUThreadFrom(th, rank, cfg.Threads, cfg.N, cfg.Seed, phase)
 		}
 	case "jacobi":
 		if cfg.Iters == 0 {
@@ -172,9 +207,41 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("apps: unknown workload %q", cfg.Workload)
 	}
 
+	if cfg.CheckpointEvery > 0 {
+		if cfg.CheckpointDir == "" {
+			return nil, fmt.Errorf("apps: checkpointing needs a checkpoint dir")
+		}
+		rankPlats := make(map[int32]string, cfg.Threads)
+		for rank := 0; rank < cfg.Threads; rank++ {
+			p := cfg.Pair.Remote
+			if rank == 0 {
+				p = cfg.Pair.Home
+			}
+			rankPlats[int32(rank)] = p.Name
+		}
+		// A resumed run's local generation 1 is the resynchronization
+		// barrier, which re-opens the checkpointed generation.
+		var base uint64
+		if cfg.Restore {
+			base = phase - 1
+		}
+		dir := cfg.CheckpointDir
+		cfg.Opts.CheckpointEvery = cfg.CheckpointEvery
+		cfg.Opts.CheckpointSink = func(snap *wire.Replication, gen uint64) {
+			// A failed or torn cut is never loadable (the manifest rename
+			// commits it), so an error here only loses one checkpoint.
+			_ = wal.WriteCut(dir, snap, gen+base, rankPlats)
+		}
+	}
+
 	home, err := dsd.NewHome(gthv, cfg.Pair.Home, cfg.Threads, cfg.Opts)
 	if err != nil {
 		return nil, err
+	}
+	if cut != nil {
+		if err := home.Restore(cut.Snap.Image, cut.Snap.Tag, cut.Snap.Platform, cut.Snap.Base); err != nil {
+			return nil, fmt.Errorf("apps: restoring checkpoint: %w", err)
+		}
 	}
 	threads := make([]*dsd.Thread, cfg.Threads)
 	for rank := 0; rank < cfg.Threads; rank++ {

@@ -30,6 +30,7 @@ import (
 	"hetdsm/internal/telemetry"
 	"hetdsm/internal/trace"
 	"hetdsm/internal/vmem"
+	"hetdsm/internal/wire"
 )
 
 // DefaultBase is the default GThV virtual base address, the address the
@@ -82,6 +83,21 @@ type Options struct {
 	// critical section concurrently. Leave it off for fail-stop threads,
 	// where a dead holder must not wedge the lock forever.
 	StickyLocks bool
+	// Epoch is the home's fencing epoch (home-side). Every frame and
+	// replication record carries it; peers that adopted a higher epoch
+	// reject the home as stale, and the home fences itself when it sees a
+	// higher one. Zero means epoch 1 (a fresh, never-recovered home).
+	// Promotion and WAL recovery construct homes with a bumped epoch.
+	Epoch uint64
+	// CheckpointEvery, with CheckpointSink, writes a coordinated cluster
+	// checkpoint every CheckpointEvery-th barrier generation (home-side).
+	// Zero disables checkpointing.
+	CheckpointEvery int
+	// CheckpointSink receives the consistent cut: the home's full state
+	// as a RepInit-shaped snapshot plus the opened barrier generation
+	// number. It is called synchronously with the home mutex held, so it
+	// must not call back into the home; write the blob and return.
+	CheckpointSink func(snap *wire.Replication, gen uint64)
 }
 
 // Protocol is the consistency-propagation scheme.
@@ -124,6 +140,9 @@ func (o Options) validate() error {
 	}
 	if o.WholeArrayThreshold < 0 || o.WholeArrayThreshold > 1 {
 		return fmt.Errorf("dsd: WholeArrayThreshold %v outside [0,1]", o.WholeArrayThreshold)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("dsd: CheckpointEvery %d must not be negative", o.CheckpointEvery)
 	}
 	return nil
 }

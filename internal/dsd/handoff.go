@@ -213,10 +213,15 @@ func NewHomeFromHandoff(gthv tag.Struct, p *platform.Platform, nthreads int, opt
 		h.joined[rank] = true
 	}
 	for idx, rank := range state.Held {
-		if int(idx) >= 0 && int(idx) < len(h.locks) {
-			h.locks[idx].held = true
-			h.locks[idx].holder = rank
+		if idx < 0 {
+			continue
 		}
+		// The lock map starts empty in a fresh home, so each carried
+		// holder needs its state allocated, not looked up: a crash
+		// promotion that silently dropped held locks would let a second
+		// thread into a critical section the dead-connection holder is
+		// still (stickily) inside.
+		h.locks[idx] = &lockState{held: true, holder: rank}
 	}
 	for rank, seq := range state.Applied {
 		h.applied[rank] = seq

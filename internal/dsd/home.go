@@ -48,8 +48,19 @@ type Home struct {
 	// release immediately instead of re-entering (and deadlocking) the
 	// barrier.
 	released map[int32]uint64
-	// rep, when non-nil, mirrors every state mutation to a hot standby.
-	rep Replicator
+	// reps mirror every state mutation to attached replicators (hot
+	// standby streams, the write-ahead log); each stamps its own Seq, so
+	// records are fanned out as copies.
+	reps []Replicator
+	// epoch is this home incarnation's fencing epoch, stamped on every
+	// frame and replication record. It is immutable after construction.
+	epoch uint64
+	// fenced marks a home that saw a frame from a higher epoch (a newer
+	// incarnation exists); it stops serving to prevent split-brain.
+	fenced bool
+	// gens counts opened barrier generations across all barrier indices;
+	// every Options.CheckpointEvery-th generation triggers CheckpointSink.
+	gens uint64
 	// dirty records that updates have ever been applied; a thread that
 	// registers after that point is queued the full GThV so its first
 	// acquire brings it up to date (late joiners, migration targets).
@@ -143,6 +154,10 @@ func NewHome(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options) 
 	if err != nil {
 		return nil, err
 	}
+	epoch := opts.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
 	return &Home{
 		opts:          opts,
 		gthv:          gthv,
@@ -151,6 +166,7 @@ func NewHome(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options) 
 		table:         table,
 		nthreads:      nthreads,
 		master:        master,
+		epoch:         epoch,
 		hm:            newHomeMetrics(opts.Metrics),
 		node:          "home@" + p.Name,
 		locks:         make(map[int32]*lockState),
@@ -169,6 +185,35 @@ func NewHome(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options) 
 
 // Platform returns the home platform.
 func (h *Home) Platform() *platform.Platform { return h.plat }
+
+// Epoch returns the home's fencing epoch.
+func (h *Home) Epoch() uint64 { return h.epoch }
+
+// Fenced reports whether the home stopped serving because it saw a frame
+// from a higher epoch (a newer incarnation of itself exists).
+func (h *Home) Fenced() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fenced
+}
+
+// Watermarks returns copies of the per-rank idempotency watermarks: the
+// highest applied update-bearing request id and the last barrier-release
+// request id for each rank. Diagnostics endpoints expose them so a
+// recovered home's replayed state can be inspected.
+func (h *Home) Watermarks() (applied, released map[int32]uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	applied = make(map[int32]uint64, len(h.applied))
+	for r, s := range h.applied {
+		applied[r] = s
+	}
+	released = make(map[int32]uint64, len(h.released))
+	for r, s := range h.released {
+		released[r] = s
+	}
+	return applied, released
+}
 
 // Table returns the home's index table.
 func (h *Home) Table() *indextable.Table { return h.table }
@@ -279,6 +324,10 @@ func (h *Home) ServeConn(c transport.Conn) {
 	if err != nil {
 		return
 	}
+	if first.Epoch > h.epoch {
+		h.fence(first.Epoch)
+		return
+	}
 	if first.Kind == wire.KindPing {
 		h.servePings(c, first)
 		return
@@ -295,6 +344,10 @@ func (h *Home) ServeConn(c transport.Conn) {
 	for {
 		msg, err := h.recv(c)
 		if err != nil {
+			return
+		}
+		if msg.Epoch > h.epoch {
+			h.fence(msg.Epoch)
 			return
 		}
 		if p.pendOpen && msg.Seq > p.pendSeq {
@@ -430,6 +483,23 @@ func (h *Home) Kill() {
 	h.mu.Unlock()
 }
 
+// fence stops a stale home: a frame stamped with a higher epoch proves a
+// newer incarnation (promoted standby or WAL-restart) owns the state now,
+// so continuing to serve would split-brain. The home severs everything,
+// exactly as if it had crashed.
+func (h *Home) fence(newer uint64) {
+	h.mu.Lock()
+	already := h.fenced
+	h.fenced = true
+	h.mu.Unlock()
+	if already {
+		return
+	}
+	h.opts.Trace.Record(h.node, trace.KindDetach, -1, -1, 0,
+		fmt.Sprintf("fenced: saw epoch %d, own epoch %d", newer, h.epoch))
+	h.Kill()
+}
+
 func (h *Home) handshake(c transport.Conn, msg *wire.Message) (*peer, error) {
 	if msg.Kind != wire.KindHello {
 		return nil, fmt.Errorf("dsd: expected hello, got %v", msg.Kind)
@@ -452,6 +522,10 @@ func (h *Home) handshake(c transport.Conn, msg *wire.Message) (*peer, error) {
 	h.opts.Trace.Record(h.node, trace.KindHello, msg.Rank, -1, 0, msg.Platform)
 	p := &peer{rank: msg.Rank, plat: plat, table: ptable}
 	h.mu.Lock()
+	if h.fenced {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("dsd: home fenced by a newer epoch")
+	}
 	if _, dup := h.peers[p.rank]; dup {
 		h.mu.Unlock()
 		return nil, fmt.Errorf("dsd: rank %d already registered", p.rank)
@@ -823,6 +897,17 @@ func (h *Home) arrive(idx, rank int32, reqID uint64) (proceed bool, err error) {
 			pairs = append(pairs, wire.RepPair{Rank: r, Seq: id})
 		}
 		h.repRecord(&wire.Replication{Event: wire.RepBarrier, Rank: -1, Mutex: idx, Released: pairs})
+		h.gens++
+		if h.opts.CheckpointEvery > 0 && h.opts.CheckpointSink != nil &&
+			h.gens%uint64(h.opts.CheckpointEvery) == 0 {
+			// A barrier open is a consistent cut: every rank's updates for
+			// the closing generation are applied and no release has been
+			// sent yet, so the snapshot plus "resume at generation gens"
+			// describes the whole cluster.
+			if snap, err := h.snapshotInitLocked(); err == nil {
+				h.opts.CheckpointSink(snap, h.gens)
+			}
+		}
 		bs.ranks = make(map[int32]uint64)
 		bs.gen = make(chan struct{})
 		h.mu.Unlock()
@@ -1028,37 +1113,39 @@ func (h *Home) commitPending(p *peer, mark int) {
 	h.mu.Unlock()
 }
 
-// repRecord mirrors one mutation to the standby; caller holds h.mu.
+// repRecord mirrors one mutation to every attached replicator; caller
+// holds h.mu. Each replicator stamps its own Seq on the record, so all
+// but the last receive a private copy.
 func (h *Home) repRecord(rec *wire.Replication) {
-	if h.rep != nil {
-		h.rep.Record(rec)
+	if len(h.reps) == 0 {
+		return
 	}
+	rec.Epoch = h.epoch
+	for _, r := range h.reps[:len(h.reps)-1] {
+		cp := *rec
+		r.Record(&cp)
+	}
+	h.reps[len(h.reps)-1].Record(rec)
 }
 
-// repFlush blocks until every mutation recorded so far is acknowledged by
-// the standby (no-op without a replicator). Callers must not hold h.mu.
+// repFlush blocks until every mutation recorded so far is durable at each
+// attached replicator (no-op without one). Callers must not hold h.mu.
 func (h *Home) repFlush() {
 	h.mu.Lock()
-	rep := h.rep
+	reps := append([]Replicator(nil), h.reps...)
 	h.mu.Unlock()
-	if rep != nil {
-		rep.Flush()
+	for _, r := range reps {
+		r.Flush()
 	}
 }
 
-// StartReplication attaches a replicator and hands it a RepInit bootstrap
-// record — full master image plus lock, join and watermark state — under
-// the home mutex, so no mutation can slip between the snapshot and the
-// stream start.
-func (h *Home) StartReplication(r Replicator) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.rep != nil {
-		return fmt.Errorf("dsd: home already replicating")
-	}
+// snapshotInitLocked captures the home's full state as a RepInit record —
+// master image plus lock, join and watermark state. Caller holds h.mu, so
+// the snapshot is a release-consistent cut.
+func (h *Home) snapshotInitLocked() (*wire.Replication, error) {
 	img := make([]byte, h.layout.Size)
 	if _, err := h.master.Read(0, h.layout.Size, img); err != nil {
-		return err
+		return nil, err
 	}
 	init := &wire.Replication{
 		Event:    wire.RepInit,
@@ -1071,6 +1158,7 @@ func (h *Home) StartReplication(r Replicator) error {
 		Dirty:    h.dirty,
 		Proto:    uint8(h.opts.Protocol),
 		Nthreads: int32(h.nthreads),
+		Epoch:    h.epoch,
 	}
 	for idx, ls := range h.locks {
 		if ls.held {
@@ -1086,7 +1174,23 @@ func (h *Home) StartReplication(r Replicator) error {
 	for rank, seq := range h.released {
 		init.Released = append(init.Released, wire.RepPair{Rank: rank, Seq: seq})
 	}
-	h.rep = r
+	return init, nil
+}
+
+// StartReplication attaches a replicator and hands it a RepInit bootstrap
+// record — full master image plus lock, join and watermark state — under
+// the home mutex, so no mutation can slip between the snapshot and the
+// stream start. Multiple replicators may attach (a standby stream and a
+// write-ahead log, say); each sees the full record sequence from its own
+// RepInit on.
+func (h *Home) StartReplication(r Replicator) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	init, err := h.snapshotInitLocked()
+	if err != nil {
+		return err
+	}
+	h.reps = append(h.reps, r)
 	r.Record(init)
 	return nil
 }
@@ -1111,8 +1215,10 @@ func widenSpans(t *indextable.Table, spans []indextable.Span, threshold float64)
 	return spans
 }
 
-// send encodes (t_pack) and transmits a message.
+// send encodes (t_pack) and transmits a message, stamping the home's
+// fencing epoch so peers can detect a stale incarnation.
 func (h *Home) send(c transport.Conn, m *wire.Message) error {
+	m.Epoch = h.epoch
 	start := time.Now()
 	frame, err := wire.Encode(m)
 	if err != nil {

@@ -41,6 +41,10 @@ type Thread struct {
 
 	// proto is the home's propagation protocol, adopted at registration.
 	proto Protocol
+	// homeEpoch is the highest fencing epoch this thread has seen from a
+	// home. A handshake or frame from a lower epoch is a stale incarnation
+	// (a revived pre-failover primary, say) and is rejected.
+	homeEpoch uint64
 	// warm marks that the replica already holds state synchronized with a
 	// previous home; set before redirect re-registrations.
 	warm bool
@@ -132,6 +136,16 @@ func (t *Thread) handshakeOn(c transport.Conn) error {
 	}
 	if ack.Kind != wire.KindHelloAck {
 		return fmt.Errorf("dsd: expected %v, got %v", wire.KindHelloAck, ack.Kind)
+	}
+	if ack.Epoch != 0 && ack.Epoch < t.homeEpoch {
+		// A home from an older epoch answered (the revived original after
+		// a failover or WAL restart). Registering with it would fork the
+		// master state; refuse, and let the reconnect policy find the
+		// current incarnation.
+		return fmt.Errorf("dsd: home at stale epoch %d, already saw %d", ack.Epoch, t.homeEpoch)
+	}
+	if ack.Epoch > t.homeEpoch {
+		t.homeEpoch = ack.Epoch
 	}
 	t.homePlat = platform.ByName(ack.Platform)
 	if t.homePlat == nil {
@@ -291,6 +305,10 @@ func (t *Thread) Reconnects() uint64 {
 
 // Rank returns the thread's iso-computing rank.
 func (t *Thread) Rank() int32 { return t.rank }
+
+// HomeEpoch returns the highest fencing epoch this thread has adopted
+// from a home (1 for a never-failed cluster).
+func (t *Thread) HomeEpoch() uint64 { return t.homeEpoch }
 
 // Platform returns the thread's virtual platform.
 func (t *Thread) Platform() *platform.Platform { return t.plat }
@@ -701,6 +719,9 @@ func (t *Thread) sendOn(c transport.Conn, m *wire.Message) error {
 	if m.Seq == 0 {
 		m.Seq = t.seq.Add(1)
 	}
+	// Echo the adopted epoch: a stale home that receives a frame stamped
+	// with a higher epoch fences itself.
+	m.Epoch = t.homeEpoch
 	start := time.Now()
 	frame, err := wire.Encode(m)
 	if err != nil {
@@ -729,6 +750,15 @@ func (t *Thread) recvOn(c transport.Conn) (*wire.Message, error) {
 		return nil, err
 	}
 	t.bd.AddBytes(stats.Unpack, time.Since(start), wire.UpdateBytes(m.Updates))
+	if m.Epoch != 0 && m.Epoch < t.homeEpoch {
+		// Frame from a stale home incarnation. The request this answers
+		// carried our higher epoch, so that home is fencing itself; the
+		// error here just keeps the stale reply from being applied.
+		return nil, fmt.Errorf("dsd: frame from stale epoch %d, already saw %d", m.Epoch, t.homeEpoch)
+	}
+	if m.Epoch > t.homeEpoch {
+		t.homeEpoch = m.Epoch
+	}
 	return m, nil
 }
 

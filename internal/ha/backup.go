@@ -43,6 +43,10 @@ type Backup struct {
 	released map[int32]uint64
 	lastSeq  uint64
 	promoted bool
+	// epoch is the highest fencing epoch seen on the stream; records
+	// stamped with a lower epoch come from a fenced-off primary and are
+	// rejected.
+	epoch uint64
 }
 
 // NewBackup builds a standby for the given GThV type. Everything else —
@@ -109,15 +113,26 @@ func (b *Backup) serveConn(c transport.Conn) {
 	}
 }
 
-// Apply folds one replication record into the mirror.
+// Apply folds one replication record into the mirror. A fresh RepInit
+// re-arms a promoted backup: the promoted (or WAL-restarted) home attaches
+// a new replication stream whose bootstrap record resets the mirror, so
+// protection continues instead of ending at the first failover.
 func (b *Backup) Apply(rec *wire.Replication) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.promoted {
-		return fmt.Errorf("ha: backup already promoted")
+	if rec.Epoch != 0 && rec.Epoch < b.epoch {
+		return fmt.Errorf("ha: replication record from stale epoch %d, stream is at %d", rec.Epoch, b.epoch)
 	}
-	if rec.Seq != 0 && rec.Seq <= b.lastSeq {
-		return nil // duplicate delivery
+	if rec.Event != wire.RepInit {
+		if b.promoted {
+			return fmt.Errorf("ha: backup already promoted")
+		}
+		if rec.Seq != 0 && rec.Seq <= b.lastSeq {
+			return nil // duplicate delivery
+		}
+	}
+	if rec.Epoch > b.epoch {
+		b.epoch = rec.Epoch
 	}
 	switch rec.Event {
 	case wire.RepInit:
@@ -164,6 +179,8 @@ func (b *Backup) Apply(rec *wire.Replication) error {
 			b.released[p.Rank] = p.Seq
 		}
 		b.haveInit = true
+		b.promoted = false
+		b.lastSeq = rec.Seq
 	case wire.RepUpdate:
 		if !b.haveInit {
 			return fmt.Errorf("ha: update record before init")
@@ -195,6 +212,8 @@ func (b *Backup) Apply(rec *wire.Replication) error {
 		b.advanceLocked(rec.Released, b.released)
 	case wire.RepJoin:
 		b.joined[rec.Rank] = true
+	case wire.RepEpoch:
+		// Epoch advance only; the adoption above is the whole effect.
 	default:
 		return fmt.Errorf("ha: unknown replication event %d", rec.Event)
 	}
@@ -227,6 +246,51 @@ func (b *Backup) LastSeq() uint64 {
 	return b.lastSeq
 }
 
+// Epoch returns the highest fencing epoch seen on the stream.
+func (b *Backup) Epoch() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.epoch
+}
+
+// InitRecord synthesizes a RepInit record describing the mirror's current
+// state, exactly as a home snapshotting itself would emit. The WAL uses it
+// for snapshot compaction: the folded mirror replaces the record tail.
+func (b *Backup) InitRecord() (*wire.Replication, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.haveInit {
+		return nil, fmt.Errorf("ha: backup has no state to snapshot")
+	}
+	rec := &wire.Replication{
+		Event:    wire.RepInit,
+		Rank:     -1,
+		Mutex:    -1,
+		Seq:      b.lastSeq,
+		Epoch:    b.epoch,
+		Platform: b.srcPlat.Name,
+		Base:     b.srcBase,
+		Image:    append([]byte(nil), b.image...),
+		Tag:      b.tagStr,
+		Dirty:    b.dirty,
+		Proto:    b.proto,
+		Nthreads: int32(b.nthreads),
+	}
+	for idx, rank := range b.held {
+		rec.Held = append(rec.Held, wire.RepPair{Rank: rank, Seq: uint64(idx)})
+	}
+	for rank := range b.joined {
+		rec.Joined = append(rec.Joined, rank)
+	}
+	for rank, seq := range b.applied {
+		rec.Applied = append(rec.Applied, wire.RepPair{Rank: rank, Seq: seq})
+	}
+	for rank, seq := range b.released {
+		rec.Released = append(rec.Released, wire.RepPair{Rank: rank, Seq: seq})
+	}
+	return rec, nil
+}
+
 // Promote turns the mirror into a live Home on platform p by replaying it
 // through the planned-handoff path. The handoff carries no per-rank
 // pending queues and no known set, so every rank's reconnect handshake
@@ -236,7 +300,12 @@ func (b *Backup) LastSeq() uint64 {
 // unlocks, barriers and grants stay idempotent, and StickyLocks is forced
 // on: reconnecting holders must keep their mutexes.
 //
-// A Backup can promote once; the replication stream is refused afterwards.
+// The promoted home runs under a bumped fencing epoch — opts.Epoch when
+// set (WAL recovery supplies its persisted epoch), one past the stream's
+// highest otherwise — so the old primary's frames are rejected everywhere
+// should it come back. After promoting, the replication stream is refused
+// until a fresh RepInit re-arms the mirror (the new home attaching its own
+// stream), at which point the backup can promote again.
 func (b *Backup) Promote(p *platform.Platform, opts dsd.Options) (*dsd.Home, error) {
 	b.mu.Lock()
 	if !b.haveInit {
@@ -248,6 +317,9 @@ func (b *Backup) Promote(p *platform.Platform, opts dsd.Options) (*dsd.Home, err
 		return nil, fmt.Errorf("ha: backup already promoted")
 	}
 	b.promoted = true
+	if opts.Epoch == 0 {
+		opts.Epoch = b.epoch + 1
+	}
 	state := &dsd.Handoff{
 		Platform: b.srcPlat.Name,
 		Base:     b.srcBase,

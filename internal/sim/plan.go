@@ -41,11 +41,20 @@ const (
 	// ProfileHandoff detaches the home at a quiesced point and migrates
 	// its state to a successor, redirecting every thread.
 	ProfileHandoff Profile = "handoff"
+	// ProfileLostAck drops frames of specific wire kinds — grants, barrier
+	// releases, acks — chosen by the seed, stressing exactly the
+	// request/ack races uniform random drops rarely hit.
+	ProfileLostAck Profile = "lostack"
+	// ProfileHomeCrashRestart kills the home mid-run with no standby; the
+	// same process restarts it from its write-ahead log and every thread
+	// reconnects and replays idempotently.
+	ProfileHomeCrashRestart Profile = "homecrash-restart"
 )
 
 // Profiles returns every fault profile, in sweep order.
 func Profiles() []Profile {
-	return []Profile{ProfileClean, ProfileFlaky, ProfilePartition, ProfileFailover, ProfileHandoff}
+	return []Profile{ProfileClean, ProfileFlaky, ProfilePartition, ProfileFailover,
+		ProfileHandoff, ProfileLostAck, ProfileHomeCrashRestart}
 }
 
 // ValidProfile reports whether p names a known profile.

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"hetdsm/internal/trace"
 	"hetdsm/internal/transport"
 	"hetdsm/internal/vclock"
+	"hetdsm/internal/wal"
 )
 
 // The history recorder must satisfy the dsd hook interface.
@@ -120,6 +122,7 @@ func Run(plan Plan) Result {
 	var nw transport.Network = base
 	var snet *Net
 	var corrupt *CorruptNet
+	var biased *BiasedNet
 	switch {
 	case plan.Negative:
 		corrupt = NewCorruptNet(base)
@@ -129,11 +132,20 @@ func Run(plan Plan) Result {
 	case plan.Profile == ProfilePartition:
 		snet = NewNet(base)
 		nw = snet
+	case plan.Profile == ProfileLostAck:
+		biased = NewBiasedNet(base, lostAckKinds(plan.Seed), 0.25, plan.Seed)
+		nw = biased
+		res.FaultLog = append(res.FaultLog,
+			fmt.Sprintf("lostack: dropping {%s} frames with p=0.25", biased.Targets()))
 	}
 
 	// Home-side deployment.
 	addrs := []string{"home"}
 	var primary *dsd.Home
+	// curLog is the live write-ahead log under homecrash-restart; faultAt
+	// swaps it for the reopened log when the home is restarted.
+	var curLog *wal.Log
+	var walDir string
 	var standby *ha.Standby
 	var repl *ha.Replicator
 	// haClock drives the standby's failure detector. It advances only
@@ -195,7 +207,23 @@ func Run(plan Plan) Result {
 		standby.Start()
 		defer standby.Stop()
 	} else {
-		primary, err = dsd.NewHome(gthv, homePlat, plan.Threads, opts)
+		var wlog *wal.Log
+		homeOpts := opts
+		if plan.Profile == ProfileHomeCrashRestart {
+			walDir, err = os.MkdirTemp("", "dsmsim-wal-")
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			defer os.RemoveAll(walDir)
+			wlog, err = wal.Open(wal.Options{Dir: walDir, GThV: gthv})
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			homeOpts.Epoch = wlog.Epoch()
+		}
+		primary, err = dsd.NewHome(gthv, homePlat, plan.Threads, homeOpts)
 		if err != nil {
 			res.Err = err
 			return res
@@ -206,6 +234,14 @@ func Run(plan Plan) Result {
 			return res
 		}
 		go primary.Serve(l)
+		if wlog != nil {
+			if err := primary.StartReplication(wlog); err != nil {
+				res.Err = err
+				return res
+			}
+			curLog = wlog
+			defer func() { curLog.Close() }()
+		}
 	}
 
 	// Worker threads, one goroutine each, recording into the history.
@@ -254,6 +290,34 @@ func Run(plan Plan) Result {
 				}()
 				res.FaultLog = append(res.FaultLog,
 					fmt.Sprintf("step %d t=%s: kill primary home", step, logicalNow()))
+			}
+		case ProfileHomeCrashRestart:
+			if step == plan.Steps/2 {
+				// Crash: no quiescence, no goodbye — and Abandon drops any
+				// record not yet fsynced, exactly what kill -9 loses.
+				primary.Kill()
+				curLog.Abandon()
+				wlog2, err := wal.Open(wal.Options{Dir: walDir, GThV: gthv})
+				if err != nil {
+					return fmt.Errorf("sim: wal reopen: %w", err)
+				}
+				succ, err := wlog2.RecoverHome(homePlat, opts)
+				if err != nil {
+					return fmt.Errorf("sim: wal recover: %w", err)
+				}
+				l2, err := nw.Listen("home") // Kill freed the address
+				if err != nil {
+					return fmt.Errorf("sim: restart listen: %w", err)
+				}
+				go succ.Serve(l2)
+				if err := succ.StartReplication(wlog2); err != nil {
+					return fmt.Errorf("sim: restart replication: %w", err)
+				}
+				curLog = wlog2
+				successor = succ
+				res.FaultLog = append(res.FaultLog,
+					fmt.Sprintf("step %d t=%s: kill home, restart from WAL at epoch %d (%d records replayed)",
+						step, logicalNow(), wlog2.Epoch(), wlog2.Replayed()))
 			}
 		case ProfileHandoff:
 			if step == plan.Steps/2 {
@@ -315,6 +379,9 @@ func Run(plan Plan) Result {
 	}
 	if corrupt != nil {
 		res.Corrupted = corrupt.Corrupted()
+	}
+	if biased != nil {
+		res.FaultLog = append(res.FaultLog, fmt.Sprintf("lostack: dropped %d frames", biased.Drops()))
 	}
 
 	// Validation: model replay, master comparison, trace cross-check, and

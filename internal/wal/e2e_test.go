@@ -1,0 +1,178 @@
+package wal_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hetdsm/internal/apps"
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+	"hetdsm/internal/transport"
+	"hetdsm/internal/wal"
+)
+
+// e2eBackoff is a fast reconnect policy so threads cross the restart
+// window promptly.
+func e2eBackoff(rank int32) transport.Backoff {
+	return transport.Backoff{
+		Base:     200 * time.Microsecond,
+		Max:      5 * time.Millisecond,
+		Factor:   2,
+		Jitter:   0.3,
+		Attempts: 2000,
+		Seed:     int64(rank) + 1,
+	}
+}
+
+// runCrashRestart is the shared harness: a WAL-backed solaris-sparc home
+// serves linux-x86 workers (the paper's SL mix) over an in-process
+// network. Once enough releases are logged the home is SIGKILLed — Kill
+// plus Abandon, dropping unsynced records, with no standby and no goodbye
+// — and restarted from the WAL onto linux-x86-64 for extra heterogeneity.
+// The workers are plain DialHA clients and never learn the home died; they
+// reconnect and replay idempotently. Returns the recovered home after
+// every thread joined.
+func runCrashRestart(t *testing.T, gthv tag.Struct, threads int, body func(*dsd.Thread, int) error) *dsd.Home {
+	t.Helper()
+	dir := t.TempDir()
+	nw := transport.NewInproc()
+
+	wlog, err := wal.Open(wal.Options{Dir: dir, GThV: gthv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dsd.DefaultOptions()
+	opts.StickyLocks = true
+	opts.Epoch = wlog.Epoch()
+	home, err := dsd.NewHome(gthv, platform.SolarisSPARC, threads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := nw.Listen("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go home.Serve(l)
+	if err := home.StartReplication(wlog); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := make(chan *dsd.Home, 1)
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for wlog.Appended() < 6 && time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+		home.Kill()
+		wlog.Abandon()
+		wlog2, err := wal.Open(wal.Options{Dir: dir, GThV: gthv})
+		if err != nil {
+			t.Errorf("wal reopen: %v", err)
+			recovered <- nil
+			return
+		}
+		t.Cleanup(func() { wlog2.Close() })
+		h2, err := wlog2.RecoverHome(platform.LinuxX8664, dsd.DefaultOptions())
+		if err != nil {
+			t.Errorf("recover: %v", err)
+			recovered <- nil
+			return
+		}
+		l2, err := nw.Listen("home") // Kill freed the address
+		if err != nil {
+			t.Errorf("restart listen: %v", err)
+			recovered <- nil
+			return
+		}
+		go h2.Serve(l2)
+		if err := h2.StartReplication(wlog2); err != nil {
+			t.Errorf("restart replication: %v", err)
+			recovered <- nil
+			return
+		}
+		recovered <- h2
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	for rank := 0; rank < threads; rank++ {
+		topts := dsd.DefaultOptions()
+		topts.StickyLocks = true
+		th, err := dsd.DialHABackoff(nw, []string{"home"}, platform.LinuxX86,
+			int32(rank), gthv, topts, e2eBackoff(int32(rank)))
+		if err != nil {
+			t.Fatalf("rank %d dial: %v", rank, err)
+		}
+		wg.Add(1)
+		go func(rank int, th *dsd.Thread) {
+			defer wg.Done()
+			errs[rank] = body(th, rank)
+		}(rank, th)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("thread %d: %v", rank, err)
+		}
+	}
+
+	h2 := <-recovered
+	if h2 == nil {
+		t.FailNow()
+	}
+	if h2.Epoch() <= opts.Epoch {
+		t.Fatalf("recovered home epoch %d, want above the crashed incarnation's %d", h2.Epoch(), opts.Epoch)
+	}
+	h2.Wait()
+	return h2
+}
+
+// TestCrashRestartMatMul SIGKILLs the home mid-matmul, restarts it from
+// the WAL on a different platform, and verifies the product is exact.
+func TestCrashRestartMatMul(t *testing.T) {
+	const n = 24
+	const threads = 3
+	seed := int64(20060814)
+	home := runCrashRestart(t, apps.MatMulGThV(n), threads, func(th *dsd.Thread, rank int) error {
+		return apps.MatMulThread(th, rank, threads, n, seed, seed+1)
+	})
+	defer home.Close()
+
+	want := apps.MatMulSeq(apps.GenIntMatrix(n, seed), apps.GenIntMatrix(n, seed+1), n)
+	got, err := home.Globals().MustVar("C").Ints(0, n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("C[%d] = %d after crash restart, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCrashRestartLU does the same mid-LU; doubles survive the crash cut
+// bit for bit.
+func TestCrashRestartLU(t *testing.T) {
+	const n = 20
+	const threads = 3
+	seed := int64(20060814)
+	home := runCrashRestart(t, apps.LUGThV(n), threads, func(th *dsd.Thread, rank int) error {
+		return apps.LUThread(th, rank, threads, n, seed)
+	})
+	defer home.Close()
+
+	want := apps.GenLUMatrix(n, seed)
+	apps.LUSeq(want, n)
+	got, err := home.Globals().MustVar("A").Float64s(0, n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("A[%d] = %v after crash restart, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package wal
+
+import "hetdsm/internal/telemetry"
+
+// walMetrics resolves metric handles once at Open; with a nil registry
+// every method is a no-op and the hot path takes no timestamps.
+type walMetrics struct {
+	enabled       bool
+	appendLatency *telemetry.Histogram
+	batchRecords  *telemetry.Histogram
+	records       *telemetry.Counter
+	snapshots     *telemetry.Counter
+	truncations   *telemetry.Counter
+	epoch         *telemetry.Gauge
+	replayed      *telemetry.Gauge
+}
+
+func newWALMetrics(r *telemetry.Registry) walMetrics {
+	if r == nil {
+		return walMetrics{}
+	}
+	return walMetrics{
+		enabled:       true,
+		appendLatency: r.Histogram("dsm_wal_append_seconds", "Latency from record enqueue to fsync completion."),
+		batchRecords:  r.Histogram("dsm_wal_fsync_batch_records", "Records committed per fsync (group-commit batch size)."),
+		records:       r.Counter("dsm_wal_records_total", "Replication records appended to the WAL."),
+		snapshots:     r.Counter("dsm_wal_snapshots_total", "Snapshot compactions performed."),
+		truncations:   r.Counter("dsm_wal_truncated_tails_total", "Torn or corrupt log tails cut off during recovery."),
+		epoch:         r.Gauge("dsm_wal_epoch", "Current fencing epoch served from this WAL."),
+		replayed:      r.Gauge("dsm_wal_replayed_records", "Log-tail records replayed by the last recovery."),
+	}
+}
+
+func (m *walMetrics) setEpoch(e uint64) {
+	if m.enabled {
+		m.epoch.Set(float64(e))
+	}
+}
+
+func (m *walMetrics) setReplayed(n int) {
+	if m.enabled {
+		m.replayed.Set(float64(n))
+	}
+}

@@ -154,6 +154,9 @@ const (
 	RepBarrier
 	// RepJoin mirrors a rank joining.
 	RepJoin
+	// RepEpoch persists a fencing-epoch advance (WAL recovery bumps the
+	// epoch before serving); carries no other state.
+	RepEpoch
 )
 
 // String names the event for traces and diagnostics.
@@ -171,6 +174,8 @@ func (e RepEvent) String() string {
 		return "rep-barrier"
 	case RepJoin:
 		return "rep-join"
+	case RepEpoch:
+		return "rep-epoch"
 	}
 	return fmt.Sprintf("rep-event-%d", uint8(e))
 }
@@ -217,6 +222,9 @@ type Replication struct {
 	// Released carries per-rank barrier-release watermarks: the request
 	// id of the last barrier arrival whose release was issued.
 	Released []RepPair
+	// Epoch is the fencing epoch of the home that emitted the record;
+	// mirrors and the WAL reject records from a stale epoch.
+	Epoch uint64
 }
 
 // Message is one protocol datagram.
@@ -252,6 +260,12 @@ type Message struct {
 	// the sender's replica already holds state from a previous home
 	// (redirect re-registration) rather than being freshly allocated.
 	Flags uint8
+	// Epoch is the sender's fencing epoch. Homes stamp their current
+	// epoch on every frame; threads echo the highest epoch they have
+	// adopted. A receiver that has adopted a higher epoch rejects the
+	// frame (stale primary), and a home that sees a higher epoch fences
+	// itself. Zero means "not stamped" (legacy/unaware sender).
+	Epoch uint64
 	// Rep carries the replication payload on KindReplicate and the acked
 	// sequence number on KindReplicateAck.
 	Rep *Replication
@@ -301,6 +315,7 @@ func Encode(m *Message) ([]byte, error) {
 	buf = appendString(buf, m.Addr)
 	buf = append(buf, m.Proto)
 	buf = append(buf, m.Flags)
+	buf = be64(buf, m.Epoch)
 	if m.Rep != nil {
 		buf = append(buf, 1)
 		buf = appendRep(buf, m.Rep)
@@ -334,7 +349,32 @@ func appendRep(buf []byte, r *Replication) []byte {
 	}
 	buf = appendPairs(buf, r.Applied)
 	buf = appendPairs(buf, r.Released)
+	buf = be64(buf, r.Epoch)
 	return buf
+}
+
+// EncodeReplication serializes a bare replication record outside any
+// message frame; the write-ahead log stores records in this form.
+func EncodeReplication(r *Replication) []byte {
+	buf := make([]byte, 0, 96+len(r.Image)+encodedUpdatesSize(r.Updates))
+	return appendRep(buf, r)
+}
+
+// DecodeReplication parses a record encoded by EncodeReplication,
+// rejecting trailing bytes. Like Decode, the result aliases b's storage.
+func DecodeReplication(b []byte) (*Replication, error) {
+	d := decoder{b: b}
+	r, err := d.rep()
+	if err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-d.off)
+	}
+	return r, nil
 }
 
 func appendUpdates(buf []byte, us []Update) []byte {
@@ -399,6 +439,7 @@ func Decode(b []byte) (*Message, error) {
 	m.Addr = d.str()
 	m.Proto = d.u8()
 	m.Flags = d.u8()
+	m.Epoch = d.u64()
 	if d.u8() == 1 {
 		r, err := d.rep()
 		if err != nil {
@@ -538,6 +579,7 @@ func (d *decoder) rep() (*Replication, error) {
 	if r.Released, err = d.pairs(); err != nil {
 		return nil, err
 	}
+	r.Epoch = d.u64()
 	return r, nil
 }
 
