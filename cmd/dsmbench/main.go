@@ -42,6 +42,9 @@ func main() {
 		sizesFlag = flag.String("sizes", "99,138,177,216,255", "comma-separated matrix sizes")
 		repsFlag  = flag.Int("reps", 1, "repetitions per configuration (medians reported)")
 		verify    = flag.Bool("verify", false, "verify every distributed result against a sequential run")
+		shardFlag = flag.Bool("sharding", false, "run the 1-vs-N-shard benchmark and write the baseline file")
+		shardOut  = flag.String("sharding-out", "BENCH_sharding.json", "output path for -sharding")
+		shardChk  = flag.String("sharding-check", "", "re-run the sharding suite and fail on >10% Cshare regression vs this baseline file")
 	)
 	flag.Parse()
 
@@ -83,6 +86,10 @@ func main() {
 		h.ext()
 	case *ablFlag:
 		h.ablation()
+	case *shardFlag:
+		h.sharding(*shardOut)
+	case *shardChk != "":
+		h.shardingCheck(*shardChk)
 	default:
 		flag.Usage()
 		os.Exit(2)

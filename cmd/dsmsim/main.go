@@ -26,8 +26,9 @@ import (
 func main() {
 	var (
 		seeds    = flag.Int("seeds", 8, "number of seeds to sweep (seed 0..N-1)")
-		profile  = flag.String("profile", "all", "fault profile (clean|flaky|partition|failover|handoff|lostack|homecrash-restart|all)")
+		profile  = flag.String("profile", "all", "fault profile (clean|flaky|partition|failover|handoff|lostack|homecrash-restart|migrate|all)")
 		mix      = flag.String("mix", "all", "platform mix (e.g. LL, SL, Lsl) or all")
+		shards   = flag.Int("shards", 0, "home shard count (0 = profile default: 1, or 4 for migrate)")
 		negative = flag.Bool("negative", false, "corrupt wire frames and require the checker to notice")
 		replay   = flag.Int64("replay", -1, "replay one seed (with -profile/-mix) and verify byte-identical traces")
 		out      = flag.String("out", "", "directory for violation-report artifacts")
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	if *replay >= 0 {
-		os.Exit(replayOne(*replay, profiles, mixes, *negative, *out))
+		os.Exit(replayOne(*replay, profiles, mixes, *negative, *shards, *out))
 	}
 
 	plans := make([]sim.Plan, 0, *seeds*len(profiles)*len(mixes))
@@ -63,6 +64,11 @@ func main() {
 			for _, m := range mixes {
 				plan := sim.NewPlan(seed, p, m)
 				plan.Negative = *negative
+				if p.Shardable() {
+					// Profiles scripting single-home fates keep their
+					// default; -shards only shapes the ones that compose.
+					plan.Shards = *shards
+				}
 				plans = append(plans, plan)
 			}
 		}
@@ -80,7 +86,7 @@ func pickProfiles(name string, negative bool) ([]sim.Profile, error) {
 	}
 	p := sim.Profile(name)
 	if !sim.ValidProfile(p) {
-		return nil, fmt.Errorf("dsmsim: unknown profile %q (want clean|flaky|partition|failover|handoff|lostack|homecrash-restart|all)", name)
+		return nil, fmt.Errorf("dsmsim: unknown profile %q (want clean|flaky|partition|failover|handoff|lostack|homecrash-restart|migrate|all)", name)
 	}
 	return []sim.Profile{p}, nil
 }
@@ -154,9 +160,10 @@ func sweep(plans []sim.Plan, negative bool, workers int, verbose bool, out strin
 
 // replayOne runs a single plan twice and verifies the byte-identical
 // canonical-trace guarantee, printing the full report.
-func replayOne(seed int64, profiles []sim.Profile, mixes []string, negative bool, out string) int {
+func replayOne(seed int64, profiles []sim.Profile, mixes []string, negative bool, shards int, out string) int {
 	plan := sim.NewPlan(seed, profiles[0], mixes[0])
 	plan.Negative = negative
+	plan.Shards = shards
 	a := sim.Run(plan)
 	fmt.Print(a.Report())
 	saveArtifact(out, a)

@@ -1,0 +1,126 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetdsm/internal/dir"
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/stats"
+	"hetdsm/internal/tag"
+)
+
+// runSharded executes a workload against a multi-home sharded directory
+// instead of a single home: the same thread bodies run unchanged (threads
+// cannot tell a proxy from a home), results are verified against the
+// stitched master image, and the background migration planner re-homes hot
+// entries while the workload runs.
+func runSharded(cfg Config, gthv tag.Struct, body func(th *dsd.Thread, rank int) error) (*Result, error) {
+	cl, err := dir.NewCluster(gthv, cfg.Pair.Home, cfg.Threads, dir.Config{
+		Shards:           cfg.Shards,
+		MigrateThreshold: cfg.MigrateThreshold,
+		Opts:             cfg.Opts,
+		WALDir:           cfg.ShardWALDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	threads := make([]*dsd.Thread, cfg.Threads)
+	for rank := 0; rank < cfg.Threads; rank++ {
+		p := cfg.Pair.Remote
+		if rank == 0 {
+			p = cfg.Pair.Home
+		}
+		th, err := cl.NewThread(int32(rank), p, cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		threads[rank] = th
+	}
+	if cfg.OnShards != nil {
+		cfg.OnShards(cl, threads)
+	}
+	if cfg.MigrateThreshold > 0 {
+		every := cfg.MigrateEvery
+		if every <= 0 {
+			every = 2 * time.Millisecond
+		}
+		cl.StartMigrator(every)
+	}
+
+	start := time.Now()
+	errs := make([]error, cfg.Threads)
+	var wg sync.WaitGroup
+	for rank, th := range threads {
+		wg.Add(1)
+		go func(rank int, th *dsd.Thread) {
+			defer wg.Done()
+			errs[rank] = body(th, rank)
+		}(rank, th)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("apps: thread %d: %w", rank, err)
+		}
+	}
+	cl.Wait()
+	cl.StopMigrator()
+	if cfg.MigrateThreshold > 0 {
+		// Drain heat accrued after the last tick so short runs still show
+		// their re-homings in the counters.
+		if _, err := cl.PumpMigrations(); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start)
+
+	res := &Result{
+		Config:     cfg,
+		Wall:       wall,
+		ByPlatform: make(map[string][stats.NumPhases]time.Duration),
+	}
+	var agg, homeSide stats.Breakdown
+	for i := 0; i < cl.Shards(); i++ {
+		hs := cl.Home(i).Stats()
+		agg.Merge(hs)
+		homeSide.Merge(hs)
+		res.UpdateBytes += hs.Bytes(stats.Conv)
+	}
+	res.Home = homeSide.Snapshot()
+	for _, th := range threads {
+		res.PageFaults += th.Segment().Faults()
+		res.Heat.Merge(th.Heat())
+		agg.Merge(th.Stats())
+		snap := th.Stats().Snapshot()
+		key := th.Platform().Name
+		cur := res.ByPlatform[key]
+		for i := range cur {
+			cur[i] += snap[i]
+		}
+		res.ByPlatform[key] = cur
+	}
+	res.Agg = agg.Snapshot()
+	st := cl.Stats()
+	res.Dir = &st
+
+	if cfg.Verify {
+		g, err := cl.MergedGlobals()
+		if err != nil {
+			return nil, err
+		}
+		ok, err := verify(cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		res.Verified = ok
+		if !ok {
+			return res, fmt.Errorf("apps: %s N=%d %s shards=%d: distributed result does not match sequential",
+				cfg.Workload, cfg.N, cfg.Pair.Label, cfg.Shards)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,251 @@
+// Package dir implements the multi-home sharded directory: the global
+// segment is partitioned across N home shards, each a full dsd.Home that
+// is authoritative only for the index-table entries and mutexes the
+// directory currently maps to it. Ownership is not static — each shard
+// aggregates the page-heat samples threads piggyback on their releases,
+// and entries whose heat concentrates on one rank are re-homed to that
+// rank's affinity shard at a release boundary (dsd.TransferEntry), with
+// the directory publishing the new owner atomically under both shards'
+// mutexes.
+//
+// Threads never learn about shards: each worker talks to a per-thread
+// Proxy over the ordinary DSD wire protocol, and the proxy splits every
+// release by entry ownership, gathers every acquire from all shards, and
+// chases KindDirForward corrections when its ownership cache goes stale —
+// at most one extra hop per stale mapping, because the correction carries
+// the authoritative owner and version.
+package dir
+
+import (
+	"fmt"
+	"sync"
+
+	"hetdsm/internal/wire"
+)
+
+// mapping is one versioned ownership record. Versions bump on every
+// migration, letting caches reject out-of-order corrections.
+type mapping struct {
+	shard int32
+	ver   uint64
+}
+
+// Directory is the authoritative page/object → home-shard map. It
+// implements dsd.DirectoryView for the shards, which consult it with
+// their own mutex held: Directory methods must therefore never call into
+// a Home (home.mu before dir.mu is the global lock order).
+type Directory struct {
+	mu      sync.RWMutex
+	nshards int32
+	entries map[int]mapping
+	locks   map[int32]mapping
+	// migrations counts published ownership flips (entries and locks).
+	migrations     uint64
+	lockMigrations uint64
+}
+
+// NewDirectory builds the startup directory: entry e lives on shard
+// e % nshards, lock l on shard l % nshards — the static hash every
+// client cache can derive without asking anyone.
+func NewDirectory(nshards int) *Directory {
+	if nshards <= 0 {
+		nshards = 1
+	}
+	return &Directory{
+		nshards: int32(nshards),
+		entries: make(map[int]mapping),
+		locks:   make(map[int32]mapping),
+	}
+}
+
+// Shards returns the shard count.
+func (d *Directory) Shards() int { return int(d.nshards) }
+
+// StaticEntryOwner is the startup hash: entry e → shard e % nshards.
+func StaticEntryOwner(entry, nshards int) int32 {
+	if nshards <= 0 {
+		return 0
+	}
+	return int32(entry % nshards)
+}
+
+// StaticLockOwner is the startup hash for mutexes.
+func StaticLockOwner(idx int32, nshards int) int32 {
+	if nshards <= 0 || idx < 0 {
+		return 0
+	}
+	return int32(int(idx) % nshards)
+}
+
+// BarrierOwner maps barrier idx to its serving shard. Barriers gather ALL
+// threads, so co-locating them with data buys nothing; they stay on their
+// static shard forever, which keeps generation state trivially consistent.
+func BarrierOwner(idx int32, nshards int) int32 { return StaticLockOwner(idx, nshards) }
+
+// EntryOwner returns the shard owning index-table entry e and the
+// mapping's version (dsd.DirectoryView).
+func (d *Directory) EntryOwner(entry int) (int32, uint64) {
+	d.mu.RLock()
+	m, ok := d.entries[entry]
+	d.mu.RUnlock()
+	if !ok {
+		return StaticEntryOwner(entry, int(d.nshards)), 0
+	}
+	return m.shard, m.ver
+}
+
+// LockOwner returns the shard owning mutex idx and the mapping's version
+// (dsd.DirectoryView).
+func (d *Directory) LockOwner(idx int32) (int32, uint64) {
+	d.mu.RLock()
+	m, ok := d.locks[idx]
+	d.mu.RUnlock()
+	if !ok {
+		return StaticLockOwner(idx, int(d.nshards)), 0
+	}
+	return m.shard, m.ver
+}
+
+// PublishEntry flips entry ownership to shard, bumping the version. It is
+// called from dsd.TransferEntry's publish callback with both home mutexes
+// held, which is what makes a migration atomic against releases.
+func (d *Directory) PublishEntry(entry int, shard int32) {
+	if shard < 0 || shard >= d.nshards {
+		panic(fmt.Sprintf("dir: publish entry %d to invalid shard %d", entry, shard))
+	}
+	d.mu.Lock()
+	m := d.entries[entry]
+	if m.ver == 0 {
+		m.shard = StaticEntryOwner(entry, int(d.nshards))
+	}
+	if m.shard != shard {
+		d.migrations++
+	}
+	d.entries[entry] = mapping{shard: shard, ver: m.ver + 1}
+	d.mu.Unlock()
+}
+
+// PublishLock flips mutex ownership to shard, bumping the version; called
+// from Home.MigrateLockIf's publish callback under the owning home's mutex.
+func (d *Directory) PublishLock(idx, shard int32) {
+	if shard < 0 || shard >= d.nshards {
+		panic(fmt.Sprintf("dir: publish lock %d to invalid shard %d", idx, shard))
+	}
+	d.mu.Lock()
+	m := d.locks[idx]
+	if m.ver == 0 {
+		m.shard = StaticLockOwner(idx, int(d.nshards))
+	}
+	if m.shard != shard {
+		d.lockMigrations++
+	}
+	d.locks[idx] = mapping{shard: shard, ver: m.ver + 1}
+	d.mu.Unlock()
+}
+
+// Migrations returns how many entry re-homings have been published.
+func (d *Directory) Migrations() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.migrations
+}
+
+// LockMigrations returns how many lock re-homings have been published.
+func (d *Directory) LockMigrations() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.lockMigrations
+}
+
+// MapEntry is one row of a directory snapshot.
+type MapEntry struct {
+	Object int32  `json:"object"`
+	Lock   bool   `json:"lock,omitempty"`
+	Shard  int32  `json:"shard"`
+	Ver    uint64 `json:"ver"`
+}
+
+// Snapshot lists every non-static mapping plus the static defaults for
+// the first nentries entries — the /stats shard map.
+func (d *Directory) Snapshot(nentries int) []MapEntry {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]MapEntry, 0, nentries+len(d.locks))
+	for e := 0; e < nentries; e++ {
+		m, ok := d.entries[e]
+		if !ok {
+			m = mapping{shard: StaticEntryOwner(e, int(d.nshards))}
+		}
+		out = append(out, MapEntry{Object: int32(e), Shard: m.shard, Ver: m.ver})
+	}
+	for idx, m := range d.locks {
+		out = append(out, MapEntry{Object: idx, Lock: true, Shard: m.shard, Ver: m.ver})
+	}
+	return out
+}
+
+// cache is a proxy-side ownership cache: the static hash until corrected,
+// then whatever the latest (by version) KindDirForward said. It is the
+// mechanism behind the at-most-one-hop guarantee — a correction carries
+// the authoritative mapping, so the retry lands on the owner.
+type cache struct {
+	nshards int
+	entries map[int32]mapping
+	locks   map[int32]mapping
+	// staleHits counts corrections that actually changed a cached mapping.
+	staleHits uint64
+}
+
+func newCache(nshards int) *cache {
+	return &cache{
+		nshards: nshards,
+		entries: make(map[int32]mapping),
+		locks:   make(map[int32]mapping),
+	}
+}
+
+func (c *cache) entryOwner(entry int32) int32 {
+	if m, ok := c.entries[entry]; ok {
+		return m.shard
+	}
+	return StaticEntryOwner(int(entry), c.nshards)
+}
+
+func (c *cache) lockOwner(idx int32) int32 {
+	if m, ok := c.locks[idx]; ok {
+		return m.shard
+	}
+	return StaticLockOwner(idx, c.nshards)
+}
+
+// correct applies a KindDirForward's corrections; only newer versions win,
+// so a late correction from a slow shard cannot roll the cache backwards.
+// Returns how many mappings actually changed.
+func (c *cache) correct(dir []wire.DirEntry) int {
+	changed := 0
+	for _, de := range dir {
+		tbl := c.entries
+		if de.Lock {
+			tbl = c.locks
+		}
+		old, ok := tbl[de.Object]
+		if ok && old.ver >= de.Ver {
+			continue
+		}
+		if !ok {
+			var static int32
+			if de.Lock {
+				static = StaticLockOwner(de.Object, c.nshards)
+			} else {
+				static = StaticEntryOwner(int(de.Object), c.nshards)
+			}
+			old = mapping{shard: static}
+		}
+		tbl[de.Object] = mapping{shard: de.Shard, ver: de.Ver}
+		if old.shard != de.Shard {
+			changed++
+		}
+	}
+	c.staleHits += uint64(changed)
+	return changed
+}

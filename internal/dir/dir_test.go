@@ -1,0 +1,460 @@
+package dir
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+)
+
+// testGThV mirrors the dsd test structure: pointers, arrays and scalars.
+// With two shards the static hash puts GThP(0), B(2), d(4) on shard 0 and
+// A(1), sum(3) on shard 1.
+func testGThV() tag.Struct {
+	return tag.Struct{
+		Name: "GThV_t",
+		Fields: []tag.Field{
+			{Name: "GThP", T: tag.Pointer{}},
+			{Name: "A", T: tag.IntArray(64)},
+			{Name: "B", T: tag.IntArray(64)},
+			{Name: "sum", T: tag.Int()},
+			{Name: "d", T: tag.DoubleArray(8)},
+		},
+	}
+}
+
+const (
+	entryA   = 1
+	entryB   = 2
+	entrySum = 3
+)
+
+func newTestCluster(t *testing.T, shards int, threshold uint64, walDir string) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(testGThV(), platform.LinuxX86, 2, Config{
+		Shards:           shards,
+		MigrateThreshold: threshold,
+		Opts:             dsd.DefaultOptions(),
+		WALDir:           walDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func newThread(t *testing.T, cl *Cluster, rank int32, p *platform.Platform) *dsd.Thread {
+	t.Helper()
+	th, err := cl.NewThread(rank, p, dsd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func TestShardedLockUnlockPropagatesHeterogeneous(t *testing.T) {
+	cl := newTestCluster(t, 2, 0, "")
+	a := newThread(t, cl, 0, platform.SolarisSPARC)
+	b := newThread(t, cl, 1, platform.LinuxX86)
+
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	// Touch entries on BOTH shards in one critical section: sum and A live
+	// on shard 1, B on shard 0, so the release splits.
+	if err := a.Globals().MustVar("sum").SetInt(0, -12345); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Globals().MustVar("A").SetInt(i, int64(i*i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Globals().MustVar("B").SetInt(i, int64(7*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := b.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.Globals().MustVar("sum").Int(0); err != nil || got != -12345 {
+		t.Fatalf("sum at B = %d (%v), want -12345", got, err)
+	}
+	for i := 0; i < 10; i++ {
+		if v, _ := b.Globals().MustVar("A").Int(i); v != int64(i*i) {
+			t.Errorf("A[%d] at B = %d, want %d", i, v, i*i)
+		}
+		if v, _ := b.Globals().MustVar("B").Int(i); v != int64(7*i) {
+			t.Errorf("B[%d] at B = %d, want %d", i, v, 7*i)
+		}
+	}
+	if err := b.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runWorkload drives a deterministic two-thread mix (locked increments plus
+// barrier phases) and returns the merged master image.
+func runWorkload(t *testing.T, cl *Cluster, disturb func(step int)) []byte {
+	t.Helper()
+	var wg sync.WaitGroup
+	for rank := int32(0); rank < 2; rank++ {
+		th := newThread(t, cl, rank, platform.LinuxX86)
+		wg.Add(1)
+		go func(rank int32, th *dsd.Thread) {
+			defer wg.Done()
+			for step := 0; step < 6; step++ {
+				if err := th.Lock(0); err != nil {
+					t.Error(err)
+					return
+				}
+				sum := th.Globals().MustVar("sum")
+				v, _ := sum.Int(0)
+				sum.SetInt(0, v+1)
+				th.Globals().MustVar("A").SetInt(int(rank)*4+step%4, int64(rank)*1000+int64(step))
+				th.Globals().MustVar("B").SetInt(int(rank)*4+step%4, int64(rank)*2000+int64(step))
+				if err := th.Unlock(0); err != nil {
+					t.Error(err)
+					return
+				}
+				if rank == 0 && disturb != nil {
+					disturb(step)
+				}
+				if err := th.Barrier(0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := th.Join(); err != nil {
+				t.Error(err)
+			}
+		}(rank, th)
+	}
+	wg.Wait()
+	cl.Wait()
+	img, _, err := cl.MergedImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestByteIdenticalAcrossShardCounts(t *testing.T) {
+	var base []byte
+	for _, shards := range []int{1, 2, 4} {
+		cl := newTestCluster(t, shards, 0, "")
+		img := runWorkload(t, cl, nil)
+		if base == nil {
+			base = img
+			continue
+		}
+		if !bytes.Equal(base, img) {
+			t.Fatalf("merged image at %d shards differs from 1-shard result", shards)
+		}
+	}
+}
+
+func TestByteIdenticalUnderForcedMigration(t *testing.T) {
+	ref := runWorkload(t, newTestCluster(t, 1, 0, ""), nil)
+	cl := newTestCluster(t, 2, 0, "")
+	img := runWorkload(t, cl, func(step int) {
+		// Bounce the hot entries between shards mid-run.
+		if err := cl.ForceMigrate(entryA, int32(step%2)); err != nil {
+			t.Error(err)
+		}
+		if err := cl.ForceMigrate(entrySum, int32((step+1)%2)); err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Equal(ref, img) {
+		t.Fatal("merged image under forced migration differs from 1-shard result")
+	}
+	if got := cl.dir.Migrations(); got == 0 {
+		t.Fatal("expected published migrations, got 0")
+	}
+}
+
+func TestStaleCacheCorrectsInOneHop(t *testing.T) {
+	cl := newTestCluster(t, 2, 0, "")
+	a := newThread(t, cl, 0, platform.LinuxX86)
+	b := newThread(t, cl, 1, platform.LinuxX86)
+
+	// Warm a's ownership cache with one release touching A (shard 1).
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	a.Globals().MustVar("A").SetInt(0, 1)
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move A to shard 0 behind the proxies' backs.
+	if err := cl.ForceMigrate(entryA, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := cl.forwards.Load()
+
+	// a's next release still routes A to shard 1, which must answer with a
+	// correction; the retry lands on shard 0. Exactly one forward.
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	a.Globals().MustVar("A").SetInt(0, 42)
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+	hops := cl.forwards.Load() - before
+	if hops != 1 {
+		t.Fatalf("stale-cache release took %d forwards, want exactly 1", hops)
+	}
+	if cl.staleHits.Load() == 0 {
+		t.Fatal("expected stale-cache hits to be counted")
+	}
+
+	// A second release from the same proxy must not forward again.
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	a.Globals().MustVar("A").SetInt(1, 43)
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.forwards.Load() - before; got != 1 {
+		t.Fatalf("corrected cache forwarded again (%d total hops)", got)
+	}
+
+	// Re-homing never yields stale reads: b sees the post-migration writes.
+	if err := b.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := b.Globals().MustVar("A").Int(0); v != 42 {
+		t.Fatalf("A[0] at B = %d, want 42", v)
+	}
+	if v, _ := b.Globals().MustVar("A").Int(1); v != 43 {
+		t.Fatalf("A[1] at B = %d, want 43", v)
+	}
+	if err := b.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMigrationsSameEntry(t *testing.T) {
+	cl := newTestCluster(t, 2, 0, "")
+	stop := make(chan struct{})
+	var mig sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		mig.Add(1)
+		go func(dst int32) {
+			defer mig.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := cl.ForceMigrate(entryA, dst); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int32(g))
+	}
+	img := runWorkload(t, cl, nil)
+	close(stop)
+	mig.Wait()
+
+	ref := runWorkload(t, newTestCluster(t, 1, 0, ""), nil)
+	if !bytes.Equal(ref, img) {
+		t.Fatal("merged image under racing same-entry migrations differs from 1-shard result")
+	}
+}
+
+func TestMigrationRacingCheckpointCut(t *testing.T) {
+	cl := newTestCluster(t, 2, 0, "")
+	stop := make(chan struct{})
+	var snap sync.WaitGroup
+	snap.Add(1)
+	go func() {
+		defer snap.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Per-shard cuts racing transfers: both run under the home
+			// mutexes, so images may straddle a flip but never tear.
+			if _, _, err := cl.MergedImage(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	img := runWorkload(t, cl, func(step int) {
+		cl.ForceMigrate(entrySum, int32(step%2))
+	})
+	close(stop)
+	snap.Wait()
+
+	ref := runWorkload(t, newTestCluster(t, 1, 0, ""), nil)
+	if !bytes.Equal(ref, img) {
+		t.Fatal("merged image with checkpoint cuts racing migrations differs from 1-shard result")
+	}
+}
+
+func TestHeatDrivenMigration(t *testing.T) {
+	cl := newTestCluster(t, 2, 4, "")
+	a := newThread(t, cl, 0, platform.LinuxX86)
+	b := newThread(t, cl, 1, platform.LinuxX86)
+
+	// Rank 0 hammers A (statically homed on shard 1); its faults should
+	// re-home A to rank 0's affinity shard, shard 0.
+	for i := 0; i < 12; i++ {
+		if err := a.Lock(0); err != nil {
+			t.Fatal(err)
+		}
+		a.Globals().MustVar("A").SetInt(i%8, int64(i))
+		if err := a.Unlock(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved, err := cl.PumpMigrations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("planner moved nothing despite heat past the threshold")
+	}
+	if owner, _ := cl.dir.EntryOwner(entryA); owner != 0 {
+		t.Fatalf("A owned by shard %d after pump, want 0", owner)
+	}
+	if cl.dir.Migrations() == 0 {
+		t.Fatal("no migrations published")
+	}
+	st := cl.Stats()
+	if st.Migrations == 0 {
+		t.Fatal("Stats does not reflect migrations")
+	}
+
+	// The data survived the move and is visible to the other rank.
+	if err := b.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := b.Globals().MustVar("A").Int(11%8); v != 11 {
+		t.Fatalf("A[%d] at B = %d, want 11", 11%8, v)
+	}
+	if err := b.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Wait()
+}
+
+func TestShardRestartFencesOnlyItself(t *testing.T) {
+	cl := newTestCluster(t, 2, 0, t.TempDir())
+	a := newThread(t, cl, 0, platform.LinuxX86)
+	b := newThread(t, cl, 1, platform.LinuxX86)
+
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	a.Globals().MustVar("sum").SetInt(0, 77) // sum lives on shard 1
+	a.Globals().MustVar("B").SetInt(0, 88)   // B lives on shard 0
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+
+	epoch0 := cl.Home(0).Epoch()
+	if err := cl.RestartShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Home(1).Epoch(); got <= 1 {
+		t.Fatalf("restarted shard serves at epoch %d, want a bump", got)
+	}
+	if cl.Home(0).Epoch() != epoch0 {
+		t.Fatalf("shard 0 epoch moved across shard 1's restart")
+	}
+
+	// Both shards still serve: the WAL-recovered value and the untouched
+	// shard's value are both visible, and shard 0 was not fenced.
+	if err := b.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := b.Globals().MustVar("sum").Int(0); v != 77 {
+		t.Fatalf("sum after shard-1 restart = %d, want 77 (WAL recovery lost it)", v)
+	}
+	if v, _ := b.Globals().MustVar("B").Int(0); v != 88 {
+		t.Fatalf("B[0] after shard-1 restart = %d, want 88", v)
+	}
+	b.Globals().MustVar("sum").SetInt(0, 78)
+	if err := b.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Home(0).Fenced() {
+		t.Fatal("shard 0 fenced by shard 1's restart")
+	}
+
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Globals().MustVar("sum").Int(0); v != 78 {
+		t.Fatalf("sum at A after restart = %d, want 78", v)
+	}
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Wait()
+}
+
+func TestSeverShardHeals(t *testing.T) {
+	cl := newTestCluster(t, 2, 0, "")
+	a := newThread(t, cl, 0, platform.LinuxX86)
+
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	a.Globals().MustVar("sum").SetInt(0, 5)
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+	cl.SeverShard(1)
+	// The proxy's reconnecting conns re-register transparently.
+	if err := a.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Globals().MustVar("sum").Int(0); v != 5 {
+		t.Fatalf("sum after sever = %d, want 5", v)
+	}
+	if err := a.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigratorTicker(t *testing.T) {
+	cl := newTestCluster(t, 2, 0, "")
+	cl.StartMigrator(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	cl.StopMigrator()
+	// Restartable.
+	cl.StartMigrator(time.Millisecond)
+	cl.StopMigrator()
+}

@@ -1,0 +1,240 @@
+package dir
+
+import (
+	"sort"
+	"sync"
+
+	"hetdsm/internal/indextable"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+)
+
+// heatTracker turns the per-page fault deltas threads piggyback on their
+// releases into per-entry, per-rank heat — the signal the migration
+// planner acts on. Page indexes are meaningful only within one replica
+// layout, so each rank registers its platform and base and gets its own
+// precomputed page → entries overlap map.
+type heatTracker struct {
+	gthv    tag.Struct
+	nshards int
+	// threshold is the per-entry fault total that triggers a re-homing
+	// plan; 0 disables planning.
+	threshold uint64
+
+	mu sync.Mutex
+	// pageMaps caches page → entry-index overlap per layout key.
+	pageMaps map[string][][]int
+	// rankMap points each rank at its layout's page map.
+	rankMap map[int32][][]int
+	// heat[entry][rank] accumulates faults attributed to the entry.
+	heat map[int]map[int32]uint64
+	// lockTouch[lock][entry] counts how often a critical section of the
+	// lock released updates to the entry — the co-location signal.
+	lockTouch map[int32]map[int32]uint64
+}
+
+func newHeatTracker(gthv tag.Struct, nshards int, threshold uint64) *heatTracker {
+	return &heatTracker{
+		gthv:      gthv,
+		nshards:   nshards,
+		threshold: threshold,
+		pageMaps:  make(map[string][][]int),
+		rankMap:   make(map[int32][][]int),
+		heat:      make(map[int]map[int32]uint64),
+		lockTouch: make(map[int32]map[int32]uint64),
+	}
+}
+
+// registerRank points rank's future samples at the page map for its
+// replica layout, building the map on first sight of the layout.
+func (ht *heatTracker) registerRank(rank int32, p *platform.Platform, base uint64) error {
+	key := p.Name
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	pm, ok := ht.pageMaps[key]
+	if !ok {
+		layout, err := tag.NewLayout(ht.gthv, p)
+		if err != nil {
+			return err
+		}
+		table, err := indextable.Build(layout, base)
+		if err != nil {
+			return err
+		}
+		npages := (layout.Size + p.PageSize - 1) / p.PageSize
+		pm = make([][]int, npages)
+		for i := 0; i < table.Len(); i++ {
+			e := table.Entry(i)
+			lo := e.Offset / p.PageSize
+			hi := (e.Offset + e.Count*e.ElemSize - 1) / p.PageSize
+			for pg := lo; pg <= hi && pg < npages; pg++ {
+				pm[pg] = append(pm[pg], i)
+			}
+		}
+		ht.pageMaps[key] = pm
+	}
+	ht.rankMap[rank] = pm
+	return nil
+}
+
+// note attributes one release's fault deltas to the entries overlapping
+// each faulted page. A page shared by several entries credits all of them:
+// the planner cares about relative concentration, not exact attribution.
+func (ht *heatTracker) note(rank int32, samples []heatSampleView) {
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	pm := ht.rankMap[rank]
+	if pm == nil {
+		return
+	}
+	for _, s := range samples {
+		if s.page < 0 || int(s.page) >= len(pm) {
+			continue
+		}
+		for _, entry := range pm[s.page] {
+			m := ht.heat[entry]
+			if m == nil {
+				m = make(map[int32]uint64)
+				ht.heat[entry] = m
+			}
+			m[rank] += uint64(s.faults)
+		}
+	}
+}
+
+// heatSampleView decouples the tracker from wire.HeatSample.
+type heatSampleView struct {
+	page   int32
+	faults uint32
+}
+
+// noteLock records that a release of mutex lock carried updates to the
+// given entries (the pre-split view only the proxy sees).
+func (ht *heatTracker) noteLock(lock int32, entries []int32) {
+	if lock < 0 || len(entries) == 0 {
+		return
+	}
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	m := ht.lockTouch[lock]
+	if m == nil {
+		m = make(map[int32]uint64)
+		ht.lockTouch[lock] = m
+	}
+	for _, e := range entries {
+		m[e]++
+	}
+}
+
+// entryPlan is one planned re-homing: move entry to dst, because rank's
+// heat dominates it.
+type entryPlan struct {
+	entry int
+	rank  int32
+	dst   int32
+	total uint64
+}
+
+// plan emits a re-homing plan for every entry whose accumulated heat
+// crossed the threshold, targeting the hottest rank's affinity shard
+// (rank % nshards), and resets that entry's counters so the next window
+// starts fresh. Deterministic: entries ascending, rank ties to the lower
+// rank.
+func (ht *heatTracker) plan() []entryPlan {
+	if ht.threshold == 0 {
+		return nil
+	}
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	entries := make([]int, 0, len(ht.heat))
+	for e := range ht.heat {
+		entries = append(entries, e)
+	}
+	sort.Ints(entries)
+	var plans []entryPlan
+	for _, e := range entries {
+		var total uint64
+		best, bestRank := uint64(0), int32(-1)
+		for rank, n := range ht.heat[e] {
+			total += n
+			if n > best || (n == best && (bestRank < 0 || rank < bestRank)) {
+				best, bestRank = n, rank
+			}
+		}
+		if total < ht.threshold || bestRank < 0 {
+			continue
+		}
+		plans = append(plans, entryPlan{
+			entry: e,
+			rank:  bestRank,
+			dst:   int32(int(bestRank) % ht.nshards),
+			total: total,
+		})
+		delete(ht.heat, e)
+	}
+	return plans
+}
+
+// lockPlanFor returns the shard owning the plurality of lock's touched
+// entries according to owner — the co-location target — or -1 when the
+// lock has no recorded touches. Ties break to the lower shard id.
+func (ht *heatTracker) lockPlanFor(lock int32, owner func(entry int) int32) int32 {
+	ht.mu.Lock()
+	touches := ht.lockTouch[lock]
+	weights := make(map[int32]uint64, len(touches))
+	for e, n := range touches {
+		weights[owner(int(e))] += n
+	}
+	ht.mu.Unlock()
+	best, bestShard := uint64(0), int32(-1)
+	for shard, n := range weights {
+		if n > best || (n == best && bestShard >= 0 && shard < bestShard) {
+			best, bestShard = n, shard
+		}
+	}
+	return bestShard
+}
+
+// locksTracked lists every lock with recorded touches, ascending.
+func (ht *heatTracker) locksTracked() []int32 {
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	out := make([]int32, 0, len(ht.lockTouch))
+	for l := range ht.lockTouch {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HeatLeader is one entry's hottest rank — the /stats heat view.
+type HeatLeader struct {
+	Entry  int    `json:"entry"`
+	Rank   int32  `json:"rank"`
+	Faults uint64 `json:"faults"`
+	Total  uint64 `json:"total"`
+}
+
+// leaders snapshots the current per-entry heat leaders, hottest first.
+func (ht *heatTracker) leaders() []HeatLeader {
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	out := make([]HeatLeader, 0, len(ht.heat))
+	for e, ranks := range ht.heat {
+		hl := HeatLeader{Entry: e, Rank: -1}
+		for rank, n := range ranks {
+			hl.Total += n
+			if n > hl.Faults || (n == hl.Faults && (hl.Rank < 0 || rank < hl.Rank)) {
+				hl.Faults, hl.Rank = n, rank
+			}
+		}
+		out = append(out, hl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Entry < out[j].Entry
+	})
+	return out
+}

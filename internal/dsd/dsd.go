@@ -98,6 +98,33 @@ type Options struct {
 	// number. It is called synchronously with the home mutex held, so it
 	// must not call back into the home; write the blob and return.
 	CheckpointSink func(snap *wire.Replication, gen uint64)
+	// Directory, when non-nil, makes this home one shard of a multi-home
+	// directory (internal/dir): it is authoritative only for the entries
+	// and locks the directory currently maps to Shard, and answers
+	// misdelivered requests with KindDirForward corrections instead of
+	// applying them. nil (the default) keeps the classic single-home
+	// behavior: the home owns everything.
+	Directory DirectoryView
+	// Shard is this home's shard id within the directory; meaningful only
+	// with Directory set.
+	Shard int32
+	// HeatSink, when non-nil, receives the page-fault heat samples threads
+	// piggyback on release messages (home-side). The sharded directory
+	// aggregates them into its heat-driven migration planner.
+	HeatSink func(rank int32, samples []wire.HeatSample)
+}
+
+// DirectoryView resolves authoritative page/lock ownership for a sharded
+// home. Implementations must be safe for concurrent use and must never
+// call back into a Home: homes consult the view with their own mutex held
+// (home.mu before directory state is the global lock order).
+type DirectoryView interface {
+	// EntryOwner returns the shard owning index-table entry e and the
+	// mapping's version (bumped on every migration).
+	EntryOwner(entry int) (shard int32, ver uint64)
+	// LockOwner returns the shard owning mutex idx and the mapping's
+	// version.
+	LockOwner(idx int32) (shard int32, ver uint64)
 }
 
 // Protocol is the consistency-propagation scheme.

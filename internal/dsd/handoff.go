@@ -70,6 +70,13 @@ type Handoff struct {
 // the successor. Detach fails after timeout if the system never quiesces
 // (e.g. a thread holds a lock indefinitely).
 func (h *Home) Detach(timeout time.Duration) (*Handoff, error) {
+	if h.opts.Directory != nil {
+		// Whole-home handoff assumes this node owns every entry and lock —
+		// a shard does not. Re-homing within a sharded directory goes
+		// entry-by-entry through TransferEntry; a failed shard restarts
+		// from its own WAL with a bumped epoch instead.
+		return nil, fmt.Errorf("dsd: shard %d cannot hand off whole-home state; use directory migration", h.opts.Shard)
+	}
 	h.mu.Lock()
 	if h.frozen {
 		h.mu.Unlock()
@@ -77,7 +84,7 @@ func (h *Home) Detach(timeout time.Duration) (*Handoff, error) {
 	}
 	h.frozen = true
 	h.mu.Unlock()
-	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindDetach, -1, -1, 0, "")
+	h.opts.Trace.Record(h.node, trace.KindDetach, -1, -1, 0, "")
 
 	deadline := time.Now().Add(timeout)
 	for {
@@ -173,7 +180,7 @@ func (h *Home) redirect(c transport.Conn, rank int32) error {
 	h.mu.Lock()
 	addr := h.redirectAddr
 	h.mu.Unlock()
-	h.opts.Trace.Record("home@"+h.plat.Name, trace.KindRedirect, rank, -1, 0, addr)
+	h.opts.Trace.Record(h.node, trace.KindRedirect, rank, -1, 0, addr)
 	return h.send(c, &wire.Message{Kind: wire.KindRedirect, Rank: rank, Addr: addr})
 }
 

@@ -158,6 +158,10 @@ func NewHome(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options) 
 	if epoch == 0 {
 		epoch = 1
 	}
+	node := "home@" + p.Name
+	if opts.Directory != nil {
+		node = fmt.Sprintf("shard%d@%s", opts.Shard, p.Name)
+	}
 	return &Home{
 		opts:          opts,
 		gthv:          gthv,
@@ -168,7 +172,7 @@ func NewHome(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options) 
 		master:        master,
 		epoch:         epoch,
 		hm:            newHomeMetrics(opts.Metrics),
-		node:          "home@" + p.Name,
+		node:          node,
 		locks:         make(map[int32]*lockState),
 		barriers:      make(map[int32]*barrierState),
 		pending:       make(map[int32][]indextable.Span),
@@ -217,6 +221,40 @@ func (h *Home) Watermarks() (applied, released map[int32]uint64) {
 
 // Table returns the home's index table.
 func (h *Home) Table() *indextable.Table { return h.table }
+
+// ownsEntry reports whether this home is authoritative for an index-table
+// entry: always, in single-home deployments, or when the directory maps
+// the entry to this shard.
+func (h *Home) ownsEntry(entry int) bool {
+	if h.opts.Directory == nil {
+		return true
+	}
+	shard, _ := h.opts.Directory.EntryOwner(entry)
+	return shard == h.opts.Shard
+}
+
+// ownsLock reports whether this home is authoritative for a mutex.
+func (h *Home) ownsLock(idx int32) bool {
+	if h.opts.Directory == nil {
+		return true
+	}
+	shard, _ := h.opts.Directory.LockOwner(idx)
+	return shard == h.opts.Shard
+}
+
+// seedFullLocked queues a full-state catch-up for a rank: every entry this
+// home is authoritative for, as whole-entry spans. Non-owned entries are a
+// sibling shard's to seed — serving them here would ship data that may be
+// stale the moment the owner applies a newer release. Caller holds h.mu.
+func (h *Home) seedFullLocked(rank int32) {
+	for i := 0; i < h.table.Len(); i++ {
+		if !h.ownsEntry(i) {
+			continue
+		}
+		h.pending[rank] = append(h.pending[rank],
+			indextable.Span{Entry: i, First: 0, Count: h.table.Entry(i).Count})
+	}
+}
 
 // Stats returns the home-side Cshare breakdown (stub-thread work: tag and
 // pack on grants, unpack and conversion on releases).
@@ -280,10 +318,7 @@ func (h *Home) Restore(img []byte, tagStr, srcPlatName string, srcBase uint64) e
 	h.dirty = true
 	// Anything already-registered is now stale: queue the full image.
 	for rank := range h.peers {
-		for i := 0; i < h.table.Len(); i++ {
-			h.pending[rank] = append(h.pending[rank],
-				indextable.Span{Entry: i, First: 0, Count: h.table.Entry(i).Count})
-		}
+		h.seedFullLocked(rank)
 	}
 	return nil
 }
@@ -356,6 +391,12 @@ func (h *Home) ServeConn(c transport.Conn) {
 			h.commitPending(p, p.pendMark)
 			p.pendOpen = false
 		}
+		if len(msg.Heat) > 0 && h.opts.HeatSink != nil {
+			// Piggybacked page-heat samples feed the migration planner
+			// before the request is served, so a release that crosses the
+			// threshold can be acted on at the very boundary it created.
+			h.opts.HeatSink(p.rank, msg.Heat)
+		}
 		switch msg.Kind {
 		case wire.KindLockReq:
 			// The freeze check is inside acquire, atomic with the
@@ -379,6 +420,8 @@ func (h *Home) ServeConn(c transport.Conn) {
 			err = h.handleFetch(c, p, msg)
 		case wire.KindJoinReq:
 			err = h.handleJoin(c, p, msg)
+		case wire.KindSyncReq:
+			err = h.handleSync(c, p, msg)
 		case wire.KindLockAck:
 			// A grant ack that lost its race with a reconnect lands on
 			// the fresh stub; the grant was delivered, so ignore it.
@@ -445,6 +488,10 @@ func (h *Home) LocalThread(rank int32, p *platform.Platform, opts Options) (*Thr
 // terminate").
 func (h *Home) Wait() { <-h.done }
 
+// Done exposes the join-completion channel so multi-home clusters can wait
+// on a shard that may be replaced (crash-restarted) while they wait.
+func (h *Home) Done() <-chan struct{} { return h.done }
+
 // Close shuts down all listeners.
 func (h *Home) Close() {
 	h.lmu.Lock()
@@ -481,6 +528,26 @@ func (h *Home) Kill() {
 		close(gen)
 	}
 	h.mu.Unlock()
+}
+
+// Sever cuts every live connection while keeping the listeners open — a
+// transient network loss around one home shard, as opposed to Kill's
+// crash. Threads reconnect through their HA conns and re-register; barrier
+// state is deliberately NOT reset: a replayed arrival re-keys its rank in
+// the open generation (count unchanged), and the handler goroutines parked
+// in arrive() drain once the generation fills — their release send fails
+// on the severed conn, and the replayed arrival is answered through the
+// release watermark.
+func (h *Home) Sever() {
+	h.lmu.Lock()
+	conns := make([]transport.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.lmu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 }
 
 // fence stops a stale home: a frame stamped with a higher epoch proves a
@@ -541,15 +608,9 @@ func (h *Home) handshake(c transport.Conn, msg *wire.Message) (*peer, error) {
 		// full state instead.
 		delete(h.carried, p.rank)
 		h.pending[p.rank] = nil
-		for i := 0; i < h.table.Len(); i++ {
-			h.pending[p.rank] = append(h.pending[p.rank],
-				indextable.Span{Entry: i, First: 0, Count: h.table.Entry(i).Count})
-		}
+		h.seedFullLocked(p.rank)
 	} else if h.dirty {
-		for i := 0; i < h.table.Len(); i++ {
-			h.pending[p.rank] = append(h.pending[p.rank],
-				indextable.Span{Entry: i, First: 0, Count: h.table.Entry(i).Count})
-		}
+		h.seedFullLocked(p.rank)
 	}
 	h.mu.Unlock()
 	if err := h.send(c, &wire.Message{
@@ -573,8 +634,11 @@ func (h *Home) handleLock(c transport.Conn, p *peer, msg *wire.Message) error {
 	if h.hm.enabled {
 		acqStart = time.Now()
 	}
-	if !h.acquire(msg.Mutex, p.rank) {
+	switch h.acquire(msg.Mutex, p.rank) {
+	case acqFrozen:
 		return h.redirect(c, p.rank)
+	case acqNotOwned:
+		return h.sendForward(c, p, msg)
 	}
 	if h.hm.enabled {
 		h.hm.lockWait.Observe(time.Since(acqStart).Seconds())
@@ -620,11 +684,20 @@ func (h *Home) handleLock(c transport.Conn, p *peer, msg *wire.Message) error {
 }
 
 func (h *Home) handleUnlock(c transport.Conn, p *peer, msg *wire.Message) error {
+	if !h.ownsLock(msg.Mutex) {
+		// A held mutex never migrates (MigrateLockIf refuses), so this is
+		// a stale-cache delivery or a replay after the (free) mutex moved;
+		// nothing here to release. Correct the sender's cache.
+		return h.sendForward(c, p, msg)
+	}
 	if err := h.applyUpdates(p, msg); err != nil {
 		if err == errMoved {
 			// Unreachable while the quiescence protocol holds (a held
 			// lock blocks the snapshot), but redirect defensively.
 			return h.redirect(c, p.rank)
+		}
+		if err == errNotOwned {
+			return h.sendForward(c, p, msg)
 		}
 		return err
 	}
@@ -649,6 +722,9 @@ func (h *Home) handleBarrier(c transport.Conn, p *peer, msg *wire.Message) error
 	if err := h.applyUpdates(p, msg); err != nil {
 		if err == errMoved {
 			return h.redirect(c, p.rank)
+		}
+		if err == errNotOwned {
+			return h.sendForward(c, p, msg)
 		}
 		return err
 	}
@@ -701,6 +777,9 @@ func (h *Home) handleFlush(c transport.Conn, p *peer, msg *wire.Message) error {
 		if err == errMoved {
 			return h.redirect(c, p.rank)
 		}
+		if err == errNotOwned {
+			return h.sendForward(c, p, msg)
+		}
 		return err
 	}
 	h.opts.Trace.Record(h.node, trace.KindFlush, p.rank, -1, wire.UpdateBytes(msg.Updates), "")
@@ -724,6 +803,13 @@ func (h *Home) handleFetch(c transport.Conn, p *peer, msg *wire.Message) error {
 				e.Name, u.First, int(u.First)+int(u.Count), e.Count)
 		}
 		spans = append(spans, indextable.Span{Entry: int(u.Entry), First: int(u.First), Count: int(u.Count)})
+	}
+	for _, s := range spans {
+		if !h.ownsEntry(s.Entry) {
+			// The requested element lives at a sibling shard now; serving
+			// our copy could return pre-migration data.
+			return h.sendForward(c, p, msg)
+		}
 	}
 	spans = indextable.MergeSpans(spans)
 
@@ -767,6 +853,9 @@ func (h *Home) handleJoin(c transport.Conn, p *peer, msg *wire.Message) error {
 		if err == errMoved {
 			return h.redirect(c, p.rank)
 		}
+		if err == errNotOwned {
+			return h.sendForward(c, p, msg)
+		}
 		return err
 	}
 	h.mu.Lock()
@@ -791,21 +880,109 @@ func (h *Home) handleJoin(c transport.Conn, p *peer, msg *wire.Message) error {
 	return h.send(c, &wire.Message{Kind: wire.KindJoinAck, Rank: p.rank})
 }
 
+// handleSync serves a KindSyncReq: the sharded acquire path's gather leg.
+// After the lock-owner shard grants, the thread's proxy pulls outstanding
+// pending updates from every OTHER shard with a sync round. Unlike barrier
+// releases, the reply carries an explicit three-way ack: the drain commits
+// only on KindSyncAck, so a reply lost to a severed shard connection is
+// re-materialized for the replayed request.
+func (h *Home) handleSync(c transport.Conn, p *peer, msg *wire.Message) error {
+	updates, mark := h.peekPending(p)
+	h.opts.Trace.Record(h.node, trace.KindLockGrant, p.rank, -1, wire.UpdateBytes(updates), "sync")
+	if err := h.send(c, &wire.Message{
+		Kind:     wire.KindSyncReply,
+		Seq:      msg.Seq,
+		Rank:     p.rank,
+		Platform: h.plat.Name,
+		Base:     h.table.Base(),
+		Updates:  updates,
+	}); err != nil {
+		return err
+	}
+	ack, err := h.recv(c)
+	if err != nil {
+		return err
+	}
+	if ack.Kind != wire.KindSyncAck {
+		return fmt.Errorf("dsd: expected sync-ack, got %v", ack.Kind)
+	}
+	h.commitPending(p, mark)
+	return nil
+}
+
 // errMoved reports an update-bearing request arriving after the handoff
 // snapshot; the caller answers with a redirect.
 var errMoved = fmt.Errorf("dsd: home state already handed off")
 
+// errNotOwned reports a request touching an entry (or lock) the directory
+// maps to a sibling shard — the sender's cache is stale. The caller answers
+// with a KindDirForward correction; nothing was applied.
+var errNotOwned = fmt.Errorf("dsd: entry owned by another shard")
+
+// sendForward answers a misdelivered request with directory corrections:
+// the current owner (and mapping version) of every entry the request
+// touched, plus the lock mapping for lock-addressed kinds. The sender
+// updates its cache and re-routes — at most one extra hop per stale
+// mapping, since the correction carries the authoritative owner.
+func (h *Home) sendForward(c transport.Conn, p *peer, msg *wire.Message) error {
+	if h.opts.Directory == nil {
+		return fmt.Errorf("dsd: forward without a directory")
+	}
+	var dir []wire.DirEntry
+	seen := make(map[int32]bool, len(msg.Updates))
+	for i := range msg.Updates {
+		e := msg.Updates[i].Entry
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		shard, ver := h.opts.Directory.EntryOwner(int(e))
+		dir = append(dir, wire.DirEntry{Object: e, Shard: shard, Ver: ver})
+	}
+	switch msg.Kind {
+	case wire.KindLockReq, wire.KindUnlockReq:
+		shard, ver := h.opts.Directory.LockOwner(msg.Mutex)
+		dir = append(dir, wire.DirEntry{Object: msg.Mutex, Lock: true, Shard: shard, Ver: ver})
+	}
+	h.opts.Trace.Record(h.node, trace.KindRedirect, p.rank, msg.Mutex, 0,
+		fmt.Sprintf("dir-forward %v", msg.Kind))
+	return h.send(c, &wire.Message{
+		Kind:  wire.KindDirForward,
+		Seq:   msg.Seq,
+		Rank:  p.rank,
+		Mutex: msg.Mutex,
+		Dir:   dir,
+	})
+}
+
+// acqResult is acquire's outcome: granted, refused because the home is
+// frozen for handoff, or refused because the directory moved the mutex to
+// a sibling shard.
+type acqResult int
+
+const (
+	acqGranted acqResult = iota
+	acqFrozen
+	acqNotOwned
+)
+
 // acquire blocks until mutex idx is held by rank's thread, or reports
-// false when the home is frozen for handoff (the freeze check is atomic
-// with the grant — a check-then-acquire would race the detach snapshot).
-// A waiter enqueued before the freeze may still be granted afterwards via
-// release handoff; the unbroken held chain keeps the snapshot waiting
-// until that thread releases.
-func (h *Home) acquire(idx, rank int32) bool {
+// why it cannot be (the freeze and ownership checks are atomic with the
+// grant — a check-then-acquire would race the detach snapshot or a
+// MigrateLockIf publish, both of which run under h.mu). A waiter enqueued
+// before the freeze may still be granted afterwards via release handoff;
+// the unbroken held chain keeps the snapshot waiting until that thread
+// releases. A waiter can never be orphaned by lock migration: MigrateLockIf
+// refuses to move a mutex with holders or waiters.
+func (h *Home) acquire(idx, rank int32) acqResult {
 	h.mu.Lock()
 	if h.frozen {
 		h.mu.Unlock()
-		return false
+		return acqFrozen
+	}
+	if !h.ownsLock(idx) {
+		h.mu.Unlock()
+		return acqNotOwned
 	}
 	ls := h.locks[idx]
 	if ls == nil {
@@ -817,7 +994,7 @@ func (h *Home) acquire(idx, rank int32) bool {
 		ls.holder = rank
 		h.repRecord(&wire.Replication{Event: wire.RepLock, Rank: rank, Mutex: idx})
 		h.mu.Unlock()
-		return true
+		return acqGranted
 	}
 	if ls.holder == rank {
 		// Replayed request from a reconnected holder whose grant was
@@ -825,13 +1002,13 @@ func (h *Home) acquire(idx, rank int32) bool {
 		// ourselves. Well-synchronized programs never double-lock, so
 		// this branch only fires on replay.
 		h.mu.Unlock()
-		return true
+		return acqGranted
 	}
 	ch := make(chan struct{})
 	ls.waiters = append(ls.waiters, lockWaiter{ch: ch, rank: rank})
 	h.mu.Unlock()
 	<-ch // ownership handed off by release
-	return true
+	return acqGranted
 }
 
 // releaseIfHolder hands mutex idx to the oldest waiter (FIFO) or marks it
@@ -995,6 +1172,16 @@ func (h *Home) applyUpdates(p *peer, msg *wire.Message) error {
 		// writes) but would re-queue spans; skip cleanly.
 		return nil
 	}
+	// Ownership gate, atomic with migration (TransferEntry publishes under
+	// both home mutexes): refuse the WHOLE request before any write lands,
+	// so a partial application can never slip through a stale cache. The
+	// check sits after the replay gate — entries this shard applied while
+	// it owned them stay deduplicated even after they migrate away.
+	for _, cv := range convs {
+		if !h.ownsEntry(cv.span.Entry) {
+			return errNotOwned
+		}
+	}
 	h.dirty = true
 	rep := make([]wire.Update, 0, len(convs))
 	for _, cv := range convs {
@@ -1053,7 +1240,19 @@ func (h *Home) applyUpdates(p *peer, msg *wire.Message) error {
 func (h *Home) peekPending(p *peer) ([]wire.Update, int) {
 	h.mu.Lock()
 	mark := len(h.pending[p.rank])
-	spans := indextable.MergeSpans(append([]indextable.Span(nil), h.pending[p.rank]...))
+	// Entries that migrated away since their spans were queued must not be
+	// materialized from our master copy — the new owner may have applied
+	// newer releases, making ours stale. The new owner queued conservative
+	// full-entry spans for every rank at transfer time, so dropping the
+	// stale ones here loses nothing. The mark still covers the raw prefix:
+	// the drop happens at materialization, never by editing the queue.
+	kept := make([]indextable.Span, 0, mark)
+	for _, s := range h.pending[p.rank] {
+		if h.ownsEntry(s.Entry) {
+			kept = append(kept, s)
+		}
+	}
+	spans := indextable.MergeSpans(kept)
 	if len(spans) == 0 {
 		h.mu.Unlock()
 		return nil, mark
@@ -1219,6 +1418,7 @@ func widenSpans(t *indextable.Table, spans []indextable.Span, threshold float64)
 // fencing epoch so peers can detect a stale incarnation.
 func (h *Home) send(c transport.Conn, m *wire.Message) error {
 	m.Epoch = h.epoch
+	m.Shard = h.opts.Shard
 	start := time.Now()
 	frame, err := wire.Encode(m)
 	if err != nil {

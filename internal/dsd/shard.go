@@ -1,0 +1,112 @@
+package dsd
+
+import (
+	"fmt"
+
+	"hetdsm/internal/convert"
+	"hetdsm/internal/indextable"
+	"hetdsm/internal/wire"
+)
+
+// TransferEntry moves the master copy of one index-table entry from the
+// src shard to the dst shard: the re-homing half of heat-driven migration
+// (internal/dir plans WHEN and WHERE; this executes the move).
+//
+// Both home mutexes are held for the whole transfer, acquired in shard-id
+// order so concurrent transfers cannot deadlock. That makes the move
+// atomic against every release: an in-flight request either lands before
+// the flip (applied at src, its value carried over by the copy) or after
+// (src answers KindDirForward, the sender re-routes to dst). publish is
+// called while both mutexes are held — it must flip the directory mapping
+// and nothing else (no calls back into either home).
+//
+// The copied bytes are converted receiver-makes-right, so shards on
+// different virtual platforms exchange master state the same way threads
+// do. dst queues a conservative full-entry span for every rank it knows,
+// because src's undelivered pending spans for this entry are dropped at
+// materialization from now on; receivers that already had the data apply
+// an idempotent overwrite.
+func TransferEntry(src, dst *Home, entry int, publish func()) error {
+	if src == dst {
+		src.mu.Lock()
+		publish()
+		src.mu.Unlock()
+		return nil
+	}
+	if entry < 0 || entry >= src.table.Len() {
+		return fmt.Errorf("dsd: transfer of entry %d out of range [0,%d)", entry, src.table.Len())
+	}
+	lo, hi := src, dst
+	if lo.opts.Shard > hi.opts.Shard {
+		lo, hi = hi, lo
+	}
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	hi.mu.Lock()
+	defer hi.mu.Unlock()
+
+	e := src.table.Entry(entry)
+	n := src.table.SpanBytes(indextable.Span{Entry: entry, First: 0, Count: e.Count})
+	buf := make([]byte, n)
+	if _, err := src.master.Read(e.Offset, n, buf); err != nil {
+		return err
+	}
+	copt := convert.Options{Ptr: convert.PtrTranslate, Translator: dst.table.Translator(src.table)}
+	data, _, err := convert.ScalarRun(nil, dst.plat, buf, src.plat, e.CType, e.Count, copt)
+	if err != nil {
+		return err
+	}
+	de := dst.table.Entry(entry)
+	if err := dst.master.RawWrite(de.Offset, data); err != nil {
+		return err
+	}
+	dst.dirty = true
+	// Every rank gets the conservative span, connected or not: a rank that
+	// has not (re)registered with dst yet — it may never have touched this
+	// shard, or dst may be a crash-restarted incarnation the rank has not
+	// redialed — must still find the migrated bytes queued when it does.
+	span := indextable.Span{Entry: entry, First: 0, Count: de.Count}
+	for rank := int32(0); rank < int32(dst.nthreads); rank++ {
+		dst.pending[rank] = append(dst.pending[rank], span)
+	}
+	// Make the migrated bytes durable at dst's replicators (WAL, standby)
+	// before the flip: after publish, dst is the only authoritative copy,
+	// and a dst crash-restart must recover it. Rank -1 marks the record as
+	// a transfer, not any thread's release — no watermark advances.
+	dst.repRecord(&wire.Replication{
+		Event: wire.RepUpdate, Rank: -1, Mutex: -1,
+		Updates: []wire.Update{{
+			Entry: int32(entry), First: 0, Count: int32(de.Count), Data: data,
+		}},
+	})
+	// Block until the record is durable (fsynced WAL, streamed standby)
+	// BEFORE the flip: a recorded-but-unflushed transfer is exactly what a
+	// kill -9 loses, and after publish dst holds the only authoritative
+	// copy. repFlush re-acquires h.mu, so walk the replicators directly —
+	// their Flush methods never call back into either home.
+	for _, r := range dst.reps {
+		r.Flush()
+	}
+	publish()
+	return nil
+}
+
+// MigrateLockIf moves mutex idx's ownership to another shard by flipping
+// the directory mapping, but only at a quiescent point: the mutex must be
+// free with no waiters. publish runs under h.mu, atomic with acquire's
+// ownership check — a racing acquire either wins the mutex first (blocking
+// this migration until some later attempt) or arrives after the flip and
+// is answered with a forward. Returns whether the flip happened.
+//
+// Lock state is NOT copied: a free lock has none (no holder, no waiters),
+// so the destination shard materializes it fresh on first acquire.
+func (h *Home) MigrateLockIf(idx int32, publish func()) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ls := h.locks[idx]; ls != nil && (ls.held || len(ls.waiters) > 0) {
+		return false
+	}
+	delete(h.locks, idx)
+	publish()
+	return true
+}

@@ -51,6 +51,9 @@ type Thread struct {
 	// invalid tracks element spans whose local copies are stale under the
 	// invalidate protocol; reads overlapping them fetch from the home.
 	invalid []indextable.Span
+	// heatPrev holds the per-page fault totals already reported to the
+	// home, so each release piggybacks only the window's delta.
+	heatPrev map[int]uint64
 
 	// nw and addr are set by Dial-created threads and enable transparent
 	// home-handoff redirect following; Connect-created threads (raw
@@ -474,6 +477,7 @@ func (t *Thread) Unlock(idx int) error {
 		Platform: t.plat.Name,
 		Base:     t.opts.Base,
 		Updates:  updates,
+		Heat:     t.heatDelta(),
 	}
 	var shipStart time.Time
 	if t.observesReleases() {
@@ -507,6 +511,7 @@ func (t *Thread) Barrier(idx int) error {
 		Platform: t.plat.Name,
 		Base:     t.opts.Base,
 		Updates:  updates,
+		Heat:     t.heatDelta(),
 	}
 	var shipStart time.Time
 	if t.observesReleases() {
@@ -545,6 +550,7 @@ func (t *Thread) Flush() error {
 		Platform: t.plat.Name,
 		Base:     t.opts.Base,
 		Updates:  updates,
+		Heat:     t.heatDelta(),
 	}
 	var shipStart time.Time
 	if t.observesReleases() {
@@ -570,6 +576,7 @@ func (t *Thread) Join() error {
 		Platform: t.plat.Name,
 		Base:     t.opts.Base,
 		Updates:  updates,
+		Heat:     t.heatDelta(),
 	}
 	var shipStart time.Time
 	if t.observesReleases() {
@@ -590,6 +597,29 @@ func (t *Thread) Join() error {
 // rearm restarts the write-detection window after a release point.
 func (t *Thread) rearm() {
 	t.seg.ProtectAll()
+}
+
+// heatDelta snapshots the page-fault counters accrued since the last
+// release message as piggyback samples for the home's heat sink. Shipping
+// deltas (not cumulative totals) lets the sink accumulate across releases
+// without per-thread bookkeeping; a replayed release re-delivers its
+// samples, a harmless overcount for an advisory signal. Returns nil when
+// nothing new trapped, costing the message no bytes.
+func (t *Thread) heatDelta() []wire.HeatSample {
+	r := t.seg.Heat()
+	var out []wire.HeatSample
+	for _, p := range r.Pages {
+		prev := t.heatPrev[p.Page]
+		if p.Faults <= prev {
+			continue
+		}
+		if t.heatPrev == nil {
+			t.heatPrev = make(map[int]uint64)
+		}
+		t.heatPrev[p.Page] = p.Faults
+		out = append(out, wire.HeatSample{Page: int32(p.Page), Faults: uint32(p.Faults - prev)})
+	}
+	return out
 }
 
 // collectUpdates runs the release-side pipeline: twin/diff plus index

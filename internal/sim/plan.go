@@ -49,12 +49,29 @@ const (
 	// same process restarts it from its write-ahead log and every thread
 	// reconnects and replays idempotently.
 	ProfileHomeCrashRestart Profile = "homecrash-restart"
+	// ProfileMigrate runs the multi-home sharded directory (Plan.Shards
+	// homes) and attacks it three ways at once: forced entry re-homings on
+	// a seeded schedule, biased drops of the sharding wire kinds
+	// (sync-req/reply/ack, dir-forward), and a mid-run shard kill+restart
+	// from its write-ahead log right after an entry migrated onto it.
+	ProfileMigrate Profile = "migrate"
 )
 
 // Profiles returns every fault profile, in sweep order.
 func Profiles() []Profile {
 	return []Profile{ProfileClean, ProfileFlaky, ProfilePartition, ProfileFailover,
-		ProfileHandoff, ProfileLostAck, ProfileHomeCrashRestart}
+		ProfileHandoff, ProfileLostAck, ProfileHomeCrashRestart, ProfileMigrate}
+}
+
+// Shardable reports whether the profile composes with Plan.Shards > 1.
+// The rest script single-home fates — failover, handoff, whole-home
+// partitions, the single home's crash-restart.
+func (p Profile) Shardable() bool {
+	switch p {
+	case ProfileClean, ProfileFlaky, ProfileLostAck, ProfileMigrate:
+		return true
+	}
+	return false
 }
 
 // ValidProfile reports whether p names a known profile.
@@ -93,6 +110,12 @@ type Plan struct {
 	// update payload; the run is then expected to FAIL validation. dsmsim
 	// uses it to test the oracle itself.
 	Negative bool
+	// Shards runs the deployment as a multi-home sharded directory with
+	// this many home shards instead of a single home (default 1; the
+	// migrate profile defaults to 4). Only the clean, flaky, lostack and
+	// migrate profiles compose with Shards > 1 — the others script
+	// single-home fates (failover, handoff, whole-home partitions).
+	Shards int
 }
 
 // NewPlan returns the default-shaped plan for a seed, profile and mix.
@@ -114,12 +137,21 @@ func (p Plan) withDefaults() Plan {
 	if p.Steps <= 0 {
 		p.Steps = 25
 	}
+	if p.Shards <= 0 {
+		p.Shards = 1
+	}
+	if p.Profile == ProfileMigrate && p.Shards < 2 {
+		p.Shards = 4
+	}
 	return p
 }
 
 // String is the one-line reproducer printed with every violation.
 func (p Plan) String() string {
 	s := fmt.Sprintf("-seed %d -profile %s -mix %s", p.Seed, p.Profile, p.Mix)
+	if p.Shards > 1 {
+		s += fmt.Sprintf(" -shards %d", p.Shards)
+	}
 	if p.Negative {
 		s += " -negative"
 	}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegressionSeeds replays every plan in testdata/regression-seeds.txt —
+// seeds that once exposed real bugs — and requires each to validate clean.
+// The file is append-only: minimizing a new failure to a seed means adding
+// a line here, so the bug's exact schedule stays under test forever.
+func TestRegressionSeeds(t *testing.T) {
+	plans, err := loadRegressionSeeds(filepath.Join("testdata", "regression-seeds.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("regression-seeds.txt holds no plans")
+	}
+	for _, plan := range plans {
+		plan := plan
+		t.Run(strings.ReplaceAll(strings.TrimPrefix(plan.String(), "-seed "), " -", "_"), func(t *testing.T) {
+			t.Parallel()
+			if res := Run(plan); !res.OK() {
+				t.Errorf("regression seed resurfaced:\n%s", res.Report())
+			}
+		})
+	}
+}
+
+// loadRegressionSeeds parses the append-only seed file: one
+// "<seed> <profile> <mix> <shards>" plan per line, '#' comments ignored.
+func loadRegressionSeeds(path string) ([]Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var plans []Plan
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%s:%d: want \"seed profile mix shards\", got %q", path, line, text)
+		}
+		seed, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad seed %q: %v", path, line, fields[0], err)
+		}
+		profile := Profile(fields[1])
+		if !ValidProfile(profile) {
+			return nil, fmt.Errorf("%s:%d: unknown profile %q", path, line, fields[1])
+		}
+		shards, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad shard count %q: %v", path, line, fields[3], err)
+		}
+		plan := NewPlan(seed, profile, fields[2])
+		plan.Shards = shards
+		plans = append(plans, plan)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return plans, nil
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"hetdsm/internal/check"
+	"hetdsm/internal/dir"
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/platform"
+	"hetdsm/internal/trace"
+	"hetdsm/internal/transport"
+	"hetdsm/internal/vclock"
+	"hetdsm/internal/wire"
+)
+
+// runShardedSim is Run's multi-home branch: the same seeded workload and
+// checker, but the deployment is a dir.Cluster of plan.Shards home shards
+// behind per-thread proxies. The fault network sits on the proxy-to-shard
+// path, where the sharding wire kinds (sync rounds, directory forwards,
+// entry transfers) actually flow.
+//
+// The workload schedule draws from the plan seed exactly as the single-home
+// path does, and the migrate profile's fault schedule draws from a separate
+// stream — so for a fixed seed the canonical trace is identical across
+// profiles, and re-homing an entry is observably value-neutral.
+func runShardedSim(plan Plan, homePlat *platform.Platform, threadPlats []*platform.Platform) Result {
+	res := Result{Plan: plan}
+	rng := rand.New(rand.NewSource(plan.Seed))
+	frng := rand.New(rand.NewSource(plan.Seed ^ 0x5ca1ab1e))
+	clock := vclock.NewVirtual(time.Time{})
+	hist := check.NewHistory()
+	tlog := trace.NewLog(1 << 16)
+	gthv := simGThV(plan.Threads)
+
+	opts := dsd.DefaultOptions()
+	opts.WholeArrayThreshold = 0
+	opts.StickyLocks = true
+	opts.Trace = tlog
+
+	base := transport.NewInproc()
+	var nw transport.Network = base
+	var biased *BiasedNet
+	switch plan.Profile {
+	case ProfileClean:
+	case ProfileFlaky:
+		nw = transport.NewFlakyRand(base, 0.01, plan.Seed)
+	case ProfileLostAck:
+		biased = NewBiasedNet(base, lostAckKinds(plan.Seed), 0.25, plan.Seed)
+		nw = biased
+		res.FaultLog = append(res.FaultLog,
+			fmt.Sprintf("lostack: dropping {%s} frames with p=0.25", biased.Targets()))
+	case ProfileMigrate:
+		biased = NewBiasedNet(base, migrateKinds(plan.Seed), 0.2, plan.Seed)
+		nw = biased
+		res.FaultLog = append(res.FaultLog,
+			fmt.Sprintf("migrate: dropping {%s} frames with p=0.2", biased.Targets()))
+	default:
+		res.Err = fmt.Errorf("sim: profile %q does not compose with -shards %d (want clean, flaky, lostack or migrate)",
+			plan.Profile, plan.Shards)
+		return res
+	}
+
+	var walDir string
+	if plan.Profile == ProfileMigrate {
+		// The mid-run shard kill restarts from a write-ahead log.
+		d, err := os.MkdirTemp("", "dsmsim-shardwal-")
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		defer os.RemoveAll(d)
+		walDir = d
+	}
+	cl, err := dir.NewCluster(gthv, homePlat, plan.Threads, dir.Config{
+		Shards:  plan.Shards,
+		Opts:    opts,
+		Network: nw,
+		WALDir:  walDir,
+		Backoff: transport.Backoff{
+			Base: 200 * time.Microsecond, Max: 5 * time.Millisecond,
+			Factor: 2, Jitter: 0.3, Attempts: 400, Seed: plan.Seed,
+		},
+	})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer cl.Close()
+
+	workers := make([]*worker, plan.Threads)
+	for rank := 0; rank < plan.Threads; rank++ {
+		topts := opts
+		topts.Recorder = hist
+		th, err := cl.NewThread(int32(rank), threadPlats[rank], topts)
+		if err != nil {
+			res.Err = fmt.Errorf("sim: rank %d attach: %w", rank, err)
+			return res
+		}
+		workers[rank] = newWorker(rank, th)
+	}
+
+	entries := cl.Home(0).Table().Len()
+	epoch := clock.Now()
+	logicalNow := func() time.Duration { return clock.Now().Sub(epoch) }
+	faultAt := func(step int) error {
+		defer clock.Advance(time.Millisecond)
+		if plan.Profile != ProfileMigrate {
+			return nil
+		}
+		if step%2 == 1 {
+			entry := frng.Intn(entries)
+			dst := int32(frng.Intn(plan.Shards))
+			if err := cl.ForceMigrate(entry, dst); err != nil {
+				return fmt.Errorf("sim: migrate entry %d to shard %d: %w", entry, dst, err)
+			}
+			res.FaultLog = append(res.FaultLog,
+				fmt.Sprintf("step %d t=%s: migrate entry %d -> shard %d", step, logicalNow(), entry, dst))
+		}
+		if step == plan.Steps/2 {
+			// Land a fresh master copy on the victim, then crash it: the
+			// restart must recover the just-migrated entry from the WAL
+			// record TransferEntry wrote before publishing the flip.
+			victim := frng.Intn(plan.Shards)
+			entry := frng.Intn(entries)
+			if err := cl.ForceMigrate(entry, int32(victim)); err != nil {
+				return fmt.Errorf("sim: migrate entry %d to victim shard %d: %w", entry, victim, err)
+			}
+			if err := cl.RestartShard(victim); err != nil {
+				return fmt.Errorf("sim: restart shard %d: %w", victim, err)
+			}
+			res.FaultLog = append(res.FaultLog,
+				fmt.Sprintf("step %d t=%s: migrate entry %d -> shard %d, kill shard %d, restart from WAL at epoch %d",
+					step, logicalNow(), entry, victim, victim, cl.Home(victim).Epoch()))
+		}
+		return nil
+	}
+
+	d := &driver{rng: rng, workers: workers, faultAt: faultAt}
+	runErr := d.run(plan.Steps)
+	for _, w := range workers {
+		w.shutdown()
+	}
+	if runErr != nil {
+		res.Err = runErr
+		return res
+	}
+	cl.Wait()
+
+	for _, w := range workers {
+		res.Reconnects += w.th.Reconnects()
+	}
+	if biased != nil {
+		res.FaultLog = append(res.FaultLog,
+			fmt.Sprintf("%s: dropped %d frames", plan.Profile, biased.Drops()))
+	}
+
+	events := hist.Events()
+	res.Events = len(events)
+	res.Canonical = check.Canonical(events)
+	g, err := cl.MergedGlobals()
+	if err != nil {
+		res.Err = fmt.Errorf("sim: stitching master image: %w", err)
+		return res
+	}
+	vs := check.Validate(events, plan.Threads)
+	vs = append(vs, compareMaster(g, events, plan.Threads)...)
+	vs = append(vs, check.CrossCheckTrace(events, tlog)...)
+	vs = append(vs, roundTripViolations(events, homePlat, threadPlats)...)
+	res.Violations = vs
+	return res
+}
+
+// migrateKinds picks the seed's drop-target set among the sharding wire
+// kinds, so a sweep isolates each leg of the proxy/shard protocol: sync
+// requests, sync replies, drain acks, and directory forwards.
+func migrateKinds(seed int64) []wire.Kind {
+	sets := [][]wire.Kind{
+		{wire.KindSyncReply},
+		{wire.KindSyncAck},
+		{wire.KindDirForward},
+		{wire.KindSyncReq, wire.KindDirForward},
+		{wire.KindSyncReply, wire.KindSyncAck},
+	}
+	i := int(seed % int64(len(sets)))
+	if i < 0 {
+		i += len(sets)
+	}
+	return sets[i]
+}

@@ -102,6 +102,9 @@ func Run(plan Plan) Result {
 		res.Err = fmt.Errorf("sim: negative mode requires the clean profile, got %q", plan.Profile)
 		return res
 	}
+	if plan.Shards > 1 {
+		return runShardedSim(plan, homePlat, threadPlats)
+	}
 
 	rng := rand.New(rand.NewSource(plan.Seed))
 	clock := vclock.NewVirtual(time.Time{})
@@ -390,18 +393,18 @@ func Run(plan Plan) Result {
 	res.Events = len(events)
 	res.Canonical = check.Canonical(events)
 	vs := check.Validate(events, plan.Threads)
-	vs = append(vs, compareMaster(finalHome, events, plan.Threads)...)
+	vs = append(vs, compareMaster(finalHome.Globals(), events, plan.Threads)...)
 	vs = append(vs, check.CrossCheckTrace(events, tlog)...)
 	vs = append(vs, roundTripViolations(events, homePlat, threadPlats)...)
 	res.Violations = vs
 	return res
 }
 
-// compareMaster checks the home's final master state cell-by-cell against
-// the model's committed state.
-func compareMaster(home *dsd.Home, events []check.Event, nthreads int) []check.Violation {
+// compareMaster checks the final master state (a single home's globals, or
+// the sharded directory's stitched image) cell-by-cell against the model's
+// committed state.
+func compareMaster(g *dsd.Globals, events []check.Event, nthreads int) []check.Violation {
 	model := check.FinalState(events)
-	g := home.Globals()
 	var out []check.Violation
 	for _, spec := range []struct {
 		name string

@@ -75,6 +75,22 @@ const (
 	KindReplicate
 	// KindReplicateAck acknowledges a replication record by its Rep.Seq.
 	KindReplicateAck
+	// KindSyncReq asks a home shard for the sender's outstanding pending
+	// updates outside any lock or barrier. The sharded directory's proxy
+	// sends it to every non-granting shard after an acquire, so a grant
+	// gathers updates from all owners, not just the lock's.
+	KindSyncReq
+	// KindSyncReply carries the requested pending updates.
+	KindSyncReply
+	// KindSyncAck confirms a sync reply was applied; the shard drains the
+	// peeked pending prefix only on the ack (same receipt discipline as
+	// lock grants).
+	KindSyncAck
+	// KindDirForward answers a request that hit a shard which no longer
+	// owns the touched entries (or lock): Dir carries the corrected
+	// entry→shard mappings from the authoritative directory, so a stale
+	// client cache chases at most one hop before re-sending.
+	KindDirForward
 	numKinds
 )
 
@@ -91,6 +107,8 @@ var kindNames = [...]string{
 	KindFetchReq: "fetch-req", KindFetchReply: "fetch-reply",
 	KindPing: "ping", KindPong: "pong",
 	KindReplicate: "replicate", KindReplicateAck: "replicate-ack",
+	KindSyncReq: "sync-req", KindSyncReply: "sync-reply", KindSyncAck: "sync-ack",
+	KindDirForward: "dir-forward",
 }
 
 // String returns the protocol name of the kind.
@@ -114,6 +132,32 @@ type Update struct {
 	Tag string
 	// Data holds Count elements in the sender's byte representation.
 	Data []byte
+}
+
+// DirEntry is one directory mapping: an index-table entry (or, with Lock
+// set, a mutex index) and the shard that currently owns it. KindDirForward
+// replies carry the authoritative mappings for everything a misdelivered
+// request touched; Ver orders corrections so a late forward cannot roll a
+// client cache back to an older owner.
+type DirEntry struct {
+	// Object is the index-table entry id, or the mutex index when Lock.
+	Object int32
+	// Lock marks a mutex mapping rather than an entry mapping.
+	Lock bool
+	// Shard is the owning shard id.
+	Shard int32
+	// Ver is the directory version of this mapping (bumped per migration).
+	Ver uint64
+}
+
+// HeatSample is one page's write-trap activity since the sender's previous
+// release: threads piggyback their vmem heat deltas on release messages so
+// home shards can aggregate cluster-wide page heat and drive re-homing.
+type HeatSample struct {
+	// Page is the page index within the GThV segment.
+	Page int32
+	// Faults is the number of write traps the page took in the window.
+	Faults uint32
 }
 
 // ThreadState is a captured MigThread state in portable form: the logical
@@ -269,6 +313,15 @@ type Message struct {
 	// Rep carries the replication payload on KindReplicate and the acked
 	// sequence number on KindReplicateAck.
 	Rep *Replication
+	// Shard is the sending shard's id in a multi-home directory
+	// deployment; -1 (or 0 in single-home runs, where it is never read)
+	// when not applicable.
+	Shard int32
+	// Dir carries corrected directory mappings on KindDirForward.
+	Dir []DirEntry
+	// Heat carries the sender's page-fault deltas since its previous
+	// release; home shards aggregate them for heat-driven re-homing.
+	Heat []HeatSample
 }
 
 // FlagWarmReplica marks a Hello from a thread whose replica is already
@@ -321,6 +374,23 @@ func Encode(m *Message) ([]byte, error) {
 		buf = appendRep(buf, m.Rep)
 	} else {
 		buf = append(buf, 0)
+	}
+	buf = be32(buf, uint32(m.Shard))
+	buf = be32(buf, uint32(len(m.Dir)))
+	for _, de := range m.Dir {
+		buf = be32(buf, uint32(de.Object))
+		if de.Lock {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = be32(buf, uint32(de.Shard))
+		buf = be64(buf, de.Ver)
+	}
+	buf = be32(buf, uint32(len(m.Heat)))
+	for _, hs := range m.Heat {
+		buf = be32(buf, uint32(hs.Page))
+		buf = be32(buf, hs.Faults)
 	}
 	return buf, nil
 }
@@ -446,6 +516,29 @@ func Decode(b []byte) (*Message, error) {
 			return nil, err
 		}
 		m.Rep = r
+	}
+	m.Shard = int32(d.u32())
+	if n := int(d.u32()); d.err == nil && n > 0 {
+		if n > maxRepEntries {
+			return nil, fmt.Errorf("wire: implausible dir-entry count %d", n)
+		}
+		m.Dir = make([]DirEntry, n)
+		for i := range m.Dir {
+			m.Dir[i].Object = int32(d.u32())
+			m.Dir[i].Lock = d.u8() == 1
+			m.Dir[i].Shard = int32(d.u32())
+			m.Dir[i].Ver = d.u64()
+		}
+	}
+	if n := int(d.u32()); d.err == nil && n > 0 {
+		if n > maxRepEntries {
+			return nil, fmt.Errorf("wire: implausible heat-sample count %d", n)
+		}
+		m.Heat = make([]HeatSample, n)
+		for i := range m.Heat {
+			m.Heat[i].Page = int32(d.u32())
+			m.Heat[i].Faults = d.u32()
+		}
 	}
 	if d.err != nil {
 		return nil, d.err
