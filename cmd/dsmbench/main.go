@@ -45,6 +45,9 @@ func main() {
 		shardFlag = flag.Bool("sharding", false, "run the 1-vs-N-shard benchmark and write the baseline file")
 		shardOut  = flag.String("sharding-out", "BENCH_sharding.json", "output path for -sharding")
 		shardChk  = flag.String("sharding-check", "", "re-run the sharding suite and fail on >10% Cshare regression vs this baseline file")
+		traceFlag = flag.Bool("tracing", false, "measure tracing/flight-recorder overhead and write the budget file")
+		traceOut  = flag.String("tracing-out", "BENCH_tracing.json", "output path for -tracing")
+		traceChk  = flag.String("tracing-check", "", "re-measure tracing overhead and fail if the disabled path exceeds 2% vs this baseline file")
 	)
 	flag.Parse()
 
@@ -90,6 +93,10 @@ func main() {
 		h.sharding(*shardOut)
 	case *shardChk != "":
 		h.shardingCheck(*shardChk)
+	case *traceFlag:
+		h.tracing(*traceOut)
+	case *traceChk != "":
+		h.tracingCheck(*traceChk)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -57,6 +57,7 @@ import (
 	"hetdsm/internal/apps"
 	"hetdsm/internal/dir"
 	"hetdsm/internal/dsd"
+	"hetdsm/internal/flight"
 	"hetdsm/internal/ha"
 	"hetdsm/internal/platform"
 	"hetdsm/internal/stats"
@@ -103,6 +104,14 @@ func main() {
 	}
 
 	kit := telemetry.NewKit(*metrics, *traceOut, *spanOut)
+	// Black-box flight recorder: dumped to stderr on fencing, WAL
+	// crash-recovery, or SIGQUIT (which then re-raises for the usual core).
+	flightRec = flight.New(4096)
+	flightRec.OnTrip(func(reason string, events []flight.Event) {
+		_ = flight.Format(os.Stderr, reason, events)
+	})
+	flight.Register(flightRec)
+	flight.InstallSIGQUIT(os.Stderr)
 	switch *role {
 	case "home":
 		if *shards > 1 {
@@ -123,11 +132,16 @@ func main() {
 	}
 }
 
+// flightRec is the process-wide black-box recorder, built in main before
+// any role runs.
+var flightRec *flight.Recorder
+
 // nodeOptions is DefaultOptions with the kit's telemetry sinks attached.
 func nodeOptions(kit *telemetry.Kit) dsd.Options {
 	opts := dsd.DefaultOptions()
 	opts.Metrics = kit.Registry()
 	opts.Spans = kit.Spans()
+	opts.Flight = flightRec
 	if t := kit.TraceLog(); t != nil {
 		opts.Trace = t
 	}
@@ -181,7 +195,8 @@ func runHome(listen, backupAddr, walDir string, plat *platform.Platform, gthv ta
 	var home *dsd.Home
 	var err error
 	if walDir != "" {
-		wlog, err = wal.Open(wal.Options{Dir: walDir, GThV: gthv, Metrics: kit.Registry()})
+		wlog, err = wal.Open(wal.Options{Dir: walDir, GThV: gthv, Metrics: kit.Registry(),
+			Spans: kit.Spans(), Node: "wal", Flight: flightRec})
 		if err != nil {
 			fail(err)
 		}
@@ -227,6 +242,8 @@ func runHome(listen, backupAddr, walDir string, plat *platform.Platform, gthv ta
 			fail(fmt.Errorf("dialing standby %s: %w", backupAddr, err))
 		}
 		repl := ha.NewReplicator(conn, counters)
+		repl.Spans = kit.Spans()
+		repl.Node = "replicator"
 		defer repl.Close()
 		if err := home.StartReplication(repl); err != nil {
 			fail(err)
@@ -331,9 +348,13 @@ func runShardedHome(listen, walDir string, shards int, migThresh uint64, plat *p
 	statsFn := func() map[string]any {
 		var agg stats.Breakdown
 		doc := map[string]any{}
+		fenced := 0
 		for i := 0; i < cl.Shards(); i++ {
 			h := cl.Home(i)
 			agg.Merge(h.Stats())
+			if h.Fenced() {
+				fenced++
+			}
 			doc[fmt.Sprintf("shard%d", i)] = map[string]any{
 				"stats":  h.Stats().Map(),
 				"epoch":  h.Epoch(),
@@ -345,7 +366,24 @@ func runShardedHome(listen, walDir string, shards int, migThresh uint64, plat *p
 			doc["thread0"] = th.Stats().Map()
 		}
 		doc["agg"] = agg.Map()
-		doc["dir"] = cl.Stats()
+		ds := cl.Stats()
+		doc["dir"] = ds
+		// Merged cluster view: one section with the whole deployment's
+		// health — aggregated Eq. 1 breakdown, the dsm_dir_* counter
+		// totals, shard epochs/fencing, and the heat leaderboard — so an
+		// operator reads cluster state without walking per-shard sections.
+		doc["cluster"] = map[string]any{
+			"shards":           ds.Shards,
+			"shard_epochs":     ds.ShardEpochs,
+			"fenced_shards":    fenced,
+			"breakdown":        agg.Map(),
+			"migrations":       ds.Migrations,
+			"lock_migrations":  ds.LockMigrations,
+			"forwards":         ds.Forwards,
+			"stale_cache_hits": ds.StaleCacheHits,
+			"sync_rounds":      ds.SyncRounds,
+			"heat_leaders":     ds.HeatLeaders,
+		}
 		return doc
 	}
 	var heatFn func() any

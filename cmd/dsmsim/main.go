@@ -12,7 +12,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +33,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "home shard count (0 = profile default: 1, or 4 for migrate)")
 		negative = flag.Bool("negative", false, "corrupt wire frames and require the checker to notice")
 		replay   = flag.Int64("replay", -1, "replay one seed (with -profile/-mix) and verify byte-identical traces")
+		spansOut = flag.String("spans-out", "", "with -replay: write the run's release spans as JSONL (dsmtrace -spans input)")
 		out      = flag.String("out", "", "directory for violation-report artifacts")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 		verbose  = flag.Bool("v", false, "print every run, not just failures")
@@ -55,7 +58,7 @@ func main() {
 	}
 
 	if *replay >= 0 {
-		os.Exit(replayOne(*replay, profiles, mixes, *negative, *shards, *out))
+		os.Exit(replayOne(*replay, profiles, mixes, *negative, *shards, *out, *spansOut))
 	}
 
 	plans := make([]sim.Plan, 0, *seeds*len(profiles)*len(mixes))
@@ -160,13 +163,20 @@ func sweep(plans []sim.Plan, negative bool, workers int, verbose bool, out strin
 
 // replayOne runs a single plan twice and verifies the byte-identical
 // canonical-trace guarantee, printing the full report.
-func replayOne(seed int64, profiles []sim.Profile, mixes []string, negative bool, shards int, out string) int {
+func replayOne(seed int64, profiles []sim.Profile, mixes []string, negative bool, shards int, out, spansOut string) int {
 	plan := sim.NewPlan(seed, profiles[0], mixes[0])
 	plan.Negative = negative
 	plan.Shards = shards
 	a := sim.Run(plan)
 	fmt.Print(a.Report())
 	saveArtifact(out, a)
+	if spansOut != "" {
+		if err := writeSpansJSONL(spansOut, a); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmsim: -spans-out: %v\n", err)
+			return 1
+		}
+		fmt.Printf("spans: wrote %d to %s\n", len(a.Spans), spansOut)
+	}
 	b := sim.Run(plan)
 	if !bytes.Equal(a.Canonical, b.Canonical) {
 		fmt.Printf("REPLAY DIVERGED: second run of %s produced a different canonical trace\n", plan)
@@ -198,4 +208,33 @@ func saveArtifact(dir string, res sim.Result) {
 	if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(report), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "dsmsim: artifact %s: %v\n", name, err)
 	}
+	// The black-box flight dump rides along as its own artifact so a CI
+	// failure ships the protocol-event tail even without the full report.
+	if res.FlightDump != "" {
+		if err := os.WriteFile(filepath.Join(dir, name+"-flight.txt"), []byte(res.FlightDump), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmsim: flight artifact %s: %v\n", name, err)
+		}
+	}
+}
+
+// writeSpansJSONL exports a run's spans one JSON object per line — the
+// same shape a node's /spans endpoint streams, so dsmtrace consumes both.
+func writeSpansJSONL(path string, res sim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for i := range res.Spans {
+		if err := enc.Encode(&res.Spans[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hetdsm/internal/platform"
+	"hetdsm/internal/telemetry"
 	"hetdsm/internal/transport"
 	"hetdsm/internal/wire"
 )
@@ -45,6 +46,14 @@ type proxy struct {
 	maxEpoch uint64
 	seq      uint64
 
+	// traceID and parentSpan hold the trace context of the thread op in
+	// flight; the proxy is single-threaded per op, so stamping them on
+	// every shard-bound frame needs no locking. node labels the proxy's
+	// own forward spans.
+	traceID    uint64
+	parentSpan uint64
+	node       string
+
 	threadPlat  string
 	threadBase  uint64
 	threadFlags uint8
@@ -78,6 +87,10 @@ func (cl *Cluster) serveProxy(c transport.Conn) {
 		if err != nil {
 			return
 		}
+		// Adopt the op's trace context: every shard-bound frame the op
+		// spawns (splits, gathers, syncs) inherits it, so the whole fan-out
+		// stitches under the thread's one trace id.
+		px.traceID, px.parentSpan = msg.TraceID, msg.ParentSpan
 		px.noteHeat(msg)
 		switch msg.Kind {
 		case wire.KindLockReq:
@@ -251,6 +264,9 @@ func recvMsg(c transport.Conn) (*wire.Message, error) {
 
 func (px *proxy) sendShard(i int, m *wire.Message) error {
 	m.Epoch = px.epochs[i]
+	if m.TraceID == 0 {
+		m.TraceID, m.ParentSpan = px.traceID, px.parentSpan
+	}
 	frame, err := wire.Encode(m)
 	if err != nil {
 		return err
@@ -306,6 +322,20 @@ func (px *proxy) callShard(i int, m *wire.Message, want wire.Kind) (*wire.Messag
 func (px *proxy) noteForward(reply *wire.Message) {
 	changed := px.cache.correct(reply.Dir)
 	px.cl.noteForward(changed)
+	if sl := px.cl.cfg.Opts.Spans; sl != nil && px.traceID != 0 {
+		// The wasted hop becomes a forward span on the release's DAG,
+		// parented to the thread's ship span like the home-side chain.
+		sl.RecordCtx(px.nodeName(), telemetry.StageForward, px.rank, 0,
+			px.traceID, px.parentSpan, time.Now(), 0, len(reply.Dir))
+	}
+}
+
+// nodeName labels this proxy's spans.
+func (px *proxy) nodeName() string {
+	if px.node == "" {
+		px.node = fmt.Sprintf("proxy-%d@dir", px.rank)
+	}
+	return px.node
 }
 
 // noteHeat strips piggybacked page-heat samples off a thread request and

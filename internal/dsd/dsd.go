@@ -27,6 +27,7 @@ package dsd
 import (
 	"fmt"
 
+	"hetdsm/internal/flight"
 	"hetdsm/internal/telemetry"
 	"hetdsm/internal/trace"
 	"hetdsm/internal/vmem"
@@ -66,7 +67,14 @@ type Options struct {
 	// stage — index, tag, pack, ship on the sender; unpack, conv, apply
 	// at the home — is recorded against it, so sender-side and home-side
 	// rings merge into a cross-node timeline (telemetry.MergeTimeline).
+	// With spans enabled, threads additionally mint a TraceID per
+	// release and stamp it (plus the ship span's id) on the wire, so the
+	// merged timeline is a causal DAG stitched by ids.
 	Spans *telemetry.SpanLog
+	// Flight, when non-nil, is the black-box flight recorder: grants,
+	// fences, epoch adoptions and restarts are noted into its fixed ring
+	// and dumped on fencing, crash-restart or SIGQUIT. nil disables it.
+	Flight *flight.Recorder
 	// Protocol selects how the home propagates remote modifications. It
 	// is a home-side setting: threads adopt the home's protocol at
 	// registration.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hetdsm/internal/convert"
+	"hetdsm/internal/flight"
 	"hetdsm/internal/indextable"
 	"hetdsm/internal/platform"
 	"hetdsm/internal/stats"
@@ -564,6 +565,10 @@ func (h *Home) fence(newer uint64) {
 	}
 	h.opts.Trace.Record(h.node, trace.KindDetach, -1, -1, 0,
 		fmt.Sprintf("fenced: saw epoch %d, own epoch %d", newer, h.epoch))
+	// Fencing is a black-box moment: note it and dump the flight ring so
+	// the post-mortem shows the protocol events that led here.
+	h.opts.Flight.Note(h.node, flight.KindFence, -1, newer, h.epoch)
+	h.opts.Flight.Trip(fmt.Sprintf("%s fenced: saw epoch %d, own epoch %d", h.node, newer, h.epoch))
 	h.Kill()
 }
 
@@ -649,6 +654,7 @@ func (h *Home) handleLock(c transport.Conn, p *peer, msg *wire.Message) error {
 	h.repFlush()
 	updates, mark := h.peekPending(p)
 	h.opts.Trace.Record(h.node, trace.KindLockGrant, p.rank, msg.Mutex, wire.UpdateBytes(updates), "")
+	h.opts.Flight.Note(h.node, flight.KindGrant, p.rank, uint64(uint32(msg.Mutex)), h.epoch)
 	if err := h.send(c, &wire.Message{
 		Kind:     wire.KindLockGrant,
 		Mutex:    msg.Mutex,
@@ -1151,7 +1157,8 @@ func (h *Home) applyUpdates(p *peer, msg *wire.Message) error {
 	convDur := time.Since(start)
 	h.bd.AddBytes(stats.Conv, convDur, convBytes)
 	if h.opts.Spans != nil && msg.Seq != 0 {
-		h.opts.Spans.Record(h.node, telemetry.StageConv, p.rank, msg.Seq, start, convDur, convBytes)
+		h.opts.Spans.RecordCtx(h.node, telemetry.StageConv, p.rank, msg.Seq, msg.TraceID,
+			telemetry.SpanID(msg.TraceID, h.node, telemetry.StageUnpack, p.rank), start, convDur, convBytes)
 	}
 
 	var applyStart time.Time
@@ -1218,13 +1225,18 @@ func (h *Home) applyUpdates(p *peer, msg *wire.Message) error {
 		Event: wire.RepUpdate, Rank: p.rank, Mutex: -1,
 		Updates: rep,
 		Applied: []wire.RepPair{{Rank: p.rank, Seq: msg.Seq}},
+		// Carry the release's trace context onto the durability tail: the
+		// WAL fsync and standby-replication spans parent to our apply span.
+		TraceID:    msg.TraceID,
+		ParentSpan: telemetry.SpanID(msg.TraceID, h.node, telemetry.StageApply, p.rank),
 	})
 	if h.hm.enabled {
 		h.hm.applies.Inc()
 		h.hm.applyBytes.Observe(float64(convBytes))
 	}
 	if h.opts.Spans != nil && msg.Seq != 0 {
-		h.opts.Spans.Record(h.node, telemetry.StageApply, p.rank, msg.Seq, applyStart, time.Since(applyStart), convBytes)
+		h.opts.Spans.RecordCtx(h.node, telemetry.StageApply, p.rank, msg.Seq, msg.TraceID,
+			telemetry.SpanID(msg.TraceID, h.node, telemetry.StageConv, p.rank), applyStart, time.Since(applyStart), convBytes)
 	}
 	return nil
 }
@@ -1446,7 +1458,9 @@ func (h *Home) recv(c transport.Conn) (*wire.Message, error) {
 	unpackDur := time.Since(start)
 	h.bd.AddBytes(stats.Unpack, unpackDur, wire.UpdateBytes(m.Updates))
 	if h.opts.Spans != nil && m.Seq != 0 && len(m.Updates) > 0 {
-		h.opts.Spans.Record(h.node, telemetry.StageUnpack, m.Rank, m.Seq, start, unpackDur, wire.UpdateBytes(m.Updates))
+		// Parent to the sender's ship span, carried on the frame; the rest
+		// of the home-side chain (conv, apply) hangs off this span.
+		h.opts.Spans.RecordCtx(h.node, telemetry.StageUnpack, m.Rank, m.Seq, m.TraceID, m.ParentSpan, start, unpackDur, wire.UpdateBytes(m.Updates))
 	}
 	return m, nil
 }

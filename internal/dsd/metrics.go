@@ -75,20 +75,26 @@ type relStages struct {
 	bytes      int
 }
 
-// emitReleaseSpans records the sender-side spans of one release. seq is
-// the request id the send stamped; ship covers send-to-ack.
-func (t *Thread) emitReleaseSpans(seq uint64, st relStages, shipStart time.Time, shipDur time.Duration) {
+// emitReleaseSpans records the sender-side spans of one release, chained
+// index → tag → pack → ship under the message's trace id; the ship span's
+// id equals the ParentSpan the send stamped on the wire, so receiver-side
+// spans attach to it without any id exchange.
+func (t *Thread) emitReleaseSpans(m *wire.Message, st relStages, shipStart time.Time, shipDur time.Duration) {
 	sl := t.opts.Spans
-	if sl == nil || seq == 0 {
+	if sl == nil || m.Seq == 0 {
 		return
 	}
 	node := t.traceName()
-	sl.Record(node, telemetry.StageIndex, t.rank, seq, st.indexStart, st.indexDur, 0)
+	tid := m.TraceID
+	sl.RecordCtx(node, telemetry.StageIndex, t.rank, m.Seq, tid, 0, st.indexStart, st.indexDur, 0)
+	parent := telemetry.SpanID(tid, node, telemetry.StageIndex, t.rank)
 	if !st.tagStart.IsZero() {
-		sl.Record(node, telemetry.StageTag, t.rank, seq, st.tagStart, st.tagDur, 0)
-		sl.Record(node, telemetry.StagePack, t.rank, seq, st.packStart, st.packDur, st.bytes)
+		sl.RecordCtx(node, telemetry.StageTag, t.rank, m.Seq, tid, parent, st.tagStart, st.tagDur, 0)
+		parent = telemetry.SpanID(tid, node, telemetry.StageTag, t.rank)
+		sl.RecordCtx(node, telemetry.StagePack, t.rank, m.Seq, tid, parent, st.packStart, st.packDur, st.bytes)
+		parent = telemetry.SpanID(tid, node, telemetry.StagePack, t.rank)
 	}
-	sl.Record(node, telemetry.StageShip, t.rank, seq, shipStart, shipDur, st.bytes)
+	sl.RecordCtx(node, telemetry.StageShip, t.rank, m.Seq, tid, parent, shipStart, shipDur, st.bytes)
 }
 
 // observesReleases reports whether the thread wants release round-trip
@@ -103,5 +109,5 @@ func (t *Thread) finishRelease(m *wire.Message, st relStages, shipStart time.Tim
 	t.tm.releases.Inc()
 	t.tm.releaseRTT.Observe(d.Seconds())
 	t.tm.diffBytes.Observe(float64(st.bytes))
-	t.emitReleaseSpans(m.Seq, st, shipStart, d)
+	t.emitReleaseSpans(m, st, shipStart, d)
 }

@@ -6,10 +6,12 @@ import (
 	"time"
 
 	"hetdsm/internal/convert"
+	"hetdsm/internal/flight"
 	"hetdsm/internal/indextable"
 	"hetdsm/internal/platform"
 	"hetdsm/internal/stats"
 	"hetdsm/internal/tag"
+	"hetdsm/internal/telemetry"
 	"hetdsm/internal/trace"
 	"hetdsm/internal/transport"
 	"hetdsm/internal/vmem"
@@ -526,7 +528,7 @@ func (t *Thread) Barrier(idx int) error {
 		t.tm.barriers.Inc()
 		t.tm.barrierWait.Observe(d.Seconds())
 		t.tm.diffBytes.Observe(float64(st.bytes))
-		t.emitReleaseSpans(m.Seq, st, shipStart, d)
+		t.emitReleaseSpans(m, st, shipStart, d)
 	}
 	if err := t.applyIncoming(release); err != nil {
 		return err
@@ -748,6 +750,14 @@ func (t *Thread) send(m *wire.Message) error {
 func (t *Thread) sendOn(c transport.Conn, m *wire.Message) error {
 	if m.Seq == 0 {
 		m.Seq = t.seq.Add(1)
+		if t.opts.Spans != nil && m.TraceID == 0 {
+			// Mint the causal trace context exactly once, alongside the
+			// sequence number: a replayed request keeps its trace identity,
+			// and the receiver parents its spans to our ship span without
+			// the id ever being negotiated.
+			m.TraceID = telemetry.NewTraceID(t.rank)
+			m.ParentSpan = telemetry.SpanID(m.TraceID, t.traceName(), telemetry.StageShip, t.rank)
+		}
 	}
 	// Echo the adopted epoch: a stale home that receives a frame stamped
 	// with a higher epoch fences itself.
@@ -787,6 +797,7 @@ func (t *Thread) recvOn(c transport.Conn) (*wire.Message, error) {
 		return nil, fmt.Errorf("dsd: frame from stale epoch %d, already saw %d", m.Epoch, t.homeEpoch)
 	}
 	if m.Epoch > t.homeEpoch {
+		t.opts.Flight.Note(t.traceName(), flight.KindEpochAdopt, t.rank, m.Epoch, t.homeEpoch)
 		t.homeEpoch = m.Epoch
 	}
 	return m, nil

@@ -1,0 +1,232 @@
+// Package flight is the cluster's black box: a fixed-size, near-zero-
+// overhead per-process ring of protocol-defining events (grants, fences,
+// epoch adoptions, migrations, drops, restarts). Recording one event is a
+// mutex-guarded struct store into a preallocated slot — no allocation, no
+// formatting, no I/O — so the recorder can stay on even in benchmarked
+// hot paths; a nil *Recorder is a valid disabled sink.
+//
+// The ring is only ever read when something went wrong: a home fences
+// itself, a crash-restart recovers a shard, the release-consistency
+// checker flags a violation, or an operator sends SIGQUIT. Trip formats
+// the retained tail and hands it to the configured sink, so every
+// violation artifact and post-mortem comes with the last protocol events
+// that led up to it.
+package flight
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind discriminates recorded protocol events.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero value; never recorded.
+	KindInvalid Kind = iota
+	// KindGrant is a lock grant: Rank received mutex A under epoch B.
+	KindGrant
+	// KindRelease is an unlock/barrier/flush acknowledged: Rank's release
+	// of mutex A carried B payload bytes.
+	KindRelease
+	// KindFence is a home fencing itself: it saw frame epoch A while
+	// serving epoch B.
+	KindFence
+	// KindEpochAdopt is a client adopting a higher epoch A (was B).
+	KindEpochAdopt
+	// KindMigrate is a page/lock re-homing: object A moved to shard B
+	// (Rank holds the source shard).
+	KindMigrate
+	// KindRestart is a shard/home incarnation change: shard Rank restarted
+	// into epoch A having replayed B WAL records.
+	KindRestart
+	// KindDrop is a fault-injected or observed frame loss: wire kind A on
+	// Rank's connection, B bytes.
+	KindDrop
+	// KindPromote is a standby promotion to primary under epoch A.
+	KindPromote
+	// KindViolation is a checker violation being attached; A indexes the
+	// violation within the run.
+	KindViolation
+)
+
+var kindNames = [...]string{
+	KindInvalid:    "invalid",
+	KindGrant:      "grant",
+	KindRelease:    "release",
+	KindFence:      "fence",
+	KindEpochAdopt: "epoch-adopt",
+	KindMigrate:    "migrate",
+	KindRestart:    "restart",
+	KindDrop:       "drop",
+	KindPromote:    "promote",
+	KindViolation:  "violation",
+}
+
+// String names the kind for dumps.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("flight-kind-%d", uint8(k))
+}
+
+// Event is one fixed-size ring slot. Node is a pointer copy of an
+// interned per-component string, so recording never allocates.
+type Event struct {
+	// At is the event wall-clock time in Unix nanoseconds.
+	At int64
+	// Node names the recording component ("shard1@linux-x86", "rank-0@…").
+	Node string
+	// Kind discriminates the event.
+	Kind Kind
+	// Rank is the involved thread or shard id; -1 when not applicable.
+	Rank int32
+	// A and B are kind-specific operands (mutex, epoch, object, bytes…).
+	A, B uint64
+}
+
+// Recorder is the fixed-capacity ring. Construct with New; a nil
+// *Recorder is a valid disabled recorder for every method.
+type Recorder struct {
+	capa int
+	mu   sync.Mutex
+	buf  []Event // preallocated to capa at construction
+	next uint64  // total events ever recorded
+	trip func(reason string, events []Event)
+}
+
+// New returns a recorder retaining the last capacity events (default
+// 1024 when capacity <= 0). Slots are preallocated; Note never grows the
+// ring.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{capa: capacity, buf: make([]Event, capacity)}
+}
+
+// OnTrip installs the dump sink invoked by Trip with the formatted
+// reason and a snapshot of the retained events. No-op on nil.
+func (r *Recorder) OnTrip(fn func(reason string, events []Event)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.trip = fn
+	r.mu.Unlock()
+}
+
+// Note records one event; no-op on a nil receiver. The hot path is one
+// mutex-guarded struct store into a preallocated slot.
+func (r *Recorder) Note(node string, kind Kind, rank int32, a, b uint64) {
+	if r == nil {
+		return
+	}
+	at := time.Now().UnixNano()
+	r.mu.Lock()
+	slot := &r.buf[int(r.next)%r.capa]
+	slot.At = at
+	slot.Node = node
+	slot.Kind = kind
+	slot.Rank = rank
+	slot.A = a
+	slot.B = b
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained events (0 on nil).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(r.capa) {
+		return int(r.next)
+	}
+	return r.capa
+}
+
+// Total returns the number of events ever recorded (0 on nil).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns the retained events oldest-first (nil on nil).
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, r.capa)
+	r.mu.Lock()
+	if r.next < uint64(r.capa) {
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		start := int(r.next) % r.capa
+		out = append(out, r.buf[start:]...)
+		out = append(out, r.buf[:start]...)
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Trip snapshots the ring and hands it to the OnTrip sink (if any). It
+// is called on fencing, crash-restart recovery, checker violations and
+// SIGQUIT — the moments the black box exists for.
+func (r *Recorder) Trip(reason string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	fn := r.trip
+	r.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	fn(reason, r.Snapshot())
+}
+
+// Dump writes the retained events as a human-readable post-mortem.
+func (r *Recorder) Dump(w io.Writer, reason string) error {
+	return Format(w, reason, r.Snapshot())
+}
+
+// String returns the dump as a string (empty on nil).
+func (r *Recorder) String() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	_ = r.Dump(&sb, "")
+	return sb.String()
+}
+
+// Format writes one flight-recorder dump: a header line and one line per
+// event, oldest first.
+func Format(w io.Writer, reason string, events []Event) error {
+	if reason == "" {
+		reason = "snapshot"
+	}
+	if _, err := fmt.Fprintf(w, "--- flight recorder (%s, %d events) ---\n", reason, len(events)); err != nil {
+		return err
+	}
+	for i := range events {
+		e := &events[i]
+		if _, err := fmt.Fprintf(w, "%s %-12s node=%s rank=%d a=%d b=%d\n",
+			time.Unix(0, e.At).UTC().Format("15:04:05.000000"),
+			e.Kind, e.Node, e.Rank, e.A, e.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}

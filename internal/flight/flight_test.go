@@ -1,0 +1,102 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRingWrap pins the black-box property: the recorder keeps exactly
+// the last capacity events, oldest first, and counts the total honestly.
+func TestRingWrap(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 6; i++ {
+		r.Note("n", KindGrant, int32(i), uint64(i), 0)
+	}
+	if r.Len() != 4 || r.Total() != 6 {
+		t.Fatalf("len=%d total=%d, want 4 and 6", r.Len(), r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d events", len(snap))
+	}
+	for i, e := range snap {
+		if e.Rank != int32(i+2) {
+			t.Fatalf("snapshot[%d].Rank = %d, want %d (oldest-first after wrap)", i, e.Rank, i+2)
+		}
+	}
+}
+
+// TestTripDeliversSnapshot wires the dump sink and trips: the callback
+// must see the reason and the retained tail.
+func TestTripDeliversSnapshot(t *testing.T) {
+	r := New(8)
+	r.Note("shard0", KindFence, -1, 9, 5)
+	var gotReason string
+	var gotEvents []Event
+	r.OnTrip(func(reason string, events []Event) {
+		gotReason, gotEvents = reason, events
+	})
+	r.Trip("shard0 fenced")
+	if gotReason != "shard0 fenced" {
+		t.Fatalf("reason = %q", gotReason)
+	}
+	if len(gotEvents) != 1 || gotEvents[0].Kind != KindFence || gotEvents[0].A != 9 {
+		t.Fatalf("events = %+v", gotEvents)
+	}
+}
+
+// TestFormatReadable checks the dump text carries the fields a post-mortem
+// reads: the reason, the kind name, the node, and the operands.
+func TestFormatReadable(t *testing.T) {
+	r := New(8)
+	r.Note("shard1", KindRestart, 1, 3, 12)
+	r.Note("shard1", KindEpochAdopt, 0, 3, 2)
+	var sb strings.Builder
+	if err := r.Dump(&sb, "crash-restart"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"crash-restart", "2 events", "restart", "epoch-adopt", "node=shard1", "a=3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNilRecorderSafe makes every method a no-op on nil — the disabled
+// path every non-instrumented deployment runs.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Note("n", KindGrant, 0, 0, 0)
+	r.OnTrip(func(string, []Event) { t.Fatal("trip on nil recorder") })
+	r.Trip("x")
+	if r.Len() != 0 || r.Total() != 0 || r.Snapshot() != nil || r.String() != "" {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+// TestNoteZeroAlloc pins the hot-path promise for both the disabled and
+// the enabled recorder: one Note is a struct store, never an allocation.
+func TestNoteZeroAlloc(t *testing.T) {
+	var nilRec *Recorder
+	if allocs := testing.AllocsPerRun(1000, func() {
+		nilRec.Note("n", KindGrant, 1, 2, 3)
+	}); allocs != 0 {
+		t.Errorf("nil Note allocated %v, want 0", allocs)
+	}
+	r := New(64)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.Note("n", KindGrant, 1, 2, 3)
+	}); allocs != 0 {
+		t.Errorf("enabled Note allocated %v, want 0", allocs)
+	}
+}
+
+// TestKindNames keeps every kind printable (dumps never show raw bytes).
+func TestKindNames(t *testing.T) {
+	for k := KindInvalid; k <= KindViolation; k++ {
+		if name := k.String(); name == "" || strings.HasPrefix(name, "flight-kind-") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package ha
 
 import (
+	"sort"
 	"sync"
+	"time"
 
+	"hetdsm/internal/telemetry"
 	"hetdsm/internal/trace"
 	"hetdsm/internal/transport"
 	"hetdsm/internal/wire"
@@ -21,14 +24,26 @@ type Replicator struct {
 	counters *Counters
 	// Trace, when non-nil, records one event per shipped record.
 	Trace *trace.Log
+	// Spans, when non-nil, receives a replicate span (enqueue → acked)
+	// for every record carrying trace context, parented to the home's
+	// apply span; Node labels them (default "replicator").
+	Spans *telemetry.SpanLog
+	Node  string
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*wire.Replication
-	next   uint64 // last sequence number stamped by Record
-	acked  uint64 // highest cumulative ack from the standby
-	failed error
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*wire.Replication
+	next    uint64 // last sequence number stamped by Record
+	acked   uint64 // highest cumulative ack from the standby
+	pending map[uint64]pendingSpan
+	failed  error
+	closed  bool
+}
+
+// pendingSpan remembers a traced record's enqueue time until its ack.
+type pendingSpan struct {
+	rec *wire.Replication
+	t0  time.Time
 }
 
 // NewReplicator starts replicating over an established connection to a
@@ -50,6 +65,12 @@ func (r *Replicator) Record(rec *wire.Replication) {
 	r.next++
 	rec.Seq = r.next
 	r.queue = append(r.queue, rec)
+	if r.Spans != nil && rec.TraceID != 0 {
+		if r.pending == nil {
+			r.pending = make(map[uint64]pendingSpan)
+		}
+		r.pending[rec.Seq] = pendingSpan{rec: rec, t0: time.Now()}
+	}
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	if r.counters != nil {
@@ -148,8 +169,27 @@ func (r *Replicator) ackReader() {
 		if m.Rep.Seq > r.acked {
 			r.acked = m.Rep.Seq
 		}
+		var done []pendingSpan
+		for seq, p := range r.pending {
+			if seq <= r.acked {
+				done = append(done, p)
+				delete(r.pending, seq)
+			}
+		}
 		r.cond.Broadcast()
 		r.mu.Unlock()
+		if len(done) > 0 && r.Spans != nil {
+			node := r.Node
+			if node == "" {
+				node = "replicator"
+			}
+			sort.Slice(done, func(i, j int) bool { return done[i].rec.Seq < done[j].rec.Seq })
+			now := time.Now()
+			for _, p := range done {
+				r.Spans.RecordCtx(node, telemetry.StageReplicate, p.rec.Rank, 0,
+					p.rec.TraceID, p.rec.ParentSpan, p.t0, now.Sub(p.t0), wire.UpdateBytes(p.rec.Updates))
+			}
+		}
 		if r.counters != nil {
 			r.counters.RepAcks.Add(1)
 		}

@@ -9,7 +9,9 @@ import (
 	"hetdsm/internal/check"
 	"hetdsm/internal/dir"
 	"hetdsm/internal/dsd"
+	"hetdsm/internal/flight"
 	"hetdsm/internal/platform"
+	"hetdsm/internal/telemetry"
 	"hetdsm/internal/trace"
 	"hetdsm/internal/transport"
 	"hetdsm/internal/vclock"
@@ -39,6 +41,10 @@ func runShardedSim(plan Plan, homePlat *platform.Platform, threadPlats []*platfo
 	opts.WholeArrayThreshold = 0
 	opts.StickyLocks = true
 	opts.Trace = tlog
+	spans := telemetry.NewSpanLog(1 << 16)
+	fr := flight.New(4096)
+	opts.Spans = spans
+	opts.Flight = fr
 
 	base := transport.NewInproc()
 	var nw transport.Network = base
@@ -170,6 +176,12 @@ func runShardedSim(plan Plan, homePlat *platform.Platform, threadPlats []*platfo
 	vs = append(vs, check.CrossCheckTrace(events, tlog)...)
 	vs = append(vs, roundTripViolations(events, homePlat, threadPlats)...)
 	res.Violations = vs
+	res.Spans = spans.Spans()
+	if len(res.Violations) > 0 {
+		fr.Note("checker", flight.KindViolation, -1, uint64(len(res.Violations)), 0)
+		fr.Trip(fmt.Sprintf("checker: %d violations (plan %s)", len(res.Violations), plan))
+	}
+	res.FlightDump = fr.String()
 	return res
 }
 

@@ -10,8 +10,10 @@ import (
 
 	"hetdsm/internal/check"
 	"hetdsm/internal/dsd"
+	"hetdsm/internal/flight"
 	"hetdsm/internal/ha"
 	"hetdsm/internal/platform"
+	"hetdsm/internal/telemetry"
 	"hetdsm/internal/trace"
 	"hetdsm/internal/transport"
 	"hetdsm/internal/vclock"
@@ -39,6 +41,12 @@ type Result struct {
 	Reconnects uint64
 	// Corrupted counts negative-mode frame corruptions.
 	Corrupted int
+	// Spans holds every release-pipeline span the run recorded, already
+	// trace-context stitched; dsmsim can export them for dsmtrace.
+	Spans []telemetry.Span
+	// FlightDump is the formatted black-box flight-recorder dump of the
+	// run's protocol events; attached to every violation artifact.
+	FlightDump string
 	// Err reports an infrastructure failure (the run could not complete);
 	// distinct from a validation failure.
 	Err error
@@ -70,6 +78,8 @@ func (r Result) Report() string {
 	}
 	if r.OK() {
 		b.WriteString("ok: 0 violations\n")
+	} else if r.FlightDump != "" {
+		b.WriteString(r.FlightDump)
 	}
 	return b.String()
 }
@@ -119,6 +129,10 @@ func Run(plan Plan) Result {
 	// Sticky locks: all fault profiles reconnect rather than fail-stop.
 	opts.StickyLocks = true
 	opts.Trace = tlog
+	spans := telemetry.NewSpanLog(1 << 16)
+	fr := flight.New(4096)
+	opts.Spans = spans
+	opts.Flight = fr
 
 	// Fault-injection network stack.
 	base := transport.NewInproc()
@@ -195,6 +209,8 @@ func Run(plan Plan) Result {
 			return res
 		}
 		repl = ha.NewReplicator(repConn, counters)
+		repl.Spans = spans
+		repl.Node = "replicator"
 		if err := primary.StartReplication(repl); err != nil {
 			res.Err = err
 			return res
@@ -219,7 +235,7 @@ func Run(plan Plan) Result {
 				return res
 			}
 			defer os.RemoveAll(walDir)
-			wlog, err = wal.Open(wal.Options{Dir: walDir, GThV: gthv})
+			wlog, err = wal.Open(wal.Options{Dir: walDir, GThV: gthv, Spans: spans, Node: "wal", Flight: fr})
 			if err != nil {
 				res.Err = err
 				return res
@@ -300,7 +316,7 @@ func Run(plan Plan) Result {
 				// record not yet fsynced, exactly what kill -9 loses.
 				primary.Kill()
 				curLog.Abandon()
-				wlog2, err := wal.Open(wal.Options{Dir: walDir, GThV: gthv})
+				wlog2, err := wal.Open(wal.Options{Dir: walDir, GThV: gthv, Spans: spans, Node: "wal", Flight: fr})
 				if err != nil {
 					return fmt.Errorf("sim: wal reopen: %w", err)
 				}
@@ -397,6 +413,12 @@ func Run(plan Plan) Result {
 	vs = append(vs, check.CrossCheckTrace(events, tlog)...)
 	vs = append(vs, roundTripViolations(events, homePlat, threadPlats)...)
 	res.Violations = vs
+	res.Spans = spans.Spans()
+	if len(res.Violations) > 0 {
+		fr.Note("checker", flight.KindViolation, -1, uint64(len(res.Violations)), 0)
+		fr.Trip(fmt.Sprintf("checker: %d violations (plan %s)", len(res.Violations), plan))
+	}
+	res.FlightDump = fr.String()
 	return res
 }
 

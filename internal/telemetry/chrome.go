@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events plus "M" metadata), loadable by Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports merged releases as Chrome trace-event JSON:
+// one process lane per node, one thread lane per rank, one complete event
+// per span, with the causal ids in args so a chain can be followed in the
+// Perfetto UI. Timestamps are rebased to the earliest span so the trace
+// opens at t=0 regardless of wall clock. Output is deterministic for a
+// given input (lanes sorted by name, events by time).
+func WriteChromeTrace(w io.Writer, rels []Release) error {
+	var base int64 = -1
+	nodes := map[string]bool{}
+	for _, r := range rels {
+		for _, s := range r.Spans {
+			if base < 0 || s.Start < base {
+				base = s.Start
+			}
+			nodes[s.Node] = true
+		}
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	pid := make(map[string]int, len(names))
+	doc := chromeDoc{DisplayTimeUnit: "ns"}
+	for i, n := range names {
+		pid[n] = i + 1
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: i + 1,
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, r := range rels {
+		for _, s := range r.Spans {
+			args := map[string]any{
+				"rank": s.Rank,
+				"seq":  s.Seq,
+			}
+			if s.Bytes != 0 {
+				args["bytes"] = s.Bytes
+			}
+			if s.TraceID != 0 {
+				args["trace_id"] = fmt.Sprintf("%016x", s.TraceID)
+				args["span_id"] = fmt.Sprintf("%016x", s.SpanID)
+				if s.Parent != 0 {
+					args["parent_span_id"] = fmt.Sprintf("%016x", s.Parent)
+				}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: s.Stage,
+				Cat:  "release",
+				Ph:   "X",
+				TS:   float64(s.Start-base) / 1e3,
+				Dur:  float64(s.Dur) / 1e3,
+				PID:  pid[s.Node],
+				TID:  int(s.Rank),
+				Args: args,
+			})
+		}
+	}
+	sort.SliceStable(doc.TraceEvents, func(i, j int) bool {
+		a, b := doc.TraceEvents[i], doc.TraceEvents[j]
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		return a.Name < b.Name
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteChromeTraceGolden pins the exporter's exact output for a fixed
+// two-release input — the format contract with Perfetto and with any
+// script parsing dsmtrace -chrome output. Regenerate with
+// `go test ./internal/telemetry -run Golden -update` after an intentional
+// format change, and eyeball the diff.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	rels := MergeTimeline(
+		chainFor(0x0102030405060708, 0, 1, "rank-0", "home", "wal", 1_000_000),
+		chainFor(0x1112131415161718, 1, 1, "rank-1", "home", "wal", 1_000_500),
+	)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rels); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace output drifted from %s:\ngot:\n%s", golden, buf.String())
+	}
+	// Determinism across repeated exports of the same input.
+	var again bytes.Buffer
+	if err := WriteChromeTrace(&again, rels); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two exports of the same releases differ")
+	}
+}
+
+// TestWriteChromeTraceEmpty keeps the exporter total: zero releases still
+// produce a valid document.
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Fatalf("empty export missing traceEvents: %s", buf.String())
+	}
+}

@@ -41,11 +41,14 @@ func NewKit(metricsAddr, traceOut, spanOut string) *Kit {
 	if metricsAddr != "" {
 		k.reg = New()
 		k.spans = NewSpanLog(0)
+		// The diagnostics server advertises /trace, so the ring backing
+		// it must exist even when no on-exit dump was requested.
+		k.tlog = trace.NewLog(0)
 	}
 	if spanOut != "" && k.spans == nil {
 		k.spans = NewSpanLog(0)
 	}
-	if traceOut != "" {
+	if traceOut != "" && k.tlog == nil {
 		k.tlog = trace.NewLog(0)
 	}
 	return k

@@ -1,17 +1,20 @@
 package telemetry
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // The stages of one release as it moves through the DSD pipeline. The
 // sender emits index, tag, pack and ship; the home emits unpack, conv
-// and apply. A merged timeline for one (rank, seq) id therefore shows
-// the paper's Eq. 1 components as an actual cross-node trace instead of
+// and apply; the durability and replication tails emit wal-fsync and
+// replicate; the sharded directory emits forward for one-hop ownership
+// corrections. A merged timeline for one trace id therefore shows the
+// paper's Eq. 1 components as an actual cross-node causal DAG instead of
 // an aggregate sum.
 const (
 	// StageIndex is the sender's diff→index-table span mapping (t_index).
@@ -28,13 +31,22 @@ const (
 	StageConv = "conv"
 	// StageApply is the master-copy write plus pending-queue fan-out.
 	StageApply = "apply"
+	// StageForward is a sharded-directory one-hop correction: the time a
+	// request spent at the wrong shard before being re-sent to the owner.
+	StageForward = "forward"
+	// StageWAL is the write-ahead-log group-commit fsync covering the
+	// release's replication records (enqueue to durable).
+	StageWAL = "wal-fsync"
+	// StageReplicate is the hot-standby replication of the release's
+	// records (enqueue to acknowledged by the standby).
+	StageReplicate = "replicate"
 )
 
-// Span is one timed stage of one release, identified by the (rank, seq)
-// pair the wire protocol already stamps on every request: Rank is the
-// releasing thread and Seq its per-connection request id, so sender-side
-// and home-side records of the same release carry the same id and can be
-// merged across nodes.
+// Span is one timed stage of one release. Legacy correlation uses the
+// (rank, seq) pair the wire protocol stamps on every request; causal
+// correlation uses TraceID (one per release, unique process-wide) with
+// SpanID/Parent edges, so the same release can be stitched across a
+// directory forward, a migration, or a shard-epoch reuse of (rank, seq).
 type Span struct {
 	// Rank is the releasing thread's rank.
 	Rank int32 `json:"rank"`
@@ -50,12 +62,82 @@ type Span struct {
 	Dur int64 `json:"dur_ns"`
 	// Bytes is the payload size the stage handled, 0 when not applicable.
 	Bytes int `json:"bytes,omitempty"`
+	// TraceID identifies the release's causal trace; 0 on legacy spans.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// SpanID identifies this span within the trace; derived
+	// deterministically from (TraceID, Node, Stage, Rank) so retries and
+	// replays of the same stage collapse to one DAG node.
+	SpanID uint64 `json:"span_id,omitempty"`
+	// Parent is the SpanID of the causally preceding span (0 = root).
+	Parent uint64 `json:"parent_span_id,omitempty"`
+}
+
+// End returns the span's wall-clock end in Unix nanoseconds.
+func (s *Span) End() int64 { return s.Start + s.Dur }
+
+// traceCounter feeds NewTraceID; process-wide so two shard incarnations
+// can never mint the same trace id even for the same (rank, seq).
+var traceCounter atomic.Uint64
+
+// NewTraceID mints a nonzero trace id for one release by rank. IDs are
+// unique within the process and well-mixed so hash-derived span ids
+// spread even for adjacent releases.
+func NewTraceID(rank int32) uint64 {
+	n := traceCounter.Add(1)
+	id := splitmix64(n<<16 ^ uint64(uint32(rank)))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// splitmix64 is the finalizer of the splitmix64 PRNG: a cheap, strong
+// 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SpanID derives the deterministic span id for a stage of a trace:
+// FNV-1a over (traceID, node, stage, rank). Both ends of a wire hop can
+// compute the same id without shipping it — the sender stamps
+// wire.Message.ParentSpan with its ship span's id, and a retried or
+// replayed stage lands on the same DAG node.
+func SpanID(traceID uint64, node, stage string, rank int32) uint64 {
+	if traceID == 0 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ (traceID >> i & 0xff)) * prime64
+	}
+	for i := 0; i < len(node); i++ {
+		h = (h ^ uint64(node[i])) * prime64
+	}
+	for i := 0; i < len(stage); i++ {
+		h = (h ^ uint64(stage[i])) * prime64
+	}
+	r := uint32(rank)
+	for i := 0; i < 32; i += 8 {
+		h = (h ^ uint64(r>>i&0xff)) * prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
 // SpanLog is a concurrency-safe ring of span records, mirroring
 // trace.Log. A nil *SpanLog is a valid disabled sink. Construct with
 // NewSpanLog.
 type SpanLog struct {
+	capa    int // immutable after construction; readable without mu
 	mu      sync.Mutex
 	buf     []Span
 	next    uint64 // total spans ever recorded
@@ -67,22 +149,31 @@ func NewSpanLog(capacity int) *SpanLog {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &SpanLog{buf: make([]Span, 0, capacity)}
+	return &SpanLog{capa: capacity, buf: make([]Span, 0, capacity)}
 }
 
-// Record adds one span; no-op on a nil receiver.
+// Record adds one span without trace context; no-op on a nil receiver.
 func (l *SpanLog) Record(node, stage string, rank int32, seq uint64, start time.Time, d time.Duration, bytes int) {
+	l.RecordCtx(node, stage, rank, seq, 0, 0, start, d, bytes)
+}
+
+// RecordCtx adds one span carrying causal trace context; the span id is
+// derived from (traceID, node, stage, rank). No-op on a nil receiver.
+func (l *SpanLog) RecordCtx(node, stage string, rank int32, seq uint64, traceID, parent uint64, start time.Time, d time.Duration, bytes int) {
 	if l == nil {
 		return
 	}
 	s := Span{
-		Rank:  rank,
-		Seq:   seq,
-		Node:  node,
-		Stage: stage,
-		Start: start.UnixNano(),
-		Dur:   int64(d),
-		Bytes: bytes,
+		Rank:    rank,
+		Seq:     seq,
+		Node:    node,
+		Stage:   stage,
+		Start:   start.UnixNano(),
+		Dur:     int64(d),
+		Bytes:   bytes,
+		TraceID: traceID,
+		SpanID:  SpanID(traceID, node, stage, rank),
+		Parent:  parent,
 	}
 	l.mu.Lock()
 	if len(l.buf) < cap(l.buf) {
@@ -125,82 +216,39 @@ func (l *SpanLog) Dropped() uint64 {
 	return l.dropped
 }
 
-// Spans returns the retained spans in recording order (nil on nil).
+// Spans returns the retained spans in recording order (nil on nil). The
+// snapshot buffer is allocated before the lock is taken, so recorders on
+// the release hot path only ever contend with two bounded memmoves, never
+// with an allocation or encoding.
 func (l *SpanLog) Spans() []Span {
 	if l == nil {
 		return nil
 	}
+	out := make([]Span, 0, l.capa)
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Span, 0, len(l.buf))
 	if len(l.buf) < cap(l.buf) {
-		return append(out, l.buf...)
+		out = append(out, l.buf...)
+	} else {
+		start := int(l.next) % cap(l.buf)
+		out = append(out, l.buf[start:]...)
+		out = append(out, l.buf[:start]...)
 	}
-	start := int(l.next) % cap(l.buf)
-	out = append(out, l.buf[start:]...)
-	return append(out, l.buf[:start]...)
+	l.mu.Unlock()
+	return out
 }
 
-// DumpJSON writes the retained spans as JSONL, one span per line.
+// DumpJSON writes the retained spans as JSONL, one span per line. The
+// ring is snapshotted first; encoding happens outside any lock and
+// streams span-by-span through a buffered writer, so an HTTP scrape of a
+// full ring neither stalls recorders nor buffers the dump in one blob.
 func (l *SpanLog) DumpJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	for _, s := range l.Spans() {
-		if err := enc.Encode(s); err != nil {
+	spans := l.Spans()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
 			return err
 		}
 	}
-	return nil
-}
-
-// Release is one release's merged cross-node timeline: every recorded
-// stage for a (rank, seq) id, ordered by wall-clock start.
-type Release struct {
-	// Rank and Seq identify the release.
-	Rank int32  `json:"rank"`
-	Seq  uint64 `json:"seq"`
-	// Spans holds the stages in start order.
-	Spans []Span `json:"spans"`
-}
-
-// Stage returns the release's first span of the named stage and whether
-// one was recorded.
-func (r *Release) Stage(stage string) (Span, bool) {
-	for _, s := range r.Spans {
-		if s.Stage == stage {
-			return s, true
-		}
-	}
-	return Span{}, false
-}
-
-// MergeTimeline groups spans from any number of logs (sender-side and
-// home-side) by (rank, seq) and returns per-release timelines ordered by
-// rank, then seq. Spans with Seq == 0 (no release id) are dropped.
-func MergeTimeline(logs ...[]Span) []Release {
-	type key struct {
-		rank int32
-		seq  uint64
-	}
-	byID := make(map[key][]Span)
-	for _, spans := range logs {
-		for _, s := range spans {
-			if s.Seq == 0 {
-				continue
-			}
-			k := key{s.Rank, s.Seq}
-			byID[k] = append(byID[k], s)
-		}
-	}
-	out := make([]Release, 0, len(byID))
-	for k, spans := range byID {
-		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
-		out = append(out, Release{Rank: k.rank, Seq: k.seq, Spans: spans})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
-		}
-		return out[i].Seq < out[j].Seq
-	})
-	return out
+	return bw.Flush()
 }

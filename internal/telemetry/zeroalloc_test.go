@@ -24,6 +24,7 @@ func TestDisabledPathZeroAlloc(t *testing.T) {
 		g.Add(1)
 		h.Observe(0.001)
 		l.Record("n", StagePack, 1, 1, start, time.Millisecond, 64)
+		l.RecordCtx("n", StageShip, 1, 1, 0xbeef, 0x77, start, time.Millisecond, 64)
 		_ = c.Value()
 		_ = h.Quantile(0.99)
 	})

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"hetdsm/internal/dsd"
+	"hetdsm/internal/flight"
 	"hetdsm/internal/ha"
 	"hetdsm/internal/platform"
 	"hetdsm/internal/tag"
@@ -57,6 +58,15 @@ type Options struct {
 	// fsync batch sizes, snapshot compactions, recovery replay length and
 	// the current fencing epoch.
 	Metrics *telemetry.Registry
+	// Spans, when non-nil, receives a wal-fsync span (enqueue → durable)
+	// for every record that carries trace context, parented to the home's
+	// apply span so durability cost shows up on the release's causal DAG.
+	Spans *telemetry.SpanLog
+	// Node labels this log's spans and flight events (default "wal").
+	Node string
+	// Flight, when non-nil, notes recovery events (replay length, epoch
+	// bumps) into the black-box ring.
+	Flight *flight.Recorder
 }
 
 // Log is a write-ahead log for one home node. It implements
@@ -107,6 +117,9 @@ func Open(opts Options) (*Log, error) {
 	if opts.SnapshotEvery <= 0 {
 		opts.SnapshotEvery = defaultSnapshotEvery
 	}
+	if opts.Node == "" {
+		opts.Node = "wal"
+	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -146,6 +159,7 @@ func Open(opts Options) (*Log, error) {
 	}
 
 	l.epoch = maxEpoch + 1
+	opts.Flight.Note(opts.Node, flight.KindRestart, -1, l.epoch, uint64(l.replayed))
 	if l.hadState {
 		// Persist the bump: a RepEpoch record survives a crash before the
 		// next snapshot, so the next restart starts above this epoch even
@@ -255,7 +269,7 @@ func (l *Log) Record(rec *wire.Replication) {
 	l.next++
 	rec.Seq = l.next
 	l.queue = append(l.queue, rec)
-	if l.m.enabled {
+	if l.m.enabled || l.opts.Spans != nil {
 		l.qtimes = append(l.qtimes, time.Now())
 	}
 	l.appended++
@@ -306,8 +320,21 @@ func (l *Log) writer() {
 			return
 		}
 		now := time.Now()
-		for _, t0 := range times {
-			l.m.appendLatency.Observe(now.Sub(t0).Seconds())
+		if l.m.enabled {
+			for _, t0 := range times {
+				l.m.appendLatency.Observe(now.Sub(t0).Seconds())
+			}
+		}
+		if l.opts.Spans != nil {
+			// One wal-fsync span per traced record: enqueue → durable,
+			// parented to the apply span the record carried.
+			for i, rec := range batch {
+				if rec.TraceID == 0 || i >= len(times) {
+					continue
+				}
+				l.opts.Spans.RecordCtx(l.opts.Node, telemetry.StageWAL, rec.Rank, 0,
+					rec.TraceID, rec.ParentSpan, times[i], now.Sub(times[i]), wire.UpdateBytes(rec.Updates))
+			}
 		}
 		l.m.batchRecords.Observe(float64(len(batch)))
 		l.m.records.Add(uint64(len(batch)))

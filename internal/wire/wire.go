@@ -269,6 +269,12 @@ type Replication struct {
 	// Epoch is the fencing epoch of the home that emitted the record;
 	// mirrors and the WAL reject records from a stale epoch.
 	Epoch uint64
+	// TraceID and ParentSpan carry the causal trace context of the
+	// client release that produced this record, so WAL fsync and standby
+	// replication spans stitch into the same cross-node DAG. Zero when
+	// the record is not attributable to one traced release.
+	TraceID    uint64
+	ParentSpan uint64
 }
 
 // Message is one protocol datagram.
@@ -322,6 +328,14 @@ type Message struct {
 	// Heat carries the sender's page-fault deltas since its previous
 	// release; home shards aggregate them for heat-driven re-homing.
 	Heat []HeatSample
+	// TraceID identifies the causal trace this message belongs to (one
+	// trace per release or acquire), unique process-wide even when two
+	// shard incarnations reuse a (rank, seq) pair. Zero means untraced.
+	TraceID uint64
+	// ParentSpan is the span id of the sender-side stage that emitted the
+	// message (the ship span for releases); receiver-side spans parent to
+	// it so the cross-node DAG stitches by id, not by (rank, seq) guess.
+	ParentSpan uint64
 }
 
 // FlagWarmReplica marks a Hello from a thread whose replica is already
@@ -392,6 +406,8 @@ func Encode(m *Message) ([]byte, error) {
 		buf = be32(buf, uint32(hs.Page))
 		buf = be32(buf, hs.Faults)
 	}
+	buf = be64(buf, m.TraceID)
+	buf = be64(buf, m.ParentSpan)
 	return buf, nil
 }
 
@@ -420,6 +436,8 @@ func appendRep(buf []byte, r *Replication) []byte {
 	buf = appendPairs(buf, r.Applied)
 	buf = appendPairs(buf, r.Released)
 	buf = be64(buf, r.Epoch)
+	buf = be64(buf, r.TraceID)
+	buf = be64(buf, r.ParentSpan)
 	return buf
 }
 
@@ -540,6 +558,8 @@ func Decode(b []byte) (*Message, error) {
 			m.Heat[i].Faults = d.u32()
 		}
 	}
+	m.TraceID = d.u64()
+	m.ParentSpan = d.u64()
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -673,6 +693,8 @@ func (d *decoder) rep() (*Replication, error) {
 		return nil, err
 	}
 	r.Epoch = d.u64()
+	r.TraceID = d.u64()
+	r.ParentSpan = d.u64()
 	return r, nil
 }
 
