@@ -6,9 +6,16 @@
 //
 // Usage:
 //
-//	dsmsim -seeds 64 -profile all -mix all        # CI sweep
+//	dsmsim -seeds 64 -profile all -mix all         # CI sweep
+//	dsmsim -seeds 64 -grammar all -corpus seeds.json # grammar sweep, auto-corpus
 //	dsmsim -replay 41 -profile partition -mix Lsl  # reproduce one failure
 //	dsmsim -seeds 8 -negative                      # oracle self-test
+//
+// -grammar selects a workload grammar mix: a builtin name (classic, nested,
+// pointer, producer, hotcold, chaos), "all", or an inline weighted spec
+// like "cs:3,nested:2,ptr-chase:1". -corpus names a regression-seed JSON
+// file; any violation a clean sweep finds is appended there automatically
+// so TestRegressionSeeds replays it forever.
 package main
 
 import (
@@ -31,8 +38,11 @@ func main() {
 		profile  = flag.String("profile", "all", "fault profile (clean|flaky|partition|failover|handoff|lostack|homecrash-restart|migrate|all)")
 		mix      = flag.String("mix", "all", "platform mix (e.g. LL, SL, Lsl) or all")
 		shards   = flag.Int("shards", 0, "home shard count (0 = profile default: 1, or 4 for migrate)")
+		grammar  = flag.String("grammar", "classic", "workload grammar (classic|nested|pointer|producer|hotcold|chaos|all) or a weighted spec like cs:3,nested:2")
+		locks    = flag.Int("locks", 0, "lock count for grammar workloads (0 = mix default)")
+		corpus   = flag.String("corpus", "", "regression-seed JSON file; clean-sweep violations are appended automatically")
 		negative = flag.Bool("negative", false, "corrupt wire frames and require the checker to notice")
-		replay   = flag.Int64("replay", -1, "replay one seed (with -profile/-mix) and verify byte-identical traces")
+		replay   = flag.Int64("replay", -1, "replay one seed (with -profile/-mix/-grammar) and verify byte-identical traces")
 		spansOut = flag.String("spans-out", "", "with -replay: write the run's release spans as JSONL (dsmtrace -spans input)")
 		out      = flag.String("out", "", "directory for violation-report artifacts")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
@@ -40,48 +50,77 @@ func main() {
 	)
 	flag.Parse()
 
-	profiles, err := pickProfiles(*profile, *negative)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *replay < 0 && *seeds <= 0 {
+		fail(fmt.Errorf("dsmsim: -seeds %d sweeps nothing; pass a positive seed count", *seeds))
+	}
+	profiles, err := pickProfiles(*profile, *negative)
+	if err != nil {
+		fail(err)
 	}
 	mixes, err := pickMixes(*mix)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail(err)
+	}
+	grammars, err := pickGrammars(*grammar)
+	if err != nil {
+		fail(err)
+	}
+	if *shards > 1 {
+		for _, p := range profiles {
+			if *profile != "all" && !p.Shardable() {
+				fail(fmt.Errorf("dsmsim: profile %s scripts a single home and does not compose with -shards %d; drop -shards or pick a shardable profile (clean|flaky|partition|lostack|migrate)", p, *shards))
+			}
+		}
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fail(err)
 		}
 	}
 
 	if *replay >= 0 {
-		os.Exit(replayOne(*replay, profiles, mixes, *negative, *shards, *out, *spansOut))
+		if *profile == "all" || *mix == "all" || *grammar == "all" {
+			fail(fmt.Errorf("dsmsim: -replay reproduces one plan; name one -profile, -mix, and -grammar (got -profile %s -mix %s -grammar %s)", *profile, *mix, *grammar))
+		}
+		os.Exit(replayOne(*replay, profiles, mixes, grammars, *negative, *shards, *locks, *out, *spansOut))
 	}
 
-	plans := make([]sim.Plan, 0, *seeds*len(profiles)*len(mixes))
+	plans := make([]sim.Plan, 0, *seeds*len(profiles)*len(mixes)*len(grammars))
 	for seed := int64(0); seed < int64(*seeds); seed++ {
 		for _, p := range profiles {
 			for _, m := range mixes {
-				plan := sim.NewPlan(seed, p, m)
-				plan.Negative = *negative
-				if p.Shardable() {
-					// Profiles scripting single-home fates keep their
-					// default; -shards only shapes the ones that compose.
-					plan.Shards = *shards
+				for _, g := range grammars {
+					plan := sim.NewPlan(seed, p, m)
+					plan.Negative = *negative
+					plan.Grammar = g
+					plan.Locks = *locks
+					if p.Shardable() {
+						// Profiles scripting single-home fates keep their
+						// default; -shards only shapes the ones that compose.
+						plan.Shards = *shards
+					}
+					if err := plan.Validate(); err != nil {
+						fail(fmt.Errorf("dsmsim: %w", err))
+					}
+					plans = append(plans, plan)
 				}
-				plans = append(plans, plan)
 			}
 		}
 	}
-	os.Exit(sweep(plans, *negative, *workers, *verbose, *out))
+	os.Exit(sweep(plans, *negative, *workers, *verbose, *out, *corpus))
 }
 
 func pickProfiles(name string, negative bool) ([]sim.Profile, error) {
 	if negative {
-		// Negative mode only composes with the clean profile.
+		// Negative mode corrupts wire frames on an otherwise-clean run; a
+		// fault profile would blur whose failure the oracle is detecting.
+		if name != "all" && name != string(sim.ProfileClean) {
+			return nil, fmt.Errorf("dsmsim: -negative requires the clean profile, got -profile %s; drop one of the two flags", name)
+		}
 		return []sim.Profile{sim.ProfileClean}, nil
 	}
 	if name == "all" {
@@ -104,10 +143,22 @@ func pickMixes(name string) ([]string, error) {
 	return []string{name}, nil
 }
 
+func pickGrammars(name string) ([]string, error) {
+	if name == "all" {
+		return sim.GrammarMixes(), nil
+	}
+	if _, err := sim.MixByName(name); err != nil {
+		return nil, fmt.Errorf("dsmsim: %w", err)
+	}
+	return []string{name}, nil
+}
+
 // sweep runs every plan, bounded by the worker count, and reports the
 // tally. Exit 0 only if every run matched its expectation (clean sweeps
-// validate, negative sweeps are flagged).
-func sweep(plans []sim.Plan, negative bool, workers int, verbose bool, out string) int {
+// validate, negative sweeps are flagged). With corpus set, every clean-
+// sweep violation is appended to the regression-seed file so the exact
+// reproducer lands under TestRegressionSeeds.
+func sweep(plans []sim.Plan, negative bool, workers int, verbose bool, out, corpus string) int {
 	if workers < 1 {
 		workers = 1
 	}
@@ -146,6 +197,17 @@ func sweep(plans []sim.Plan, negative bool, workers int, verbose bool, out strin
 				fmt.Printf("FAIL: %s\n%s", o.res.Plan, o.res.Report())
 			}
 			saveArtifact(out, o.res)
+			if corpus != "" && !negative && len(o.res.Violations) > 0 {
+				added, err := sim.AppendCorpus(corpus, sim.EntryForResult(o.res))
+				switch {
+				case err != nil:
+					fmt.Fprintf(os.Stderr, "dsmsim: corpus append: %v\n", err)
+				case added:
+					fmt.Printf("corpus: recorded %s in %s\n", o.res.Plan, corpus)
+				default:
+					fmt.Printf("corpus: %s already present in %s\n", o.res.Plan, corpus)
+				}
+			}
 		} else if verbose {
 			fmt.Printf("ok: %s (%d events)\n", o.res.Plan, o.res.Events)
 		}
@@ -163,10 +225,16 @@ func sweep(plans []sim.Plan, negative bool, workers int, verbose bool, out strin
 
 // replayOne runs a single plan twice and verifies the byte-identical
 // canonical-trace guarantee, printing the full report.
-func replayOne(seed int64, profiles []sim.Profile, mixes []string, negative bool, shards int, out, spansOut string) int {
+func replayOne(seed int64, profiles []sim.Profile, mixes []string, grammars []string, negative bool, shards, locks int, out, spansOut string) int {
 	plan := sim.NewPlan(seed, profiles[0], mixes[0])
 	plan.Negative = negative
 	plan.Shards = shards
+	plan.Grammar = grammars[0]
+	plan.Locks = locks
+	if err := plan.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmsim: %v\n", err)
+		return 2
+	}
 	a := sim.Run(plan)
 	fmt.Print(a.Report())
 	saveArtifact(out, a)
@@ -201,6 +269,9 @@ func saveArtifact(dir string, res sim.Result) {
 		return
 	}
 	name := fmt.Sprintf("seed%d-%s-%s", res.Plan.Seed, res.Plan.Profile, res.Plan.Mix)
+	if res.Plan.Grammar != "" && res.Plan.Grammar != "classic" {
+		name += "-" + sanitize(res.Plan.Grammar)
+	}
 	if res.Plan.Negative {
 		name += "-negative"
 	}
@@ -215,6 +286,20 @@ func saveArtifact(dir string, res sim.Result) {
 			fmt.Fprintf(os.Stderr, "dsmsim: flight artifact %s: %v\n", name, err)
 		}
 	}
+}
+
+// sanitize maps an inline grammar spec ("cs:3,nested:2") onto a safe
+// artifact-file name fragment.
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
 }
 
 // writeSpansJSONL exports a run's spans one JSON object per line — the

@@ -10,10 +10,18 @@
 // the master at acquire points (lock grant, barrier exit). Against that
 // model the checker enforces:
 //
-//   - mutual exclusion — two ranks never hold the same mutex;
+//   - mutual exclusion — two ranks never hold the same mutex, including
+//     nested and overlapping acquisition chains (a rank may hold several
+//     mutexes; each is tracked independently);
 //   - read coherence — every read observes exactly the value the model
-//     replica holds, i.e. the latest write ordered before it by the same
-//     lock's (or barrier's) happens-before edges;
+//     replica holds, i.e. the latest write ordered before it by the
+//     happens-before edges of any release/acquire pair — lock-release
+//     edges alone are sufficient, so barrier-free producer/consumer
+//     phases validate without ever entering a barrier;
+//   - pointer coherence — pointer cells are modeled by their logical
+//     (member, element) target rather than the platform-specific address,
+//     so a stale or mistranslated pointer chase is flagged on
+//     heterogeneous mixes too;
 //   - barrier epoch consistency — all enters of generation i precede every
 //     exit of generation i, with exactly one enter per participating rank;
 //   - join finality — no rank acts after announcing termination.
@@ -43,6 +51,13 @@ const (
 	OpJoin
 	OpRead
 	OpWrite
+	// OpPtrWrite and OpPtrRead are pointer-cell accesses. Raw addresses
+	// differ per platform, so the recorded value is the logical target the
+	// address resolves to — a (member, element) pair — which is identical
+	// on every platform and therefore comparable across a heterogeneous
+	// run.
+	OpPtrWrite
+	OpPtrRead
 )
 
 // String returns the lowercase op name.
@@ -62,6 +77,10 @@ func (o Op) String() string {
 		return "read"
 	case OpWrite:
 		return "write"
+	case OpPtrWrite:
+		return "ptr-write"
+	case OpPtrRead:
+		return "ptr-read"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -75,11 +94,25 @@ type Event struct {
 	Op    Op
 	// Sync is the mutex or barrier index; -1 for join/read/write.
 	Sync int
-	// Var and Index name the accessed cell for OpRead/OpWrite.
+	// Var and Index name the accessed cell for OpRead/OpWrite and the
+	// pointer ops.
 	Var   string
 	Index int
 	// Value is the canonical stored/loaded value for OpRead/OpWrite.
 	Value int64
+	// Target and TargetIndex are the logical cell a pointer op's address
+	// resolves to; Target is "" (and TargetIndex -1) for a null or
+	// unresolvable address.
+	Target      string
+	TargetIndex int
+}
+
+// targetString renders a pointer op's logical target.
+func (e Event) targetString() string {
+	if e.Target == "" {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%s[%d]", e.Target, e.TargetIndex)
 }
 
 // String renders one event for violation traces.
@@ -87,6 +120,8 @@ func (e Event) String() string {
 	switch e.Op {
 	case OpRead, OpWrite:
 		return fmt.Sprintf("#%04d r%d %s %s[%d] = %d", e.Stamp, e.Rank, e.Op, e.Var, e.Index, e.Value)
+	case OpPtrRead, OpPtrWrite:
+		return fmt.Sprintf("#%04d r%d %s %s[%d] -> %s", e.Stamp, e.Rank, e.Op, e.Var, e.Index, e.targetString())
 	case OpJoin:
 		return fmt.Sprintf("#%04d r%d join", e.Stamp, e.Rank)
 	default:
@@ -147,6 +182,16 @@ func (h *History) Write(rank int32, name string, index int, value int64) {
 	h.add(Event{Rank: rank, Op: OpWrite, Sync: -1, Var: name, Index: index, Value: value})
 }
 
+// WritePtr implements dsd.Recorder.
+func (h *History) WritePtr(rank int32, name string, index int, target string, targetIndex int) {
+	h.add(Event{Rank: rank, Op: OpPtrWrite, Sync: -1, Var: name, Index: index, Target: target, TargetIndex: targetIndex})
+}
+
+// ReadPtr implements dsd.Recorder.
+func (h *History) ReadPtr(rank int32, name string, index int, target string, targetIndex int) {
+	h.add(Event{Rank: rank, Op: OpPtrRead, Sync: -1, Var: name, Index: index, Target: target, TargetIndex: targetIndex})
+}
+
 // Events returns a copy of the history in stamp order.
 func (h *History) Events() []Event {
 	h.mu.Lock()
@@ -193,6 +238,8 @@ func Canonical(events []Event) []byte {
 			switch e.Op {
 			case OpRead, OpWrite:
 				fmt.Fprintf(&b, "  %s %s[%d] = %d\n", e.Op, e.Var, e.Index, e.Value)
+			case OpPtrRead, OpPtrWrite:
+				fmt.Fprintf(&b, "  %s %s[%d] -> %s\n", e.Op, e.Var, e.Index, e.targetString())
 			case OpJoin:
 				fmt.Fprintf(&b, "  join\n")
 			default:
@@ -309,6 +356,32 @@ func Validate(events []Event, nranks int) []Violation {
 		})
 	}
 
+	// Pointer cells hold logical targets, not integers. Intern each
+	// distinct (member, element) target into a nonzero id so pointer
+	// events flow through the same replica machinery as integer cells;
+	// a never-written (null) pointer stays id 0.
+	ptrIDs := make(map[cell]int64)
+	ptrNames := make(map[int64]string)
+	ptrID := func(e Event) int64 {
+		if e.Target == "" {
+			return 0
+		}
+		t := cell{e.Target, e.TargetIndex}
+		id, ok := ptrIDs[t]
+		if !ok {
+			id = int64(len(ptrIDs) + 1)
+			ptrIDs[t] = id
+			ptrNames[id] = fmt.Sprintf("%s[%d]", e.Target, e.TargetIndex)
+		}
+		return id
+	}
+	ptrName := func(id int64) string {
+		if id == 0 {
+			return "<nil>"
+		}
+		return ptrNames[id]
+	}
+
 	type epoch struct{ barrier, gen int }
 	enters := make(map[epoch]int) // arrivals per barrier generation
 	rankGen := make(map[int32]map[int]int)
@@ -377,6 +450,16 @@ func Validate(events []Event, nranks int) []Violation {
 				report(e, "stale read: rank %d read %s[%d] = %d, release-consistency model expects %d",
 					e.Rank, e.Var, e.Index, e.Value, want)
 			}
+		case OpPtrWrite:
+			c := cell{e.Var, e.Index}
+			m.replOf(e.Rank)[c] = ptrID(e)
+			m.dirtyOf(e.Rank)[c] = true
+		case OpPtrRead:
+			c := cell{e.Var, e.Index}
+			if got, want := ptrID(e), m.replOf(e.Rank)[c]; got != want {
+				report(e, "stale pointer read: rank %d read %s[%d] -> %s, release-consistency model expects %s",
+					e.Rank, e.Var, e.Index, ptrName(got), ptrName(want))
+			}
 		}
 	}
 	return out
@@ -411,10 +494,65 @@ func FinalState(events []Event) map[string]map[int]int64 {
 	return out
 }
 
+// PtrTarget is the logical cell a committed pointer resolves to.
+type PtrTarget struct {
+	Var string
+	// Index is the element index inside Var; -1 with Var "" for null.
+	Index int
+}
+
+// String renders the target like the violation traces do.
+func (t PtrTarget) String() string {
+	if t.Var == "" {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%s[%d]", t.Var, t.Index)
+}
+
+// FinalPtrState replays the history's pointer writes through the release
+// model and returns the committed master target of every pointer cell.
+// Compare it against the home's master pointer values (resolved through its
+// own index table) to catch a corrupted or untranslated committed pointer
+// that no chase observed.
+func FinalPtrState(events []Event) map[string]map[int]PtrTarget {
+	mem := make(map[cell]PtrTarget)
+	repl := make(map[int32]map[cell]PtrTarget)
+	dirty := make(map[int32]map[cell]bool)
+	for _, e := range events {
+		switch e.Op {
+		case OpRelease, OpBarrierEnter, OpJoin:
+			for c := range dirty[e.Rank] {
+				mem[c] = repl[e.Rank][c]
+			}
+			dirty[e.Rank] = nil
+		case OpPtrWrite:
+			if repl[e.Rank] == nil {
+				repl[e.Rank] = make(map[cell]PtrTarget)
+				dirty[e.Rank] = make(map[cell]bool)
+			} else if dirty[e.Rank] == nil {
+				dirty[e.Rank] = make(map[cell]bool)
+			}
+			c := cell{e.Var, e.Index}
+			repl[e.Rank][c] = PtrTarget{Var: e.Target, Index: e.TargetIndex}
+			dirty[e.Rank][c] = true
+		}
+	}
+	out := make(map[string]map[int]PtrTarget)
+	for c, t := range mem {
+		inner, ok := out[c.name]
+		if !ok {
+			inner = make(map[int]PtrTarget)
+			out[c.name] = inner
+		}
+		inner[c.index] = t
+	}
+	return out
+}
+
 // Minimize extracts the events relevant to bad from the full history: for
-// a read/write violation, the accesses to the same cell plus bad.Rank's
-// synchronization events; for a synchronization violation, every event on
-// the same object. At most limit events are kept, nearest to bad.
+// a data or pointer violation, the accesses to the same cell plus
+// bad.Rank's synchronization events; for a synchronization violation, every
+// event on the same object. At most limit events are kept, nearest to bad.
 func Minimize(events []Event, bad Event, limit int) []Event {
 	var kept []Event
 	for _, e := range events {
@@ -423,16 +561,17 @@ func Minimize(events []Event, bad Event, limit int) []Event {
 		}
 		relevant := false
 		switch bad.Op {
-		case OpRead, OpWrite:
+		case OpRead, OpWrite, OpPtrRead, OpPtrWrite:
 			switch e.Op {
-			case OpRead, OpWrite:
+			case OpRead, OpWrite, OpPtrRead, OpPtrWrite:
 				relevant = e.Var == bad.Var && e.Index == bad.Index
 			default:
 				relevant = e.Rank == bad.Rank
 			}
 		default:
 			relevant = e.Sync == bad.Sync || e.Rank == bad.Rank
-			if e.Op == OpRead || e.Op == OpWrite {
+			switch e.Op {
+			case OpRead, OpWrite, OpPtrRead, OpPtrWrite:
 				relevant = e.Rank == bad.Rank
 			}
 		}

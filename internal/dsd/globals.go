@@ -104,6 +104,10 @@ func (v *Var) Len() int { return v.e.Count }
 // ElemSize returns the per-element size on this platform.
 func (v *Var) ElemSize() int { return v.e.ElemSize }
 
+// IsPointer reports whether the elements are pointers (use Ptr/SetPtr, not
+// the integer accessors).
+func (v *Var) IsPointer() bool { return v.e.Pointer }
+
 func (v *Var) offsetOf(i int) (int, error) {
 	if i < 0 || i >= v.e.Count {
 		return 0, fmt.Errorf("dsd: %s[%d] out of range [0,%d)", v.e.Name, i, v.e.Count)
@@ -355,7 +359,17 @@ func (v *Var) SetPtr(i int, addr uint64) error {
 	buf := make([]byte, v.e.ElemSize)
 	v.g.plat.PutUint(buf, v.e.ElemSize, addr)
 	v.noteWrite(i, 1)
-	return v.g.seg.Write(off, buf)
+	if err := v.g.seg.Write(off, buf); err != nil {
+		return err
+	}
+	if v.g.rec != nil {
+		// Record the logical target of the canonical stored address (after
+		// the element's size truncation), so the checker compares
+		// platform-independent (member, element) pairs, never raw bits.
+		t, ti := v.g.resolveAddr(v.g.plat.Uint(buf, v.e.ElemSize))
+		v.g.rec.WritePtr(v.g.rank, v.e.Name, i, t, ti)
+	}
+	return nil
 }
 
 // Ptr loads element i as a pointer value.
@@ -374,7 +388,33 @@ func (v *Var) Ptr(i int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return v.g.plat.Uint(b, v.e.ElemSize), nil
+	addr := v.g.plat.Uint(b, v.e.ElemSize)
+	if v.g.rec != nil {
+		t, ti := v.g.resolveAddr(addr)
+		v.g.rec.ReadPtr(v.g.rank, v.e.Name, i, t, ti)
+	}
+	return addr, nil
+}
+
+// Resolve maps a pointer value (a local GThV address, e.g. one loaded via
+// Ptr) back to the member path and element index it points at. It returns
+// ok false for null or out-of-segment addresses — the pointer-chasing
+// workloads' stop condition.
+func (g *Globals) Resolve(addr uint64) (name string, index int, ok bool) {
+	name, index = g.resolveAddr(addr)
+	return name, index, name != ""
+}
+
+// resolveAddr is Resolve without the ok bit: ("", -1) marks unresolvable.
+func (g *Globals) resolveAddr(addr uint64) (string, int) {
+	if addr == 0 {
+		return "", -1
+	}
+	entry, elem, ok := g.table.MapAddr(addr)
+	if !ok {
+		return "", -1
+	}
+	return g.table.Entry(entry).Name, elem
 }
 
 // Addr returns the local virtual address of element i, the value one

@@ -20,6 +20,12 @@ package dsd
 //   - Read/Write fire on the typed signed-integer accessors with the
 //     canonical stored value (what a subsequent load returns after the
 //     platform's size truncation), so a checker models memory exactly.
+//   - ReadPtr/WritePtr fire on the pointer accessors (Ptr/SetPtr) with
+//     the logical cell the stored address resolves to through the local
+//     index table — target member path and element index — rather than
+//     the raw address, which is platform-specific and rewritten by
+//     pointer translation in heterogeneous runs. A null or unresolvable
+//     address reports target "" with index -1.
 //
 // Implementations must be safe for concurrent use: distinct ranks call
 // concurrently.
@@ -31,4 +37,6 @@ type Recorder interface {
 	Join(rank int32)
 	Read(rank int32, name string, index int, value int64)
 	Write(rank int32, name string, index int, value int64)
+	ReadPtr(rank int32, name string, index int, target string, targetIndex int)
+	WritePtr(rank int32, name string, index int, target string, targetIndex int)
 }

@@ -53,6 +53,14 @@ type Thread struct {
 	// invalid tracks element spans whose local copies are stale under the
 	// invalidate protocol; reads overlapping them fetch from the home.
 	invalid []indextable.Span
+	// pending tracks element spans written locally since the last release
+	// point. A local write is authoritative until its release ships it, so
+	// incoming updates (lock grants, barrier releases, fetch replies — in
+	// particular a home's conservative catch-up after a reconnect or an
+	// entry re-homing) must never overwrite these spans: doing so would
+	// silently lose the write, because applying remote data also rewrites
+	// the twin and erases the diff.
+	pending []indextable.Span
 	// heatPrev holds the per-page fault totals already reported to the
 	// home, so each release piggybacks only the window's delta.
 	heatPrev map[int]uint64
@@ -176,13 +184,15 @@ func (t *Thread) handshakeOn(c transport.Conn) error {
 // Protocol returns the propagation protocol in force (the home's choice).
 func (t *Thread) Protocol() Protocol { return t.proto }
 
-// noteLocalWrite drops a stale marking: the local write is authoritative
-// until the next release point.
+// noteLocalWrite records the span in the pending set and drops any stale
+// marking: the local write is authoritative until the next release point.
 func (t *Thread) noteLocalWrite(entry, first, count int) {
+	sp := indextable.Span{Entry: entry, First: first, Count: count}
+	t.pending = indextable.MergeSpans(append(t.pending, sp))
 	if len(t.invalid) == 0 {
 		return
 	}
-	t.invalid = indextable.SubtractSpan(t.invalid, indextable.Span{Entry: entry, First: first, Count: count})
+	t.invalid = indextable.SubtractSpan(t.invalid, sp)
 }
 
 // ensureValid makes [first, first+count) of entry current before a read:
@@ -596,9 +606,12 @@ func (t *Thread) Join() error {
 	return nil
 }
 
-// rearm restarts the write-detection window after a release point.
+// rearm restarts the write-detection window after a release point. The
+// pending set clears with it: the release shipped every outstanding local
+// write, so remote updates may touch those spans again.
 func (t *Thread) rearm() {
 	t.seg.ProtectAll()
+	t.pending = t.pending[:0]
 }
 
 // heatDelta snapshots the page-fault counters accrued since the last
@@ -723,9 +736,23 @@ func (t *Thread) applyIncoming(msg *wire.Message) error {
 			return err
 		}
 		convBytes += len(u.Data)
-		off := e.Offset + int(u.First)*e.ElemSize
-		if err := t.seg.ApplyRemote(off, data); err != nil {
-			return err
+		// Apply around the pending set: a span written locally since the
+		// last release is authoritative here (exactly as the RC model keeps
+		// dirty cells through an acquire's refresh), and a conservative
+		// catch-up grant after a reconnect or re-homing must not erase it.
+		frags := []indextable.Span{{Entry: int(u.Entry), First: int(u.First), Count: int(u.Count)}}
+		for _, d := range t.pending {
+			frags = indextable.SubtractSpan(frags, d)
+			if len(frags) == 0 {
+				break
+			}
+		}
+		for _, f := range frags {
+			off := e.Offset + f.First*e.ElemSize
+			b := data[(f.First-int(u.First))*e.ElemSize : (f.First-int(u.First)+f.Count)*e.ElemSize]
+			if err := t.seg.ApplyRemote(off, b); err != nil {
+				return err
+			}
 		}
 	}
 	t.bd.AddBytes(stats.Conv, time.Since(start), convBytes)

@@ -1,0 +1,704 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"hetdsm/internal/platform"
+	"hetdsm/internal/tag"
+)
+
+// The chaos grammar: a weighted vocabulary of workload actions compiled
+// deterministically from the plan's seed into a concrete instruction
+// schedule. The compiler draws every random choice up front, before any
+// thread runs — fault injection never consumes the plan's rng stream — so
+// the canonical event trace of a plan is byte-identical across runs and
+// across fault profiles.
+//
+// The "classic" mix is special: it reproduces the pre-grammar workload
+// draw-for-draw (same rng consumption, same two-lock/one-barrier shape),
+// so every historical regression seed replays its original schedule.
+
+// Workload shape: per-lock counter arrays (lock i guards the array named
+// 'a'+i), a barrier-phased array of rank-owned slices, and — when a mix's
+// weights call for them — a write-hot array, a read-mostly array, and an
+// array of GThV pointers for pointer-chasing reads. Array lengths are small
+// so coalesced spans and element-exact diffs both occur, but whole-array
+// widening stays off (the driver disables it) — blind rank-owned writes
+// must never ship stale copies of a neighbor's cells.
+const (
+	protLen  = 8 // cells per lock-protected counter array
+	sliceLen = 4 // cells each rank owns in the barrier-phase array
+	hotLen   = 8 // cells in the write-hot array
+	roLen    = 8 // cells in the read-mostly array
+	maxLocks = 8 // prot arrays are named 'a'..'h'
+)
+
+// layout is the concrete shared-structure shape a (plan, mix) pair
+// compiles to. Optional members exist only when the mix's weights use
+// them, so mixes that do not need them (the classic mix above all) keep
+// the index table — and therefore every entry-indexed fault schedule —
+// exactly as it was before the grammar existed.
+type layout struct {
+	locks    int // lock-protected counter arrays; lock i guards protName(i)
+	threads  int
+	ptrSlots int // elements of the "pt" pointer array; 0 = absent
+	hotLen   int // elements of "hot"; 0 = absent
+	roLen    int // elements of "ro"; 0 = absent
+}
+
+// protName is the counter array guarded by lock i.
+func (l layout) protName(i int) string { return string(rune('a' + i)) }
+
+// Auxiliary mutex indices live above the prot locks.
+func (l layout) ptrLock() int  { return l.locks }     // guards "pt"
+func (l layout) hotLock() int  { return l.locks + 1 } // guards "hot"
+func (l layout) roLock() int   { return l.locks + 2 } // guards "ro"
+func (l layout) flagLock() int { return l.locks + 3 } // producer/consumer edge
+
+// gthv builds the shared structure for this layout.
+func (l layout) gthv() tag.Struct {
+	fs := make([]tag.Field, 0, l.locks+5)
+	for i := 0; i < l.locks; i++ {
+		fs = append(fs, tag.Field{Name: l.protName(i), T: tag.IntArray(protLen)})
+	}
+	fs = append(fs, tag.Field{Name: "slice", T: tag.IntArray(l.threads * sliceLen)})
+	if l.hotLen > 0 {
+		fs = append(fs, tag.Field{Name: "hot", T: tag.IntArray(l.hotLen)})
+	}
+	if l.roLen > 0 {
+		fs = append(fs, tag.Field{Name: "ro", T: tag.IntArray(l.roLen)})
+	}
+	if l.ptrSlots > 0 {
+		fs = append(fs, tag.Field{Name: "pt", T: tag.Array{Elem: tag.Pointer{}, N: l.ptrSlots}})
+	}
+	fs = append(fs, tag.Field{Name: "gen", T: tag.Scalar{T: platform.CLongLong}})
+	return tag.Struct{Name: "GThV_t", Fields: fs}
+}
+
+// ptrEntry is the index-table entry of "pt", or -1 when absent. Each field
+// flattens to exactly one entry in declaration order on every platform, so
+// the entry index is just the field position.
+func (l layout) ptrEntry() int {
+	if l.ptrSlots == 0 {
+		return -1
+	}
+	i := l.locks + 1 // prot arrays + "slice"
+	if l.hotLen > 0 {
+		i++
+	}
+	if l.roLen > 0 {
+		i++
+	}
+	return i
+}
+
+// varSpec names one signed-integer member and its length.
+type varSpec struct {
+	name string
+	n    int
+}
+
+// intSpecs lists every integer member for the final master comparison.
+func (l layout) intSpecs() []varSpec {
+	specs := make([]varSpec, 0, l.locks+4)
+	for i := 0; i < l.locks; i++ {
+		specs = append(specs, varSpec{l.protName(i), protLen})
+	}
+	specs = append(specs, varSpec{"slice", l.threads * sliceLen})
+	if l.hotLen > 0 {
+		specs = append(specs, varSpec{"hot", l.hotLen})
+	}
+	if l.roLen > 0 {
+		specs = append(specs, varSpec{"ro", l.roLen})
+	}
+	specs = append(specs, varSpec{"gen", 1})
+	return specs
+}
+
+// actionKind enumerates the grammar's weighted action vocabulary.
+type actionKind int
+
+const (
+	// actCS: one rank runs a critical section on a random lock.
+	actCS actionKind = iota
+	// actPair: two ranks run concurrent critical sections on distinct
+	// locks over disjoint arrays.
+	actPair
+	// actNested: one rank acquires an ascending chain of 2-3 locks,
+	// mutating each guarded array while the chain is held, releasing in
+	// reverse order.
+	actNested
+	// actNestedPair: two ranks hold disjoint nested chains concurrently
+	// (lower vs. upper half of the lock space — a global order, so no
+	// deadlock even when the home serves both at once).
+	actNestedPair
+	// actPhase: every rank blind-writes its own slice, all meet at the
+	// barrier, then every rank reads its neighbor's slice.
+	actPhase
+	// actBarrier: a bare all-rank barrier.
+	actBarrier
+	// actProduce: a producer blind-writes its slice then bumps the "gen"
+	// generation counter under the flag lock — the release carries the
+	// slice writes, so consumers are ordered by the lock-release edge
+	// alone, no barrier.
+	actProduce
+	// actConsume: a consumer takes the flag lock, reads "gen", and reads
+	// a seeded rank's slice — fresh by the acquire's update grant.
+	actConsume
+	// actPtrPub: a rank mutates a counter cell under its lock, then nests
+	// the pointer lock and publishes &cell into its own "pt" slot.
+	actPtrPub
+	// actPtrChase: a rank takes the pointer lock, loads a "pt" slot, and
+	// if the pointer resolves, reads the cell it targets — a
+	// pointer-chasing read whose staleness the checker models.
+	actPtrChase
+	// actHotWrite: a rank-asymmetric writer (low ranks favored) bursts
+	// read-modify-writes into the write-hot array.
+	actHotWrite
+	// actROScan: a rank-asymmetric reader (high ranks favored) scans the
+	// read-mostly array, with a rare refresh write.
+	actROScan
+
+	numActions
+)
+
+// actionNames maps kinds to the spec names "-grammar cs:3,nested:2" uses.
+var actionNames = [numActions]string{
+	"cs", "pair", "nested", "nested-pair", "phase", "barrier",
+	"produce", "consume", "ptr-pub", "ptr-chase", "hot-write", "ro-scan",
+}
+
+// GrammarMix is a weighted grammar over the action vocabulary plus the
+// layout knobs the weights imply.
+type GrammarMix struct {
+	// Name is the builtin name or the literal spec string.
+	Name string
+	// Locks is the prot-lock count when the plan leaves Plan.Locks 0.
+	Locks int
+	// Stagger ends the run with staggered joins — ranks leave one at a
+	// time while survivors keep working — instead of barrier-then-join-all.
+	Stagger bool
+	// Weights holds the relative weight of each actionKind.
+	Weights [numActions]int
+	// legacy marks the classic mix: reproduce the pre-grammar schedule
+	// draw-for-draw instead of weighted sampling.
+	legacy bool
+}
+
+// uses reports whether the mix can emit the action.
+func (m GrammarMix) uses(k actionKind) bool { return m.Weights[k] > 0 }
+
+// builtinMixes returns the named grammar mixes, in sweep order.
+func builtinMixes() []GrammarMix {
+	classic := GrammarMix{Name: "classic", Locks: 2, legacy: true}
+	// Indicative only — the legacy path draws its own schedule — but kept
+	// truthful so layoutFor sees which members classic touches.
+	classic.Weights[actCS] = 5
+	classic.Weights[actPair] = 2
+	classic.Weights[actPhase] = 1
+	classic.Weights[actBarrier] = 2
+
+	nested := GrammarMix{Name: "nested", Locks: 4}
+	nested.Weights[actCS] = 3
+	nested.Weights[actPair] = 1
+	nested.Weights[actNested] = 4
+	nested.Weights[actNestedPair] = 2
+	nested.Weights[actPhase] = 1
+	nested.Weights[actBarrier] = 1
+
+	pointer := GrammarMix{Name: "pointer", Locks: 2}
+	pointer.Weights[actCS] = 2
+	pointer.Weights[actPtrPub] = 4
+	pointer.Weights[actPtrChase] = 4
+	pointer.Weights[actPhase] = 1
+	pointer.Weights[actBarrier] = 1
+
+	producer := GrammarMix{Name: "producer", Locks: 2}
+	producer.Weights[actProduce] = 4
+	producer.Weights[actConsume] = 4
+	producer.Weights[actCS] = 2
+	producer.Weights[actPhase] = 1
+	producer.Weights[actBarrier] = 1
+
+	hotcold := GrammarMix{Name: "hotcold", Locks: 2}
+	hotcold.Weights[actHotWrite] = 4
+	hotcold.Weights[actROScan] = 4
+	hotcold.Weights[actCS] = 2
+	hotcold.Weights[actBarrier] = 1
+
+	chaos := GrammarMix{Name: "chaos", Locks: 4, Stagger: true}
+	chaos.Weights[actCS] = 3
+	chaos.Weights[actPair] = 2
+	chaos.Weights[actNested] = 3
+	chaos.Weights[actNestedPair] = 2
+	chaos.Weights[actPhase] = 2
+	chaos.Weights[actBarrier] = 1
+	chaos.Weights[actProduce] = 2
+	chaos.Weights[actConsume] = 2
+	chaos.Weights[actPtrPub] = 2
+	chaos.Weights[actPtrChase] = 2
+	chaos.Weights[actHotWrite] = 2
+	chaos.Weights[actROScan] = 2
+
+	return []GrammarMix{classic, nested, pointer, producer, hotcold, chaos}
+}
+
+// GrammarMixes returns the builtin grammar names, in sweep order.
+func GrammarMixes() []string {
+	ms := builtinMixes()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// MixByName resolves a grammar: "" or a builtin name, or a literal
+// weighted spec like "cs:3,nested:2".
+func MixByName(name string) (GrammarMix, error) {
+	if name == "" {
+		name = "classic"
+	}
+	for _, m := range builtinMixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	if strings.Contains(name, ":") {
+		return ParseMix(name)
+	}
+	return GrammarMix{}, fmt.Errorf("sim: unknown grammar %q (want %s, or a spec like \"cs:3,nested:2\")",
+		name, strings.Join(GrammarMixes(), "|"))
+}
+
+// ParseMix parses a weighted action spec: comma-separated "action:weight"
+// pairs over the names cs, pair, nested, nested-pair, phase, barrier,
+// produce, consume, ptr-pub, ptr-chase, hot-write, ro-scan.
+func ParseMix(spec string) (GrammarMix, error) {
+	m := GrammarMix{Name: spec, Locks: 2}
+	total := 0
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, ok := strings.Cut(part, ":")
+		if !ok {
+			return m, fmt.Errorf("sim: grammar spec %q: %q is not \"action:weight\"", spec, part)
+		}
+		k := -1
+		for i, n := range actionNames {
+			if n == name {
+				k = i
+				break
+			}
+		}
+		if k < 0 {
+			return m, fmt.Errorf("sim: grammar spec %q: unknown action %q (want one of %s)",
+				spec, name, strings.Join(actionNames[:], ", "))
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(wstr))
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("sim: grammar spec %q: bad weight %q for %q (want a non-negative integer)", spec, wstr, name)
+		}
+		m.Weights[k] += w
+		total += w
+	}
+	if total == 0 {
+		return m, fmt.Errorf("sim: grammar spec %q: weights sum to zero — no action can ever be drawn", spec)
+	}
+	if m.uses(actNested) || m.uses(actNestedPair) {
+		m.Locks = 4
+	}
+	return m, nil
+}
+
+// layoutFor derives the concrete layout a (plan, mix) pair compiles to.
+func layoutFor(p Plan, m GrammarMix) layout {
+	locks := p.Locks
+	if locks == 0 {
+		locks = m.Locks
+	}
+	lay := layout{locks: locks, threads: p.Threads}
+	if m.uses(actPtrPub) || m.uses(actPtrChase) {
+		lay.ptrSlots = p.Threads
+	}
+	if m.uses(actHotWrite) {
+		lay.hotLen = hotLen
+	}
+	if m.uses(actROScan) {
+		lay.roLen = roLen
+	}
+	return lay
+}
+
+// instrOp is one worker instruction opcode.
+type instrOp int
+
+const (
+	inLock     instrOp = iota // acquire mutex sync
+	inUnlock                  // release mutex sync
+	inBarrier                 // enter barrier sync
+	inJoin                    // terminate the thread
+	inRMW                     // v[idx] += val (read then write)
+	inWrite                   // v[idx] = val (blind)
+	inRead                    // load v[idx]
+	inReadRun                 // load v[idx..idx+n)
+	inPtrPub                  // v[idx] = &tv[ti]
+	inPtrChase                // load pointer v[idx]; read its target if it resolves
+)
+
+// instr is one compiled worker instruction.
+type instr struct {
+	op   instrOp
+	sync int    // inLock/inUnlock/inBarrier index
+	v    string // member the instruction touches
+	idx  int
+	n    int   // inReadRun length
+	val  int64 // inRMW delta / inWrite value
+	tv   string
+	ti   int // inPtrPub target member and element
+}
+
+// rankProg is one rank's instruction list within a batch.
+type rankProg struct {
+	rank   int
+	instrs []instr
+}
+
+// batch holds rank programs dispatched concurrently and awaited together.
+// The compiler guarantees programs in one batch touch disjoint locks and
+// disjoint data cells, so concurrency never makes an observed value depend
+// on scheduling.
+type batch []rankProg
+
+// progStep is the ordered batches of one schedule step.
+type progStep []batch
+
+// program is a fully compiled workload: numbered steps (the fault schedule
+// fires before each) and a deterministic closing tail.
+type program struct {
+	steps []progStep
+	tail  []progStep
+	// counts tallies how many times each action was emitted.
+	counts [numActions]int
+}
+
+// compileProgram compiles the plan's schedule from its rng. Compilation
+// consumes the entire seeded stream before any thread runs; execution
+// draws nothing.
+func compileProgram(p Plan, m GrammarMix, lay layout, rng *rand.Rand) *program {
+	c := &compiler{rng: rng, lay: lay, n: p.Threads, m: m}
+	prog := &program{}
+	for step := 0; step < p.Steps; step++ {
+		if m.legacy {
+			prog.steps = append(prog.steps, c.classicStep(&prog.counts))
+		} else {
+			prog.steps = append(prog.steps, c.grammarStep(&prog.counts))
+		}
+	}
+	prog.tail = c.tail()
+	return prog
+}
+
+type compiler struct {
+	rng *rand.Rand
+	lay layout
+	n   int
+	m   GrammarMix
+}
+
+// classicStep reproduces the pre-grammar schedule draw-for-draw: the same
+// Intn(10) buckets, the same per-bucket rng consumption — so historical
+// regression seeds replay their original schedules byte-identically.
+func (c *compiler) classicStep(counts *[numActions]int) progStep {
+	n := c.n
+	switch pick := c.rng.Intn(10); {
+	case pick < 5:
+		r := c.rng.Intn(n)
+		lock := c.rng.Intn(2)
+		counts[actCS]++
+		return progStep{batch{{r, c.csInstrs(lock)}}}
+	case pick < 7 && n >= 2:
+		r0 := c.rng.Intn(n)
+		r1 := (r0 + 1 + c.rng.Intn(n-1)) % n
+		i0 := c.csInstrs(0)
+		i1 := c.csInstrs(1)
+		counts[actPair]++
+		return progStep{batch{{r0, i0}, {r1, i1}}}
+	case pick < 8:
+		counts[actPhase]++
+		return c.phaseStep()
+	default:
+		counts[actBarrier]++
+		return progStep{c.barrierBatch(0)}
+	}
+}
+
+// grammarStep draws one weighted action and compiles it.
+func (c *compiler) grammarStep(counts *[numActions]int) progStep {
+	k := c.pickAction()
+	// Degrade actions whose preconditions the plan cannot meet — the
+	// fallback is drawn deterministically, so replay is unaffected.
+	if k == actPair && c.n < 2 {
+		k = actCS
+	}
+	if k == actNestedPair && (c.n < 2 || c.lay.locks < 4) {
+		k = actNested
+	}
+	counts[k]++
+	switch k {
+	case actCS:
+		r := c.rng.Intn(c.n)
+		lock := c.rng.Intn(c.lay.locks)
+		return progStep{batch{{r, c.csInstrs(lock)}}}
+	case actPair:
+		r0 := c.rng.Intn(c.n)
+		r1 := (r0 + 1 + c.rng.Intn(c.n-1)) % c.n
+		l0 := c.rng.Intn(c.lay.locks)
+		l1 := (l0 + 1 + c.rng.Intn(c.lay.locks-1)) % c.lay.locks
+		return progStep{batch{{r0, c.csInstrs(l0)}, {r1, c.csInstrs(l1)}}}
+	case actNested:
+		r := c.rng.Intn(c.n)
+		return progStep{batch{{r, c.chainInstrs(c.chainStart())}}}
+	case actNestedPair:
+		r0 := c.rng.Intn(c.n)
+		r1 := (r0 + 1 + c.rng.Intn(c.n-1)) % c.n
+		half := c.lay.locks / 2
+		a0 := c.rng.Intn(half - 1)                  // chain {a0, a0+1} in the lower half
+		b0 := half + c.rng.Intn(c.lay.locks-half-1) // chain {b0, b0+1} in the upper half
+		i0 := c.chain2Instrs(a0)
+		i1 := c.chain2Instrs(b0)
+		return progStep{batch{{r0, i0}, {r1, i1}}}
+	case actPhase:
+		return c.phaseStep()
+	case actBarrier:
+		return progStep{c.barrierBatch(c.rng.Intn(2))}
+	case actProduce:
+		p := c.rng.Intn(c.n)
+		ins := make([]instr, 0, sliceLen+3)
+		for i := 0; i < sliceLen; i++ {
+			ins = append(ins, instr{op: inWrite, v: "slice", idx: p*sliceLen + i, val: c.val()})
+		}
+		fl := c.lay.flagLock()
+		ins = append(ins,
+			instr{op: inLock, sync: fl},
+			instr{op: inRMW, v: "gen", idx: 0, val: 1},
+			instr{op: inUnlock, sync: fl})
+		return progStep{batch{{p, ins}}}
+	case actConsume:
+		r := c.rng.Intn(c.n)
+		src := c.rng.Intn(c.n)
+		fl := c.lay.flagLock()
+		return progStep{batch{{r, []instr{
+			{op: inLock, sync: fl},
+			{op: inRead, v: "gen", idx: 0},
+			{op: inReadRun, v: "slice", idx: src * sliceLen, n: sliceLen},
+			{op: inUnlock, sync: fl},
+		}}}}
+	case actPtrPub:
+		r := c.rng.Intn(c.n)
+		lp := c.rng.Intn(c.lay.locks)
+		cell := c.rng.Intn(protLen)
+		name := c.lay.protName(lp)
+		return progStep{batch{{r, []instr{
+			{op: inLock, sync: lp},
+			{op: inRMW, v: name, idx: cell, val: c.val()},
+			{op: inLock, sync: c.lay.ptrLock()}, // prot lock < ptrLock: global order
+			{op: inPtrPub, v: "pt", idx: r, tv: name, ti: cell},
+			{op: inUnlock, sync: c.lay.ptrLock()},
+			{op: inUnlock, sync: lp},
+		}}}}
+	case actPtrChase:
+		r := c.rng.Intn(c.n)
+		slot := c.rng.Intn(c.lay.ptrSlots)
+		return progStep{batch{{r, []instr{
+			{op: inLock, sync: c.lay.ptrLock()},
+			{op: inPtrChase, v: "pt", idx: slot},
+			{op: inUnlock, sync: c.lay.ptrLock()},
+		}}}}
+	case actHotWrite:
+		r := c.asymRank(false)
+		burst := 2 + c.rng.Intn(3)
+		ins := make([]instr, 0, burst+2)
+		ins = append(ins, instr{op: inLock, sync: c.lay.hotLock()})
+		for i := 0; i < burst; i++ {
+			ins = append(ins, instr{op: inRMW, v: "hot", idx: c.rng.Intn(c.lay.hotLen), val: c.val()})
+		}
+		ins = append(ins, instr{op: inUnlock, sync: c.lay.hotLock()})
+		return progStep{batch{{r, ins}}}
+	case actROScan:
+		r := c.asymRank(true)
+		ins := []instr{
+			{op: inLock, sync: c.lay.roLock()},
+			{op: inReadRun, v: "ro", idx: 0, n: c.lay.roLen},
+		}
+		if c.rng.Intn(8) == 0 {
+			ins = append(ins, instr{op: inWrite, v: "ro", idx: c.rng.Intn(c.lay.roLen), val: c.val()})
+		}
+		ins = append(ins, instr{op: inUnlock, sync: c.lay.roLock()})
+		return progStep{batch{{r, ins}}}
+	}
+	panic(fmt.Sprintf("sim: unhandled action %d", k))
+}
+
+// pickAction draws a weighted action kind.
+func (c *compiler) pickAction() actionKind {
+	total := 0
+	for _, w := range c.m.Weights {
+		total += w
+	}
+	x := c.rng.Intn(total)
+	for k, w := range c.m.Weights {
+		if x < w {
+			return actionKind(k)
+		}
+		x -= w
+	}
+	panic("sim: weighted pick out of range")
+}
+
+// val draws a workload value — truncated to int32 so it round-trips
+// through every platform's C int.
+func (c *compiler) val() int64 { return int64(int32(c.rng.Uint32())) }
+
+// asymRank draws a rank from a triangular distribution: weight n-r for
+// rank r (favoring low ranks), or r+1 when high is set.
+func (c *compiler) asymRank(high bool) int {
+	total := c.n * (c.n + 1) / 2
+	x := c.rng.Intn(total)
+	for r := 0; r < c.n; r++ {
+		w := c.n - r
+		if high {
+			w = r + 1
+		}
+		if x < w {
+			return r
+		}
+		x -= w
+	}
+	return c.n - 1
+}
+
+// csInstrs compiles one critical section: 1-2 read-modify-writes on the
+// lock's array. Draw order matches the pre-grammar csCmd exactly.
+func (c *compiler) csInstrs(lock int) []instr {
+	nops := 1 + c.rng.Intn(2)
+	ins := make([]instr, 0, nops+2)
+	ins = append(ins, instr{op: inLock, sync: lock})
+	name := c.lay.protName(lock)
+	for i := 0; i < nops; i++ {
+		ins = append(ins, instr{op: inRMW, v: name, idx: c.rng.Intn(protLen), val: c.val()})
+	}
+	ins = append(ins, instr{op: inUnlock, sync: lock})
+	return ins
+}
+
+// chainStart draws the depth (2-3, bounded by the lock count) and first
+// lock of an ascending nested chain.
+func (c *compiler) chainStart() (start, depth int) {
+	depth = 2
+	if c.lay.locks > 2 {
+		max := c.lay.locks
+		if max > 3 {
+			max = 3
+		}
+		depth = 2 + c.rng.Intn(max-1)
+	}
+	start = c.rng.Intn(c.lay.locks - depth + 1)
+	return start, depth
+}
+
+// chainInstrs compiles a nested critical section: acquire locks
+// start..start+depth-1 in ascending order, mutate each guarded array while
+// the chain is held, release in reverse.
+func (c *compiler) chainInstrs(start, depth int) []instr {
+	ins := make([]instr, 0, 3*depth)
+	for d := 0; d < depth; d++ {
+		ins = append(ins,
+			instr{op: inLock, sync: start + d},
+			instr{op: inRMW, v: c.lay.protName(start + d), idx: c.rng.Intn(protLen), val: c.val()})
+	}
+	for d := depth - 1; d >= 0; d-- {
+		ins = append(ins, instr{op: inUnlock, sync: start + d})
+	}
+	return ins
+}
+
+// chain2Instrs is chainInstrs with a fixed depth of 2 (the nested-pair
+// arms).
+func (c *compiler) chain2Instrs(start int) []instr { return c.chainInstrs(start, 2) }
+
+// phaseStep compiles a barrier phase: concurrent rank-owned slice writes,
+// an all-rank barrier, concurrent neighbor reads. Draw order matches the
+// pre-grammar slice phase exactly.
+func (c *compiler) phaseStep() progStep {
+	writes := make(batch, 0, c.n)
+	for r := 0; r < c.n; r++ {
+		ins := make([]instr, sliceLen)
+		for i := range ins {
+			ins[i] = instr{op: inWrite, v: "slice", idx: r*sliceLen + i, val: c.val()}
+		}
+		writes = append(writes, rankProg{r, ins})
+	}
+	reads := make(batch, 0, c.n)
+	for r := 0; r < c.n; r++ {
+		reads = append(reads, rankProg{r, []instr{
+			{op: inReadRun, v: "slice", idx: ((r + 1) % c.n) * sliceLen, n: sliceLen},
+		}})
+	}
+	return progStep{writes, c.barrierBatch(0), reads}
+}
+
+// barrierBatch sends every rank into barrier idx.
+func (c *compiler) barrierBatch(idx int) batch {
+	b := make(batch, c.n)
+	for r := 0; r < c.n; r++ {
+		b[r] = rankProg{r, []instr{{op: inBarrier, sync: idx}}}
+	}
+	return b
+}
+
+// tail compiles the deterministic closing phase. Every rank first locks
+// once with a forced +1 delta (an x+1 store always changes the cell bytes,
+// so the unlock is guaranteed to carry data — the negative mode's
+// corruption target). Non-staggered mixes then meet at a final barrier and
+// join together, draw-for-draw what the pre-grammar tail did. Staggered
+// mixes instead retire ranks one at a time in a seeded order, with the
+// next-to-leave rank running one more critical section between departures
+// — and no barriers once the first rank is gone, since a barrier
+// rendezvous can never complete without it.
+func (c *compiler) tail() []progStep {
+	var steps []progStep
+	for r := 0; r < c.n; r++ {
+		lock := r % c.lay.locks
+		steps = append(steps, progStep{batch{{r, []instr{
+			{op: inLock, sync: lock},
+			{op: inRMW, v: c.lay.protName(lock), idx: r % protLen, val: 1},
+			{op: inUnlock, sync: lock},
+		}}}})
+	}
+	if !c.m.Stagger {
+		steps = append(steps, progStep{c.barrierBatch(0)})
+		join := make(batch, c.n)
+		for r := 0; r < c.n; r++ {
+			join[r] = rankProg{r, []instr{{op: inJoin}}}
+		}
+		steps = append(steps, progStep{join})
+		return steps
+	}
+	order := c.rng.Perm(c.n)
+	for k, r := range order {
+		steps = append(steps, progStep{batch{{r, []instr{{op: inJoin}}}}})
+		if k == c.n-1 {
+			break
+		}
+		surv := order[k+1]
+		lock := c.rng.Intn(c.lay.locks)
+		steps = append(steps, progStep{batch{{surv, c.csInstrs(lock)}}})
+	}
+	return steps
+}

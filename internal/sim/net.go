@@ -98,14 +98,25 @@ func (n *Net) Cuts() int {
 // final-state comparison always diverges.
 type CorruptNet struct {
 	inner transport.Network
+	skip  map[int32]bool // index-table entries never corrupted (pointers)
 
 	mu        sync.Mutex
 	corrupted int
 }
 
 // NewCorruptNet wraps inner, corrupting every unlock request's payload.
-func NewCorruptNet(inner transport.Network) *CorruptNet {
-	return &CorruptNet{inner: inner}
+// skipEntries lists index-table entries whose updates must pass through
+// unmangled — pointer entries, where a flipped bit breaks home-side
+// translation (an infrastructure error) instead of silently diverging a
+// committed value (the oracle's target). Negative indices are ignored.
+func NewCorruptNet(inner transport.Network, skipEntries ...int) *CorruptNet {
+	n := &CorruptNet{inner: inner, skip: make(map[int32]bool)}
+	for _, e := range skipEntries {
+		if e >= 0 {
+			n.skip[int32(e)] = true
+		}
+	}
+	return n
 }
 
 // Corrupted returns how many frames were corrupted.
@@ -139,7 +150,8 @@ func (c *corruptConn) SendFrame(frame []byte) error {
 	return c.Conn.SendFrame(frame)
 }
 
-// mangle flips one bit in the first update payload of an unlock request.
+// mangle flips one bit in the first non-skipped update payload of an
+// unlock request.
 func (c *corruptConn) mangle(frame []byte) ([]byte, bool) {
 	m, err := wire.Decode(frame)
 	if err != nil || m.Kind != wire.KindUnlockReq {
@@ -147,6 +159,9 @@ func (c *corruptConn) mangle(frame []byte) ([]byte, bool) {
 	}
 	hit := false
 	for i := range m.Updates {
+		if c.net.skip[m.Updates[i].Entry] {
+			continue
+		}
 		if len(m.Updates[i].Data) > 0 {
 			m.Updates[i].Data[0] ^= 0x01
 			hit = true

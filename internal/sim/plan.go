@@ -7,13 +7,14 @@
 // release-consistency model, so a run either reports zero violations or
 // prints a replayable seed with a minimized event trace.
 //
-// Determinism is by construction, not by luck: a single driver goroutine
-// owns the operation schedule (drawn from the plan's seed), critical
-// sections are globally serialized (concurrent only across distinct locks
-// over disjoint data), and barrier phases write rank-owned slices — so the
-// values every thread reads and writes are a pure function of the seed,
-// and the canonical per-rank event trace is byte-identical across runs of
-// the same plan even when fault timing varies.
+// Determinism is by construction, not by luck: the workload grammar
+// compiles the plan's seed into a complete instruction schedule before any
+// thread runs (fault injection never consumes the plan's rng stream),
+// critical sections are globally serialized (concurrent only across
+// distinct locks over disjoint data), and barrier phases write rank-owned
+// slices — so the values every thread reads and writes are a pure function
+// of the seed, and the canonical per-rank event trace is byte-identical
+// across runs of the same plan even when fault timing varies.
 package sim
 
 import (
@@ -106,6 +107,14 @@ type Plan struct {
 	Threads int
 	// Steps is the number of driver steps (default 25).
 	Steps int
+	// Grammar names the workload grammar mix — a builtin ("classic",
+	// "nested", "pointer", "producer", "hotcold", "chaos") or a literal
+	// weighted spec like "cs:3,nested:2". Empty means "classic", the
+	// pre-grammar schedule reproduced draw-for-draw.
+	Grammar string
+	// Locks overrides the grammar's lock-protected array count (0 = the
+	// mix's default; valid range 2..maxLocks).
+	Locks int
 	// Negative injects a deliberate wire corruption into one unlock's
 	// update payload; the run is then expected to FAIL validation. dsmsim
 	// uses it to test the oracle itself.
@@ -137,6 +146,9 @@ func (p Plan) withDefaults() Plan {
 	if p.Steps <= 0 {
 		p.Steps = 25
 	}
+	if p.Grammar == "" {
+		p.Grammar = "classic"
+	}
 	if p.Shards <= 0 {
 		p.Shards = 1
 	}
@@ -146,9 +158,57 @@ func (p Plan) withDefaults() Plan {
 	return p
 }
 
+// Workload-size ceilings: generous for real sweeps, tight enough that a
+// fuzzer-shaped plan cannot ask for an absurd deployment.
+const (
+	maxThreads = 16
+	maxSteps   = 10000
+)
+
+// Validate reports the first problem that would make the plan fail mid-run
+// — an unknown profile or grammar, zero-weight mixes, negative mode on a
+// faulty profile, shards on a profile scripting single-home fates — so
+// callers can reject bad flag combinations up front with one actionable
+// message.
+func (p Plan) Validate() error {
+	q := p.withDefaults()
+	if !ValidProfile(q.Profile) {
+		return fmt.Errorf("sim: unknown profile %q", q.Profile)
+	}
+	if _, _, err := q.platforms(); err != nil {
+		return err
+	}
+	if _, err := MixByName(q.Grammar); err != nil {
+		return err
+	}
+	if p.Locks != 0 && (p.Locks < 2 || p.Locks > maxLocks) {
+		return fmt.Errorf("sim: -locks %d out of range (want 2..%d, or 0 for the grammar's default)", p.Locks, maxLocks)
+	}
+	if q.Threads > maxThreads {
+		return fmt.Errorf("sim: %d threads exceeds the %d-thread ceiling", q.Threads, maxThreads)
+	}
+	if q.Steps > maxSteps {
+		return fmt.Errorf("sim: %d steps exceeds the %d-step ceiling", q.Steps, maxSteps)
+	}
+	if q.Negative && q.Profile != ProfileClean {
+		return fmt.Errorf("sim: -negative requires the clean profile (got %q): corruption detection is only provable when the corruption is the sole fault", q.Profile)
+	}
+	if q.Shards > 1 && !q.Profile.Shardable() {
+		return fmt.Errorf("sim: profile %q does not compose with -shards %d (want clean, flaky, lostack or migrate — the rest script single-home fates)",
+			q.Profile, q.Shards)
+	}
+	return nil
+}
+
 // String is the one-line reproducer printed with every violation.
 func (p Plan) String() string {
 	s := fmt.Sprintf("-seed %d -profile %s -mix %s", p.Seed, p.Profile, p.Mix)
+	if p.Grammar != "" && p.Grammar != "classic" {
+		s += " -grammar " + p.Grammar
+	}
+	if p.Locks != 0 {
+		s += fmt.Sprintf(" -locks %d", p.Locks)
+	}
 	if p.Shards > 1 {
 		s += fmt.Sprintf(" -shards %d", p.Shards)
 	}

@@ -28,14 +28,14 @@ import (
 // path does, and the migrate profile's fault schedule draws from a separate
 // stream — so for a fixed seed the canonical trace is identical across
 // profiles, and re-homing an entry is observably value-neutral.
-func runShardedSim(plan Plan, homePlat *platform.Platform, threadPlats []*platform.Platform) Result {
+func runShardedSim(plan Plan, gm GrammarMix, lay layout, homePlat *platform.Platform, threadPlats []*platform.Platform) Result {
 	res := Result{Plan: plan}
 	rng := rand.New(rand.NewSource(plan.Seed))
 	frng := rand.New(rand.NewSource(plan.Seed ^ 0x5ca1ab1e))
 	clock := vclock.NewVirtual(time.Time{})
 	hist := check.NewHistory()
 	tlog := trace.NewLog(1 << 16)
-	gthv := simGThV(plan.Threads)
+	gthv := lay.gthv()
 
 	opts := dsd.DefaultOptions()
 	opts.WholeArrayThreshold = 0
@@ -144,8 +144,9 @@ func runShardedSim(plan Plan, homePlat *platform.Platform, threadPlats []*platfo
 		return nil
 	}
 
-	d := &driver{rng: rng, workers: workers, faultAt: faultAt}
-	runErr := d.run(plan.Steps)
+	prog := compileProgram(plan, gm, lay, rng)
+	d := &driver{workers: workers, faultAt: faultAt}
+	runErr := d.run(prog)
 	for _, w := range workers {
 		w.shutdown()
 	}
@@ -172,7 +173,7 @@ func runShardedSim(plan Plan, homePlat *platform.Platform, threadPlats []*platfo
 		return res
 	}
 	vs := check.Validate(events, plan.Threads)
-	vs = append(vs, compareMaster(g, events, plan.Threads)...)
+	vs = append(vs, compareMaster(g, events, lay)...)
 	vs = append(vs, check.CrossCheckTrace(events, tlog)...)
 	vs = append(vs, roundTripViolations(events, homePlat, threadPlats)...)
 	res.Violations = vs

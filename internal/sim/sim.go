@@ -103,24 +103,30 @@ func simBackoff(seed int64, rank int32) transport.Backoff {
 func Run(plan Plan) Result {
 	plan = plan.withDefaults()
 	res := Result{Plan: plan}
+	if err := plan.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
 	homePlat, threadPlats, err := plan.platforms()
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	if plan.Negative && plan.Profile != ProfileClean {
-		res.Err = fmt.Errorf("sim: negative mode requires the clean profile, got %q", plan.Profile)
+	gm, err := MixByName(plan.Grammar)
+	if err != nil {
+		res.Err = err
 		return res
 	}
+	lay := layoutFor(plan, gm)
 	if plan.Shards > 1 {
-		return runShardedSim(plan, homePlat, threadPlats)
+		return runShardedSim(plan, gm, lay, homePlat, threadPlats)
 	}
 
 	rng := rand.New(rand.NewSource(plan.Seed))
 	clock := vclock.NewVirtual(time.Time{})
 	hist := check.NewHistory()
 	tlog := trace.NewLog(1 << 16)
-	gthv := simGThV(plan.Threads)
+	gthv := lay.gthv()
 
 	opts := dsd.DefaultOptions()
 	// Whole-array widening off: the workload's blind rank-owned slice
@@ -142,7 +148,10 @@ func Run(plan Plan) Result {
 	var biased *BiasedNet
 	switch {
 	case plan.Negative:
-		corrupt = NewCorruptNet(base)
+		// Never corrupt the pointer entry: a mangled pointer fails
+		// home-side translation — an infrastructure error, not the silent
+		// value divergence the oracle test must prove the checker catches.
+		corrupt = NewCorruptNet(base, lay.ptrEntry())
 		nw = corrupt
 	case plan.Profile == ProfileFlaky:
 		nw = transport.NewFlakyRand(base, 0.01, plan.Seed)
@@ -362,8 +371,9 @@ func Run(plan Plan) Result {
 		return nil
 	}
 
-	d := &driver{rng: rng, workers: workers, faultAt: faultAt}
-	runErr := d.run(plan.Steps)
+	prog := compileProgram(plan, gm, lay, rng)
+	d := &driver{workers: workers, faultAt: faultAt}
+	runErr := d.run(prog)
 	for _, w := range workers {
 		w.shutdown()
 	}
@@ -409,7 +419,7 @@ func Run(plan Plan) Result {
 	res.Events = len(events)
 	res.Canonical = check.Canonical(events)
 	vs := check.Validate(events, plan.Threads)
-	vs = append(vs, compareMaster(finalHome.Globals(), events, plan.Threads)...)
+	vs = append(vs, compareMaster(finalHome.Globals(), events, lay)...)
 	vs = append(vs, check.CrossCheckTrace(events, tlog)...)
 	vs = append(vs, roundTripViolations(events, homePlat, threadPlats)...)
 	res.Violations = vs
@@ -424,14 +434,12 @@ func Run(plan Plan) Result {
 
 // compareMaster checks the final master state (a single home's globals, or
 // the sharded directory's stitched image) cell-by-cell against the model's
-// committed state.
-func compareMaster(g *dsd.Globals, events []check.Event, nthreads int) []check.Violation {
+// committed state — every integer member of the layout, and every
+// committed pointer target when the layout has pointer slots.
+func compareMaster(g *dsd.Globals, events []check.Event, lay layout) []check.Violation {
 	model := check.FinalState(events)
 	var out []check.Violation
-	for _, spec := range []struct {
-		name string
-		n    int
-	}{{"a", protLen}, {"b", protLen}, {"slice", nthreads * sliceLen}} {
+	for _, spec := range lay.intSpecs() {
 		got, err := g.MustVar(spec.name).Ints(0, spec.n)
 		if err != nil {
 			out = append(out, check.Violation{Msg: fmt.Sprintf("reading master %s: %v", spec.name, err)})
@@ -449,6 +457,45 @@ func compareMaster(g *dsd.Globals, events []check.Event, nthreads int) []check.V
 			}
 		}
 	}
+	out = append(out, comparePtrMaster(g, events, lay)...)
+	return out
+}
+
+// comparePtrMaster resolves the master's committed pointer values through
+// its own index table and compares the logical targets against the model's
+// committed pointer state — catching a corrupted or untranslated committed
+// pointer that no chase ever observed.
+func comparePtrMaster(g *dsd.Globals, events []check.Event, lay layout) []check.Violation {
+	if lay.ptrSlots == 0 {
+		return nil
+	}
+	model := check.FinalPtrState(events)
+	v := g.MustVar("pt")
+	var out []check.Violation
+	for i := 0; i < lay.ptrSlots; i++ {
+		addr, err := v.Ptr(i)
+		if err != nil {
+			out = append(out, check.Violation{Msg: fmt.Sprintf("reading master pt[%d]: %v", i, err)})
+			continue
+		}
+		got := check.PtrTarget{Var: "", Index: -1}
+		if name, idx, ok := g.Resolve(addr); ok {
+			got = check.PtrTarget{Var: name, Index: idx}
+		}
+		want, ok := model["pt"][i]
+		if !ok {
+			want = check.PtrTarget{Var: "", Index: -1}
+		}
+		if got != want {
+			bad := check.Event{Rank: -1, Op: check.OpPtrRead, Sync: -1, Var: "pt", Index: i,
+				Target: got.Var, TargetIndex: got.Index}
+			out = append(out, check.Violation{
+				Msg:   fmt.Sprintf("master pointer diverged: pt[%d] -> %s, model expects %s", i, got, want),
+				Event: bad,
+				Trace: check.Minimize(events, lastPtrTouch(events, "pt", i, bad), 40),
+			})
+		}
+	}
 	return out
 }
 
@@ -458,6 +505,17 @@ func lastTouch(events []check.Event, name string, index int, fallback check.Even
 	for i := len(events) - 1; i >= 0; i-- {
 		e := events[i]
 		if (e.Op == check.OpRead || e.Op == check.OpWrite) && e.Var == name && e.Index == index {
+			return e
+		}
+	}
+	return fallback
+}
+
+// lastPtrTouch is lastTouch for pointer cells.
+func lastPtrTouch(events []check.Event, name string, index int, fallback check.Event) check.Event {
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if (e.Op == check.OpPtrRead || e.Op == check.OpPtrWrite) && e.Var == name && e.Index == index {
 			return e
 		}
 	}

@@ -2,269 +2,173 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"hetdsm/internal/dsd"
-	"hetdsm/internal/platform"
-	"hetdsm/internal/tag"
 )
-
-// Workload shape: two lock-protected counter arrays (lock 0 guards "a",
-// lock 1 guards "b"), a barrier-phased array of rank-owned slices, and one
-// barrier (index 0). Array lengths are small so coalesced spans and
-// element-exact diffs both occur, but whole-array widening stays off (the
-// driver disables it) — blind rank-owned writes must never ship stale
-// copies of a neighbor's cells.
-const (
-	protLen  = 8 // cells per protected counter array
-	sliceLen = 4 // cells each rank owns in the barrier-phase array
-)
-
-// simGThV builds the workload's shared structure for n threads.
-func simGThV(n int) tag.Struct {
-	return tag.Struct{Name: "GThV_t", Fields: []tag.Field{
-		{Name: "a", T: tag.IntArray(protLen)},
-		{Name: "b", T: tag.IntArray(protLen)},
-		{Name: "slice", T: tag.IntArray(n * sliceLen)},
-		{Name: "gen", T: tag.Scalar{T: platform.CLongLong}},
-	}}
-}
-
-// lockVar maps a mutex index to the array it guards.
-func lockVar(lock int) string {
-	if lock == 0 {
-		return "a"
-	}
-	return "b"
-}
-
-type cmdKind int
-
-const (
-	cmdCS cmdKind = iota
-	cmdSliceWrite
-	cmdSliceRead
-	cmdBarrier
-	cmdJoin
-)
-
-type csOp struct {
-	index int
-	delta int64
-}
-
-// cmd is one worker instruction from the driver.
-type cmd struct {
-	kind cmdKind
-	lock int     // cmdCS
-	ops  []csOp  // cmdCS
-	vals []int64 // cmdSliceWrite: values for the rank's own slice
-	from int     // cmdSliceRead: whose slice to read
-}
 
 // worker owns one dsd.Thread on its own goroutine (the DSM's
-// one-thread-one-address-space rule) and executes driver commands.
+// one-thread-one-address-space rule) and executes compiled instruction
+// lists from the driver.
 type worker struct {
 	rank int
 	th   *dsd.Thread
-	cmds chan cmd
+	cmds chan []instr
 	done chan error
 }
 
 func newWorker(rank int, th *dsd.Thread) *worker {
-	w := &worker{rank: rank, th: th, cmds: make(chan cmd), done: make(chan error, 1)}
+	w := &worker{rank: rank, th: th, cmds: make(chan []instr), done: make(chan error, 1)}
 	go w.loop()
 	return w
 }
 
 func (w *worker) loop() {
-	for c := range w.cmds {
-		w.done <- w.exec(c)
+	for ins := range w.cmds {
+		w.done <- w.exec(ins)
 	}
 }
 
-func (w *worker) exec(c cmd) error {
+func (w *worker) exec(ins []instr) error {
 	g := w.th.Globals()
-	switch c.kind {
-	case cmdCS:
-		if err := w.th.Lock(c.lock); err != nil {
-			return fmt.Errorf("rank %d lock %d: %w", w.rank, c.lock, err)
-		}
-		v := g.MustVar(lockVar(c.lock))
-		for _, op := range c.ops {
-			x, err := v.Int(op.index)
-			if err != nil {
-				return fmt.Errorf("rank %d read %s[%d]: %w", w.rank, lockVar(c.lock), op.index, err)
-			}
-			if err := v.SetInt(op.index, x+op.delta); err != nil {
-				return fmt.Errorf("rank %d write %s[%d]: %w", w.rank, lockVar(c.lock), op.index, err)
-			}
-		}
-		if err := w.th.Unlock(c.lock); err != nil {
-			return fmt.Errorf("rank %d unlock %d: %w", w.rank, c.lock, err)
-		}
-		return nil
-	case cmdSliceWrite:
-		v := g.MustVar("slice")
-		base := w.rank * sliceLen
-		for i, val := range c.vals {
-			if err := v.SetInt(base+i, val); err != nil {
-				return fmt.Errorf("rank %d write slice[%d]: %w", w.rank, base+i, err)
-			}
-		}
-		return nil
-	case cmdSliceRead:
-		v := g.MustVar("slice")
-		base := c.from * sliceLen
-		if _, err := v.Ints(base, sliceLen); err != nil {
-			return fmt.Errorf("rank %d read slice of rank %d: %w", w.rank, c.from, err)
-		}
-		return nil
-	case cmdBarrier:
-		if err := w.th.Barrier(0); err != nil {
-			return fmt.Errorf("rank %d barrier: %w", w.rank, err)
-		}
-		return nil
-	case cmdJoin:
-		if err := w.th.Join(); err != nil {
-			return fmt.Errorf("rank %d join: %w", w.rank, err)
-		}
-		return nil
-	}
-	return fmt.Errorf("rank %d: unknown command %d", w.rank, c.kind)
-}
-
-// send dispatches a command; await collects its result.
-func (w *worker) send(c cmd)   { w.cmds <- c }
-func (w *worker) await() error { return <-w.done }
-func (w *worker) shutdown()    { close(w.cmds) }
-
-// driver executes the seeded schedule. Critical sections never overlap on
-// the same lock (a concurrent pair runs on distinct locks over disjoint
-// arrays) and barrier phases touch rank-owned slices, so every value any
-// thread observes is a pure function of the plan's seed — the determinism
-// the byte-identical-replay guarantee rests on.
-type driver struct {
-	rng     *rand.Rand
-	workers []*worker
-	// faultAt, when set, fires before the numbered step; profiles hook
-	// their schedule here.
-	faultAt func(step int) error
-}
-
-// run issues plan.Steps scheduled operations, then a deterministic tail —
-// one critical section per rank (so every run exercises each rank's lock
-// path and has enough unlocks for the negative-mode corruption target),
-// one final barrier, and joins.
-func (d *driver) run(steps int) error {
-	n := len(d.workers)
-	for step := 0; step < steps; step++ {
-		if d.faultAt != nil {
-			if err := d.faultAt(step); err != nil {
-				return err
-			}
-		}
-		switch pick := d.rng.Intn(10); {
-		case pick < 5:
-			// One serialized critical section.
-			r := d.rng.Intn(n)
-			if err := d.cs(r, d.rng.Intn(2)); err != nil {
-				return err
-			}
-		case pick < 7 && n >= 2:
-			// Two concurrent critical sections on distinct locks held by
-			// distinct ranks: disjoint data, deterministic values, but the
-			// home serves both at once.
-			r0 := d.rng.Intn(n)
-			r1 := (r0 + 1 + d.rng.Intn(n-1)) % n
-			c0 := d.csCmd(0)
-			c1 := d.csCmd(1)
-			d.workers[r0].send(c0)
-			d.workers[r1].send(c1)
-			err0 := d.workers[r0].await()
-			err1 := d.workers[r1].await()
-			if err0 != nil {
-				return err0
-			}
-			if err1 != nil {
-				return err1
-			}
-		case pick < 8:
-			// Slice phase: every rank blind-writes its own slice, all meet
-			// at the barrier, then every rank reads its neighbor's slice.
-			for _, w := range d.workers {
-				vals := make([]int64, sliceLen)
-				for i := range vals {
-					vals[i] = int64(int32(d.rng.Uint32()))
-				}
-				w.send(cmd{kind: cmdSliceWrite, vals: vals})
-			}
-			if err := d.awaitAll(); err != nil {
-				return err
-			}
-			if err := d.barrier(); err != nil {
-				return err
-			}
-			for r, w := range d.workers {
-				w.send(cmd{kind: cmdSliceRead, from: (r + 1) % n})
-			}
-			if err := d.awaitAll(); err != nil {
-				return err
-			}
-		default:
-			if err := d.barrier(); err != nil {
-				return err
-			}
-		}
-	}
-	// Deterministic tail: every rank locks once with a forced non-zero
-	// delta (an x+1 store always changes the cell bytes, so the unlock is
-	// guaranteed to carry data — the negative mode's corruption target),
-	// then a closing barrier.
-	for r := range d.workers {
-		d.workers[r].send(cmd{kind: cmdCS, lock: r % 2, ops: []csOp{{index: r % protLen, delta: 1}}})
-		if err := d.workers[r].await(); err != nil {
+	for _, in := range ins {
+		if err := w.exec1(g, in); err != nil {
 			return err
 		}
 	}
-	if err := d.barrier(); err != nil {
-		return err
-	}
-	for _, w := range d.workers {
-		w.send(cmd{kind: cmdJoin})
-	}
-	return d.awaitAll()
+	return nil
 }
 
-// csCmd draws a critical-section command: 1–2 read-modify-writes on the
-// lock's array.
-func (d *driver) csCmd(lock int) cmd {
-	nops := 1 + d.rng.Intn(2)
-	ops := make([]csOp, nops)
-	for i := range ops {
-		ops[i] = csOp{index: d.rng.Intn(protLen), delta: int64(int32(d.rng.Uint32()))}
+func (w *worker) exec1(g *dsd.Globals, in instr) error {
+	switch in.op {
+	case inLock:
+		if err := w.th.Lock(in.sync); err != nil {
+			return fmt.Errorf("rank %d lock %d: %w", w.rank, in.sync, err)
+		}
+	case inUnlock:
+		if err := w.th.Unlock(in.sync); err != nil {
+			return fmt.Errorf("rank %d unlock %d: %w", w.rank, in.sync, err)
+		}
+	case inBarrier:
+		if err := w.th.Barrier(in.sync); err != nil {
+			return fmt.Errorf("rank %d barrier %d: %w", w.rank, in.sync, err)
+		}
+	case inJoin:
+		if err := w.th.Join(); err != nil {
+			return fmt.Errorf("rank %d join: %w", w.rank, err)
+		}
+	case inRMW:
+		v := g.MustVar(in.v)
+		x, err := v.Int(in.idx)
+		if err != nil {
+			return fmt.Errorf("rank %d read %s[%d]: %w", w.rank, in.v, in.idx, err)
+		}
+		if err := v.SetInt(in.idx, x+in.val); err != nil {
+			return fmt.Errorf("rank %d write %s[%d]: %w", w.rank, in.v, in.idx, err)
+		}
+	case inWrite:
+		if err := g.MustVar(in.v).SetInt(in.idx, in.val); err != nil {
+			return fmt.Errorf("rank %d write %s[%d]: %w", w.rank, in.v, in.idx, err)
+		}
+	case inRead:
+		if _, err := g.MustVar(in.v).Int(in.idx); err != nil {
+			return fmt.Errorf("rank %d read %s[%d]: %w", w.rank, in.v, in.idx, err)
+		}
+	case inReadRun:
+		if _, err := g.MustVar(in.v).Ints(in.idx, in.n); err != nil {
+			return fmt.Errorf("rank %d read %s[%d..%d): %w", w.rank, in.v, in.idx, in.idx+in.n, err)
+		}
+	case inPtrPub:
+		tv := g.MustVar(in.tv)
+		addr, err := tv.Addr(in.ti)
+		if err != nil {
+			return fmt.Errorf("rank %d address of %s[%d]: %w", w.rank, in.tv, in.ti, err)
+		}
+		if err := g.MustVar(in.v).SetPtr(in.idx, addr); err != nil {
+			return fmt.Errorf("rank %d publish %s[%d]: %w", w.rank, in.v, in.idx, err)
+		}
+	case inPtrChase:
+		pv := g.MustVar(in.v)
+		addr, err := pv.Ptr(in.idx)
+		if err != nil {
+			return fmt.Errorf("rank %d load pointer %s[%d]: %w", w.rank, in.v, in.idx, err)
+		}
+		// Follow the pointer: a null or out-of-segment value (nothing
+		// published yet) ends the chase; so does a target that is itself
+		// a pointer cell — the workload only ever publishes data cells,
+		// but a corrupted frame could leave anything here, and reading a
+		// pointer cell through the integer accessor would be a type
+		// confusion, not a coherence check.
+		name, idx, ok := g.Resolve(addr)
+		if !ok {
+			return nil
+		}
+		tv := g.MustVar(name)
+		if tv.IsPointer() {
+			return nil
+		}
+		if _, err := tv.Int(idx); err != nil {
+			return fmt.Errorf("rank %d chase %s[%d] -> %s[%d]: %w", w.rank, in.v, in.idx, name, idx, err)
+		}
+	default:
+		return fmt.Errorf("rank %d: unknown instruction op %d", w.rank, in.op)
 	}
-	return cmd{kind: cmdCS, lock: lock, ops: ops}
+	return nil
 }
 
-func (d *driver) cs(rank, lock int) error {
-	d.workers[rank].send(d.csCmd(lock))
-	return d.workers[rank].await()
+// send dispatches an instruction list; await collects its result.
+func (w *worker) send(ins []instr) { w.cmds <- ins }
+func (w *worker) await() error     { return <-w.done }
+func (w *worker) shutdown()        { close(w.cmds) }
+
+// driver executes a compiled program. All randomness was consumed at
+// compile time, and batches only run rank programs concurrently when they
+// touch disjoint locks and disjoint cells — so every value any thread
+// observes is a pure function of the plan's seed, the determinism the
+// byte-identical-replay guarantee rests on.
+type driver struct {
+	workers []*worker
+	// faultAt, when set, fires before each numbered step; profiles hook
+	// their schedule here. It draws nothing from the plan's rng.
+	faultAt func(step int) error
 }
 
-func (d *driver) barrier() error {
-	for _, w := range d.workers {
-		w.send(cmd{kind: cmdBarrier})
-	}
-	return d.awaitAll()
-}
-
-func (d *driver) awaitAll() error {
-	var first error
-	for _, w := range d.workers {
-		if err := w.await(); err != nil && first == nil {
-			first = err
+// run executes the numbered steps (with fault hooks), then the
+// deterministic tail.
+func (d *driver) run(prog *program) error {
+	for i, st := range prog.steps {
+		if d.faultAt != nil {
+			if err := d.faultAt(i); err != nil {
+				return err
+			}
+		}
+		if err := d.exec(st); err != nil {
+			return err
 		}
 	}
-	return first
+	for _, st := range prog.tail {
+		if err := d.exec(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exec runs one step's batches in order, dispatching each batch's rank
+// programs concurrently and awaiting them all.
+func (d *driver) exec(st progStep) error {
+	for _, b := range st {
+		for _, rp := range b {
+			d.workers[rp.rank].send(rp.instrs)
+		}
+		var first error
+		for _, rp := range b {
+			if err := d.workers[rp.rank].await(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if first != nil {
+			return first
+		}
+	}
+	return nil
 }
