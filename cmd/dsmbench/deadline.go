@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"hetdsm/internal/apps"
+	"hetdsm/internal/dsd"
+	"hetdsm/internal/telemetry"
+	"hetdsm/internal/transport"
+)
+
+// The deadline benchmark: the recorded overhead budget for the deadline
+// plane (per-operation budgets, bounded home queues, stall recovery). Two
+// quantities matter:
+//
+//   - the disabled path — OpTimeout unset is the default, and every
+//     deadline branch is gated on it: no queue wrapping at the home, no
+//     budget stamping, no timers. What remains on the hot path is the
+//     zero-deadline fallback through the transport helpers
+//     (SendFrameDeadline/RecvFrameDeadline) — a nil-deadline check and a
+//     type assertion per frame. This is gated hard at ≤2% of release
+//     time, derived from measured ns/op of the fallback times the
+//     helper-calls-per-release count, over the measured release time.
+//   - the armed path — OpTimeout set to a generous budget that never
+//     fires, reported as the wall-clock ratio against the disabled run.
+//     Informative, not gated: arming the plane is opt-in, and its cost
+//     (queue wrapping, per-frame stamps, socket deadlines) is the price
+//     of bounded blocking, visible here so regressions stay visible.
+
+// deadlineBenchDoc is the BENCH_deadline.json schema.
+type deadlineBenchDoc struct {
+	Benchmark string `json:"benchmark"`
+	Reps      int    `json:"reps"`
+	// Micro: the zero-deadline helper fallbacks on a no-op conn. Upper
+	// bounds — they include the no-op frame handoff itself.
+	SendFallbackNsPerOp float64 `json:"send_fallback_ns_per_op"`
+	RecvFallbackNsPerOp float64 `json:"recv_fallback_ns_per_op"`
+	// Conservative helper-call counts for one release (lock request/grant
+	// plus sync update/ack, both endpoints).
+	SendCallsPerRelease int `json:"send_calls_per_release"`
+	RecvCallsPerRelease int `json:"recv_calls_per_release"`
+	// The armed-but-never-firing budget used for the armed runs.
+	OpTimeoutSeconds float64 `json:"op_timeout_seconds"`
+	// Macro: one matmul workload, OpTimeout unset vs armed.
+	Releases         int     `json:"releases"`
+	WallUnsetSeconds float64 `json:"wall_unset_seconds"`
+	WallArmedSeconds float64 `json:"wall_armed_seconds"`
+	// DisabledOverheadPct = releases × fallback cost / unset wall — the
+	// gated number.
+	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
+	// ArmedOverheadPct is the armed-path wall ratio minus one.
+	ArmedOverheadPct float64 `json:"armed_overhead_pct"`
+}
+
+const (
+	deadlineBenchN        = 96
+	deadlineBenchTimeout  = 10 * time.Second
+	dlSendCallsPerRelease = 4
+	dlRecvCallsPerRelease = 4
+)
+
+// nullConn is a no-op transport.Conn: the micro benchmarks time the
+// helper fallback itself, not a real transport.
+type nullConn struct{}
+
+func (nullConn) SendFrame([]byte) error     { return nil }
+func (nullConn) RecvFrame() ([]byte, error) { return nil, nil }
+func (nullConn) Close() error               { return nil }
+
+// runDeadlineBench measures the suite, reps times each macro config,
+// keeping the fastest rep (minimum as the noise-robust estimator).
+func runDeadlineBench(reps int) (*deadlineBenchDoc, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	doc := &deadlineBenchDoc{
+		Benchmark:           "deadline",
+		Reps:                reps,
+		SendCallsPerRelease: dlSendCallsPerRelease,
+		RecvCallsPerRelease: dlRecvCallsPerRelease,
+		OpTimeoutSeconds:    deadlineBenchTimeout.Seconds(),
+	}
+
+	// Micro: the zero-deadline fallbacks. These are what every deployment
+	// that never sets OpTimeout pays per frame after this PR.
+	var c nullConn
+	frame := make([]byte, 64)
+	var none time.Time
+	doc.SendFallbackNsPerOp = nsPerOp(func() {
+		_ = transport.SendFrameDeadline(c, frame, none)
+	})
+	doc.RecvFallbackNsPerOp = nsPerOp(func() {
+		_, _ = transport.RecvFrameDeadline(c, none)
+	})
+
+	// Macro: the same workload with the plane off and armed-but-idle.
+	pair, _ := apps.PairByLabel("SL")
+	run := func(armed bool) (time.Duration, error) {
+		walls := make([]time.Duration, 0, reps)
+		for i := 0; i < reps; i++ {
+			opts := dsd.DefaultOptions()
+			if armed {
+				opts.OpTimeout = deadlineBenchTimeout
+				opts.StickyLocks = true
+			}
+			start := time.Now()
+			if _, err := apps.Run(apps.Config{
+				Workload: "matmul", N: deadlineBenchN, Pair: pair,
+				Opts: opts, Seed: 20060814,
+			}); err != nil {
+				return 0, fmt.Errorf("deadline bench (armed=%v): %w", armed, err)
+			}
+			walls = append(walls, time.Since(start))
+		}
+		sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+		return walls[0], nil
+	}
+	wallUnset, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	wallArmed, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Count releases the same way the tracing bench does: one untimed
+	// instrumented run, StageShip spans = releases.
+	spans := telemetry.NewSpanLog(1 << 18)
+	opts := dsd.DefaultOptions()
+	opts.Spans = spans
+	if _, err := apps.Run(apps.Config{
+		Workload: "matmul", N: deadlineBenchN, Pair: pair,
+		Opts: opts, Seed: 20060814,
+	}); err != nil {
+		return nil, fmt.Errorf("deadline bench (release count): %w", err)
+	}
+	for _, s := range spans.Spans() {
+		if s.Stage == telemetry.StageShip {
+			doc.Releases++
+		}
+	}
+
+	doc.WallUnsetSeconds = wallUnset.Seconds()
+	doc.WallArmedSeconds = wallArmed.Seconds()
+	hookNs := float64(doc.Releases) * (float64(dlSendCallsPerRelease)*doc.SendFallbackNsPerOp +
+		float64(dlRecvCallsPerRelease)*doc.RecvFallbackNsPerOp)
+	doc.DisabledOverheadPct = 100 * hookNs / float64(wallUnset.Nanoseconds())
+	doc.ArmedOverheadPct = 100 * (wallArmed.Seconds()/wallUnset.Seconds() - 1)
+	return doc, nil
+}
+
+// deadline measures the suite and writes the budget file.
+func (h *harness) deadline(out string) {
+	header(fmt.Sprintf("Deadline-plane overhead: OpTimeout unset vs armed-but-idle\n(best of %d reps; written to %s)", maxInt(h.reps, 1), out))
+	doc, err := runDeadlineBench(h.reps)
+	if err != nil {
+		fatal(err)
+	}
+	printDeadline(doc)
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", out)
+}
+
+func printDeadline(doc *deadlineBenchDoc) {
+	fmt.Printf("zero-deadline send fallback: %.2f ns/op\n", doc.SendFallbackNsPerOp)
+	fmt.Printf("zero-deadline recv fallback: %.2f ns/op\n", doc.RecvFallbackNsPerOp)
+	fmt.Printf("releases measured:           %d (matmul N=%d)\n", doc.Releases, deadlineBenchN)
+	fmt.Printf("wall unset/armed:            %.3f ms / %.3f ms (armed budget %v, never fires)\n",
+		1e3*doc.WallUnsetSeconds, 1e3*doc.WallArmedSeconds, deadlineBenchTimeout)
+	fmt.Printf("disabled-path overhead: %.4f%% of release time (budget 2%%)\n", doc.DisabledOverheadPct)
+	fmt.Printf("armed-path overhead:    %.2f%% wall (informative)\n", doc.ArmedOverheadPct)
+}
+
+// deadlineCheck re-measures and enforces the budget: the OpTimeout-unset
+// path must stay within 2% of release time. The recorded baseline is
+// printed for trajectory but the bar is absolute — the whole point of the
+// number is that a deployment that never sets OpTimeout never notices the
+// deadline plane exists.
+func (h *harness) deadlineCheck(baselinePath string) {
+	header(fmt.Sprintf("Deadline-plane budget check against %s\n(fails when the disabled-path overhead exceeds 2%%)", baselinePath))
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("reading baseline: %w", err))
+	}
+	var base deadlineBenchDoc
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fatal(fmt.Errorf("parsing baseline %s: %w", baselinePath, err))
+	}
+	cur, err := runDeadlineBench(h.reps)
+	if err != nil {
+		fatal(err)
+	}
+	printDeadline(cur)
+	fmt.Printf("baseline disabled-path overhead: %.4f%%\n", base.DisabledOverheadPct)
+	if cur.DisabledOverheadPct > 2.0 {
+		fatal(fmt.Errorf("disabled-path deadline overhead %.4f%% exceeds the 2%% budget", cur.DisabledOverheadPct))
+	}
+	fmt.Println("\ndisabled-path deadline overhead within the 2% budget")
+}

@@ -48,6 +48,9 @@ func main() {
 		traceFlag = flag.Bool("tracing", false, "measure tracing/flight-recorder overhead and write the budget file")
 		traceOut  = flag.String("tracing-out", "BENCH_tracing.json", "output path for -tracing")
 		traceChk  = flag.String("tracing-check", "", "re-measure tracing overhead and fail if the disabled path exceeds 2% vs this baseline file")
+		dlFlag    = flag.Bool("deadline", false, "measure deadline-plane overhead (OpTimeout unset vs armed-but-idle) and write the budget file")
+		dlOut     = flag.String("deadline-out", "BENCH_deadline.json", "output path for -deadline")
+		dlChk     = flag.String("deadline-check", "", "re-measure deadline-plane overhead and fail if the armed-but-idle path exceeds 2% vs this baseline file")
 	)
 	flag.Parse()
 
@@ -97,6 +100,10 @@ func main() {
 		h.tracing(*traceOut)
 	case *traceChk != "":
 		h.tracingCheck(*traceChk)
+	case *dlFlag:
+		h.deadline(*dlOut)
+	case *dlChk != "":
+		h.deadlineCheck(*dlChk)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -88,6 +88,7 @@ func main() {
 		walDir    = flag.String("wal-dir", "", "home: write-ahead log directory; if it holds prior state the home restarts from it")
 		shards    = flag.Int("shards", 1, "home: shard count; >1 serves a multi-home sharded directory gateway on -listen")
 		migThresh = flag.Uint64("migrate-threshold", 0, "home: per-entry fault total that triggers heat-driven re-homing (0 disables; needs -shards > 1)")
+		opTimeout = flag.Duration("op-timeout", 0, "bound each sync-operation attempt; expired attempts sever the connection and retry idempotently (0 disables the deadline plane)")
 		metrics   = flag.String("metrics-addr", "", "serve diagnostics HTTP on host:port (/metrics /stats /trace /spans /heat /debug/pprof)")
 		traceOut  = flag.String("trace-out", "", "write the protocol event ring as JSONL to this file on exit")
 		spanOut   = flag.String("span-out", "", "write release-pipeline spans as JSONL to this file on exit")
@@ -103,6 +104,7 @@ func main() {
 		fail(err)
 	}
 
+	opTimeoutFlag = *opTimeout
 	kit := telemetry.NewKit(*metrics, *traceOut, *spanOut)
 	// Black-box flight recorder: dumped to stderr on fencing, WAL
 	// crash-recovery, or SIGQUIT (which then re-raises for the usual core).
@@ -136,12 +138,16 @@ func main() {
 // any role runs.
 var flightRec *flight.Recorder
 
+// opTimeoutFlag is the -op-timeout value, applied by nodeOptions.
+var opTimeoutFlag time.Duration
+
 // nodeOptions is DefaultOptions with the kit's telemetry sinks attached.
 func nodeOptions(kit *telemetry.Kit) dsd.Options {
 	opts := dsd.DefaultOptions()
 	opts.Metrics = kit.Registry()
 	opts.Spans = kit.Spans()
 	opts.Flight = flightRec
+	opts.OpTimeout = opTimeoutFlag
 	if t := kit.TraceLog(); t != nil {
 		opts.Trace = t
 	}
@@ -248,6 +254,23 @@ func runHome(listen, backupAddr, walDir string, plat *platform.Platform, gthv ta
 		if err := home.StartReplication(repl); err != nil {
 			fail(err)
 		}
+		// The stall ladder: replication is synchronous backpressure, so a
+		// standby that is alive but not consuming (full socket buffer, dead
+		// NAT entry, wedged reader) would wedge every release at the home.
+		// The detector watches the replicator's send-progress watermarks; a
+		// frozen backlog is declared stalled, the stream is aborted, the
+		// in-flight Flush unblocks, and the home degrades to unreplicated —
+		// the same fate as a dead standby, reached long before the TCP
+		// stack would notice.
+		stall := ha.NewStallDetector(repl, backupAddr, time.Second, 10*time.Second)
+		stall.Counters = counters
+		stall.Trace = kit.TraceLog()
+		stall.OnStall = func(addr string, reason error) {
+			fmt.Fprintf(os.Stderr, "home: standby %s stalled (%v); degrading to unreplicated\n", addr, reason)
+			repl.Abort(reason)
+		}
+		stall.Start()
+		defer stall.Stop()
 		fmt.Printf("home: replicating every release to %s\n", backupAddr)
 	}
 	l, err := nw.Listen(listen)
@@ -356,9 +379,10 @@ func runShardedHome(listen, walDir string, shards int, migThresh uint64, plat *p
 				fenced++
 			}
 			doc[fmt.Sprintf("shard%d", i)] = map[string]any{
-				"stats":  h.Stats().Map(),
-				"epoch":  h.Epoch(),
-				"fenced": h.Fenced(),
+				"stats":    h.Stats().Map(),
+				"epoch":    h.Epoch(),
+				"fenced":   h.Fenced(),
+				"overload": overloadDoc(h, nil),
 			}
 		}
 		if th != nil {
@@ -437,6 +461,31 @@ func runShardedHome(listen, walDir string, shards int, migThresh uint64, plat *p
 	}
 }
 
+// overloadDoc renders a home's deadline-plane health for /stats: per-peer
+// bounded-queue depth, the oldest unacked frame's age, shed counts, and the
+// budget-bounded waits that expired. Empty queues when the plane is off.
+func overloadDoc(home *dsd.Home, th *dsd.Thread) map[string]any {
+	peers := []map[string]any{}
+	for _, q := range home.QueueStats() {
+		peers = append(peers, map[string]any{
+			"rank":              q.Rank,
+			"depth":             q.Depth,
+			"oldest_unacked_ms": q.OldestAge.Milliseconds(),
+			"enqueued":          q.Enqueued,
+			"sent":              q.Sent,
+			"shed":              q.Shed,
+		})
+	}
+	doc := map[string]any{
+		"queues":            peers,
+		"deadline_exceeded": home.DeadlineExceeded(),
+	}
+	if th != nil {
+		doc["thread0_deadline_exceeded"] = th.DeadlineExceeded()
+	}
+	return doc
+}
+
 // serveDiagnostics points the kit's HTTP endpoint at a home and an
 // optional co-resident thread. The stats document is live: every request
 // re-reads the breakdowns. The heat report is the thread's best-effort
@@ -451,6 +500,7 @@ func serveDiagnostics(kit *telemetry.Kit, home *dsd.Home, th *dsd.Thread, wlog *
 		doc["fenced"] = home.Fenced()
 		applied, released := home.Watermarks()
 		doc["watermarks"] = map[string]any{"applied": applied, "released": released}
+		doc["overload"] = overloadDoc(home, th)
 		if wlog != nil {
 			doc["wal"] = wlog.Stats()
 		}
@@ -486,7 +536,11 @@ func runWorker(homeAddr, standbyAddr string, plat *platform.Platform, gthv tag.S
 		"client connections re-established after a failure",
 		func() float64 { return float64(th.Reconnects()) })
 	statsFn := func() map[string]any {
-		return map[string]any{"thread": th.Stats().Map()}
+		return map[string]any{
+			"thread":            th.Stats().Map(),
+			"deadline_exceeded": th.DeadlineExceeded(),
+			"reconnects":        th.Reconnects(),
+		}
 	}
 	if err := kit.Serve(statsFn, func() any { return th.Heat() }); err != nil {
 		fail(err)

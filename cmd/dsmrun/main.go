@@ -49,6 +49,7 @@ func main() {
 		wordDiff  = flag.Bool("word-diff", false, "compare twins word-wise instead of byte-wise")
 		traceN    = flag.Int("trace", 0, "print the last N protocol events after the run (0 disables)")
 		invalid   = flag.Bool("invalidate", false, "use the invalidate protocol instead of update")
+		opTimeout = flag.Duration("op-timeout", 0, "bound each sync-operation attempt; expired attempts sever the connection and retry idempotently (0 disables the deadline plane)")
 		statsJSON = flag.Bool("stats-json", false, "dump the Eq. 1 stats and HA counters as JSON on exit")
 		metrics   = flag.String("metrics-addr", "", "serve diagnostics HTTP on host:port (/metrics /stats /trace /spans /heat /debug/pprof)")
 		traceOut  = flag.String("trace-out", "", "write the protocol event ring as JSONL to this file on exit")
@@ -75,6 +76,13 @@ func main() {
 	}
 	if *invalid {
 		opts.Protocol = dsd.ProtocolInvalidate
+	}
+	opts.OpTimeout = *opTimeout
+	if *opTimeout > 0 {
+		// In-process clusters reconnect through the HA dial path when an
+		// attempt expires; sticky locks keep the holder's mutexes across
+		// the sever-and-replay.
+		opts.StickyLocks = true
 	}
 	kit := telemetry.NewKit(*metrics, *traceOut, *spanOut)
 	var tlog *trace.Log

@@ -35,7 +35,7 @@ import (
 func main() {
 	var (
 		seeds    = flag.Int("seeds", 8, "number of seeds to sweep (seed 0..N-1)")
-		profile  = flag.String("profile", "all", "fault profile (clean|flaky|partition|failover|handoff|lostack|homecrash-restart|migrate|all)")
+		profile  = flag.String("profile", "all", "fault profile (clean|flaky|partition|failover|handoff|lostack|homecrash-restart|migrate|stall|dribble|all)")
 		mix      = flag.String("mix", "all", "platform mix (e.g. LL, SL, Lsl) or all")
 		shards   = flag.Int("shards", 0, "home shard count (0 = profile default: 1, or 4 for migrate)")
 		grammar  = flag.String("grammar", "classic", "workload grammar (classic|nested|pointer|producer|hotcold|chaos|all) or a weighted spec like cs:3,nested:2")
@@ -72,7 +72,7 @@ func main() {
 	if *shards > 1 {
 		for _, p := range profiles {
 			if *profile != "all" && !p.Shardable() {
-				fail(fmt.Errorf("dsmsim: profile %s scripts a single home and does not compose with -shards %d; drop -shards or pick a shardable profile (clean|flaky|partition|lostack|migrate)", p, *shards))
+				fail(fmt.Errorf("dsmsim: profile %s scripts a single home and does not compose with -shards %d; drop -shards or pick a shardable profile (clean|flaky|lostack|migrate|stall|dribble)", p, *shards))
 			}
 		}
 	}
@@ -128,7 +128,7 @@ func pickProfiles(name string, negative bool) ([]sim.Profile, error) {
 	}
 	p := sim.Profile(name)
 	if !sim.ValidProfile(p) {
-		return nil, fmt.Errorf("dsmsim: unknown profile %q (want clean|flaky|partition|failover|handoff|lostack|homecrash-restart|migrate|all)", name)
+		return nil, fmt.Errorf("dsmsim: unknown profile %q (want clean|flaky|partition|failover|handoff|lostack|homecrash-restart|migrate|stall|dribble|all)", name)
 	}
 	return []sim.Profile{p}, nil
 }

@@ -26,6 +26,7 @@ package dsd
 
 import (
 	"fmt"
+	"time"
 
 	"hetdsm/internal/flight"
 	"hetdsm/internal/telemetry"
@@ -84,6 +85,16 @@ type Options struct {
 	// harness (internal/check). It is a thread-side setting; homes ignore
 	// it. nil disables recording entirely.
 	Recorder Recorder
+	// OpTimeout bounds each attempt of a synchronization operation (lock,
+	// unlock, barrier, flush, join, fetch): sends and receives carry real
+	// socket deadlines, the remaining budget is stamped on the wire so the
+	// home bounds its own blocking (the grant-ack wait), and an expired
+	// attempt severs the connection and retries idempotently through the
+	// HA redial path. The home additionally bounds each peer's outbound
+	// queue, shedding grants to slow consumers instead of wedging the stub.
+	// Zero (the default) disables the deadline plane entirely: operations
+	// block indefinitely, exactly the pre-deadline behavior.
+	OpTimeout time.Duration
 	// StickyLocks keeps a disconnected rank's mutexes held instead of
 	// force-releasing them. Set it when threads reconnect after transient
 	// failures (HA mode): the holder will come back and re-send its
@@ -178,6 +189,9 @@ func (o Options) validate() error {
 	}
 	if o.CheckpointEvery < 0 {
 		return fmt.Errorf("dsd: CheckpointEvery %d must not be negative", o.CheckpointEvery)
+	}
+	if o.OpTimeout < 0 {
+		return fmt.Errorf("dsd: OpTimeout %v must not be negative", o.OpTimeout)
 	}
 	return nil
 }

@@ -1,8 +1,11 @@
 package dsd
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetdsm/internal/convert"
@@ -86,7 +89,19 @@ type Home struct {
 	lmu       sync.Mutex
 	listeners []transport.Listener
 	conns     map[transport.Conn]bool
+	// queues tracks the bounded per-peer outbound queues (OpTimeout > 0
+	// only) by rank, for /stats and the dsm_transport_queue_depth gauge.
+	queues map[int32]*transport.SendQueue
+	// deadlineHits counts budget-bounded home-side waits (grant acks, sync
+	// acks) that expired on the requester's own stamped budget.
+	deadlineHits atomic.Uint64
 }
+
+// homeQueueCap bounds each peer's outbound queue when the deadline plane
+// is on. Grants and acks are small and the consumer acks promptly in
+// steady state, so a backlog this deep already means the peer is stalled;
+// overflow sheds (the peer's replay re-materializes the grant).
+const homeQueueCap = 64
 
 // Replicator mirrors home-state mutations to a hot standby. Record is
 // called with the home mutex held, so it must only enqueue; Flush blocks
@@ -163,7 +178,7 @@ func NewHome(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options) 
 	if opts.Directory != nil {
 		node = fmt.Sprintf("shard%d@%s", opts.Shard, p.Name)
 	}
-	return &Home{
+	h := &Home{
 		opts:          opts,
 		gthv:          gthv,
 		plat:          p,
@@ -185,7 +200,22 @@ func NewHome(gthv tag.Struct, p *platform.Platform, nthreads int, opts Options) 
 		carried:       make(map[int32]bool),
 		redirectReady: make(chan struct{}),
 		conns:         make(map[transport.Conn]bool),
-	}, nil
+		queues:        make(map[int32]*transport.SendQueue),
+	}
+	if opts.OpTimeout > 0 {
+		opts.Metrics.GaugeFunc("dsm_transport_queue_depth",
+			"frames parked in per-peer bounded outbound queues at the home",
+			func() float64 {
+				var total int
+				h.lmu.Lock()
+				for _, q := range h.queues {
+					total += q.Depth()
+				}
+				h.lmu.Unlock()
+				return float64(total)
+			})
+	}
+	return h, nil
 }
 
 // Platform returns the home platform.
@@ -345,6 +375,16 @@ func (h *Home) Serve(l transport.Listener) {
 // mode instead: every KindPing is answered with a KindPong, so failure
 // detectors probe the same serving path DSD traffic uses.
 func (h *Home) ServeConn(c transport.Conn) {
+	var q *transport.SendQueue
+	if h.opts.OpTimeout > 0 {
+		// Deadline plane on: decouple this stub from a slow consumer. A
+		// peer that stops draining wedges the queue's writer, not the stub;
+		// overflow sheds the frame and the stub treats the conn as broken,
+		// exactly as if the send had failed — the peer's deadline-expired
+		// replay re-materializes whatever was dropped.
+		q = transport.NewSendQueue(c, homeQueueCap, transport.OverflowShed)
+		c = q
+	}
 	h.lmu.Lock()
 	if h.conns != nil {
 		h.conns[c] = true
@@ -377,6 +417,18 @@ func (h *Home) ServeConn(c transport.Conn) {
 	// platform; its pending queue is discarded (the new replica is blank
 	// and will be seeded with the full state).
 	defer h.removePeer(p)
+	if q != nil {
+		h.lmu.Lock()
+		h.queues[p.rank] = q
+		h.lmu.Unlock()
+		defer func() {
+			h.lmu.Lock()
+			if h.queues[p.rank] == q {
+				delete(h.queues, p.rank)
+			}
+			h.lmu.Unlock()
+		}()
+	}
 	for {
 		msg, err := h.recv(c)
 		if err != nil {
@@ -672,7 +724,10 @@ func (h *Home) handleLock(c transport.Conn, p *peer, msg *wire.Message) error {
 		}
 		return err
 	}
-	ack, err := h.recv(c)
+	// The ack wait is bounded by the requester's own budget: if its
+	// deadline passes, it has already severed the conn and will replay the
+	// lock request — waiting longer only pins the grant state.
+	ack, err := h.recvBudget(c, msg.DeadlineMS)
 	if err != nil {
 		if !h.opts.StickyLocks {
 			h.releaseIfHolder(msg.Mutex, p.rank)
@@ -905,7 +960,7 @@ func (h *Home) handleSync(c transport.Conn, p *peer, msg *wire.Message) error {
 	}); err != nil {
 		return err
 	}
-	ack, err := h.recv(c)
+	ack, err := h.recvBudget(c, msg.DeadlineMS)
 	if err != nil {
 		return err
 	}
@@ -1438,8 +1493,46 @@ func (h *Home) send(c transport.Conn, m *wire.Message) error {
 	}
 	h.bd.Add(stats.Pack, time.Since(start))
 	h.hm.frameSent.Observe(float64(len(frame)))
-	return c.SendFrame(frame)
+	if err := c.SendFrame(frame); err != nil {
+		if errors.Is(err, transport.ErrQueueFull) {
+			h.hm.shed.Inc()
+		}
+		return err
+	}
+	return nil
 }
+
+// QueueStat is one peer's bounded-outbound-queue snapshot for /stats.
+type QueueStat struct {
+	Rank      int32
+	Depth     int
+	OldestAge time.Duration
+	Enqueued  uint64
+	Sent      uint64
+	Shed      uint64
+}
+
+// QueueStats snapshots every connected peer's outbound queue, rank order.
+// Empty when the deadline plane is off (no queues exist).
+func (h *Home) QueueStats() []QueueStat {
+	now := time.Now()
+	h.lmu.Lock()
+	out := make([]QueueStat, 0, len(h.queues))
+	for rank, q := range h.queues {
+		enq, sent := q.Progress()
+		out = append(out, QueueStat{
+			Rank: rank, Depth: q.Depth(), OldestAge: q.OldestAge(now),
+			Enqueued: enq, Sent: sent, Shed: q.Shed(),
+		})
+	}
+	h.lmu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// DeadlineExceeded returns how many budget-bounded home-side waits expired
+// on a requester's stamped deadline budget (0 with the plane unused).
+func (h *Home) DeadlineExceeded() uint64 { return h.deadlineHits.Load() }
 
 // recv receives and decodes (t_unpack) a message. Update-bearing
 // requests get an unpack span against their (rank, seq) release id —
@@ -1449,6 +1542,33 @@ func (h *Home) recv(c transport.Conn) (*wire.Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	return h.decode(frame)
+}
+
+// recvBudget receives like recv but bounds the wait by the peer-supplied
+// relative budget (the request's DeadlineMS): the home must not block its
+// stub longer than the peer is willing to wait, or a vanished peer pins
+// home-side state (a granted lock, an undrained pending queue) for the
+// whole TCP timeout. Zero budget means the peer runs undeadlined — wait
+// indefinitely, the seed behavior.
+func (h *Home) recvBudget(c transport.Conn, budgetMS uint32) (*wire.Message, error) {
+	if budgetMS == 0 {
+		return h.recv(c)
+	}
+	frame, err := transport.RecvFrameDeadline(c, time.Now().Add(time.Duration(budgetMS)*time.Millisecond))
+	if err != nil {
+		if errors.Is(err, transport.ErrDeadline) {
+			h.deadlineHits.Add(1)
+			h.hm.deadlines.Inc()
+		}
+		return nil, err
+	}
+	return h.decode(frame)
+}
+
+// decode is recv's second half: unpack a received frame and record its
+// telemetry.
+func (h *Home) decode(frame []byte) (*wire.Message, error) {
 	h.hm.frameRecv.Observe(float64(len(frame)))
 	start := time.Now()
 	m, err := wire.Decode(frame)

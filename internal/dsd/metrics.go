@@ -22,6 +22,7 @@ type threadMetrics struct {
 	locks       *telemetry.Counter
 	barriers    *telemetry.Counter
 	releases    *telemetry.Counter
+	deadlines   *telemetry.Counter
 }
 
 func newThreadMetrics(r *telemetry.Registry) threadMetrics {
@@ -36,6 +37,7 @@ func newThreadMetrics(r *telemetry.Registry) threadMetrics {
 		locks:       r.Counter("dsm_locks_total", "MTh_lock acquisitions"),
 		barriers:    r.Counter("dsm_barriers_total", "MTh_barrier arrivals"),
 		releases:    r.Counter("dsm_releases_total", "releases shipped (unlock, barrier, flush, join)"),
+		deadlines:   r.Counter("dsm_op_deadline_exceeded", "operation attempts that hit their OpTimeout deadline and retried through a fresh connection"),
 	}
 }
 
@@ -48,6 +50,8 @@ type homeMetrics struct {
 	frameSent   *telemetry.Histogram
 	frameRecv   *telemetry.Histogram
 	applies     *telemetry.Counter
+	deadlines   *telemetry.Counter
+	shed        *telemetry.Counter
 }
 
 func newHomeMetrics(r *telemetry.Registry) homeMetrics {
@@ -59,6 +63,8 @@ func newHomeMetrics(r *telemetry.Registry) homeMetrics {
 		frameSent:   r.Histogram("dsm_home_frame_sent_bytes", "encoded frame sizes transmitted by the home"),
 		frameRecv:   r.Histogram("dsm_home_frame_recv_bytes", "encoded frame sizes received by the home"),
 		applies:     r.Counter("dsm_home_applies_total", "update batches applied to the master copy"),
+		deadlines:   r.Counter("dsm_home_op_deadline_exceeded", "budget-bounded waits (grant-ack, sync-ack) that expired at the home"),
+		shed:        r.Counter("dsm_home_frames_shed_total", "outbound frames shed by full per-peer queues (peer retries idempotently)"),
 	}
 }
 

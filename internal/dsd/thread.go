@@ -1,7 +1,9 @@
 package dsd
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -75,6 +77,18 @@ type Thread struct {
 	// wrapper whose OnConnect re-registers with whichever home answers,
 	// and call retries requests across connection failures.
 	rc *transport.Reconn
+
+	// deadline is the current attempt's expiry, armed at the top of each
+	// call attempt when Options.OpTimeout is set; zero means unbounded.
+	// Single-goroutine like the rest of the thread, so unguarded.
+	deadline time.Time
+	// retryRng jitters the backoff between deadline-expired replays so a
+	// cluster of expired ranks does not hammer a recovering home in
+	// lockstep; seeded per rank for reproducibility.
+	retryRng *rand.Rand
+	// deadlineHits counts attempts that expired (mirrors the
+	// dsm_op_deadline_exceeded counter for metric-less threads).
+	deadlineHits atomic.Uint64
 }
 
 // Connect performs the hello handshake over an established connection and
@@ -109,6 +123,7 @@ func Connect(conn transport.Conn, p *platform.Platform, rank int32, gthv tag.Str
 		seg:    seg,
 		tm:     newThreadMetrics(opts.Metrics),
 	}
+	t.initDeadlinePlane()
 	t.globals = newGlobals(p, table, seg)
 	t.globals.ensure = t.ensureValid
 	t.globals.wrote = t.noteLocalWrite
@@ -289,6 +304,7 @@ func DialHABackoff(nw transport.Network, addrs []string, p *platform.Platform, r
 		rc:     rc,
 		tm:     newThreadMetrics(opts.Metrics),
 	}
+	t.initDeadlinePlane()
 	t.globals = newGlobals(p, table, seg)
 	t.globals.ensure = t.ensureValid
 	t.globals.wrote = t.noteLocalWrite
@@ -364,11 +380,23 @@ func (t *Thread) call(m *wire.Message, want wire.Kind) (*wire.Message, error) {
 		// this bounds total patience, not dial count.
 		attempts = 16
 	}
+	// Deadline expiries retry on a separate, larger budget: a lock or
+	// barrier wait legitimately outlives OpTimeout under contention, and
+	// every expiry severed the connection, so the replay is exactly the
+	// reconnect replay the idempotency watermarks already dedup. The cap
+	// only bounds a permanently wedged cluster.
+	deadlineRetries := 0
+	const maxDeadlineRetries = 64
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
+		t.armDeadline()
 		if err := t.send(m); err != nil {
 			if t.rc != nil {
 				lastErr = err
+				if t.deadlineExpired(err) && deadlineRetries < maxDeadlineRetries {
+					deadlineRetries++
+					attempt--
+				}
 				continue
 			}
 			return nil, err
@@ -377,6 +405,10 @@ func (t *Thread) call(m *wire.Message, want wire.Kind) (*wire.Message, error) {
 		if err != nil {
 			if t.rc != nil {
 				lastErr = err
+				if t.deadlineExpired(err) && deadlineRetries < maxDeadlineRetries {
+					deadlineRetries++
+					attempt--
+				}
 				continue
 			}
 			return nil, err
@@ -397,6 +429,41 @@ func (t *Thread) call(m *wire.Message, want wire.Kind) (*wire.Message, error) {
 	}
 	return nil, fmt.Errorf("dsd: too many home redirects")
 }
+
+// initDeadlinePlane arms the per-attempt deadline machinery when
+// Options.OpTimeout is set; with it unset every field stays zero and the
+// send/recv paths take the exact pre-deadline code path.
+func (t *Thread) initDeadlinePlane() {
+	if t.opts.OpTimeout > 0 {
+		t.retryRng = rand.New(rand.NewSource(0x6ea511 + int64(t.rank)))
+	}
+}
+
+// armDeadline starts a fresh attempt budget (no-op with OpTimeout unset).
+func (t *Thread) armDeadline() {
+	if t.opts.OpTimeout > 0 {
+		t.deadline = time.Now().Add(t.opts.OpTimeout)
+	}
+}
+
+// deadlineExpired reports whether err is an attempt-deadline expiry,
+// counting it and sleeping a short jittered backoff so expired ranks do
+// not replay against a recovering home in lockstep.
+func (t *Thread) deadlineExpired(err error) bool {
+	if !errors.Is(err, transport.ErrDeadline) {
+		return false
+	}
+	t.deadlineHits.Add(1)
+	t.tm.deadlines.Inc()
+	if t.retryRng != nil {
+		time.Sleep(time.Duration(t.retryRng.Int63n(int64(4*time.Millisecond))) + time.Millisecond)
+	}
+	return true
+}
+
+// DeadlineExceeded returns how many operation attempts hit their OpTimeout
+// and were retried over a fresh connection (0 with the plane disabled).
+func (t *Thread) DeadlineExceeded() uint64 { return t.deadlineHits.Load() }
 
 // followRedirect reconnects to a moved home and re-registers.
 func (t *Thread) followRedirect(addr string) error {
@@ -470,6 +537,7 @@ func (t *Thread) Lock(idx int) error {
 	}
 	var sendErr error
 	for i := 0; i < attempts; i++ {
+		t.armDeadline()
 		if sendErr = t.send(ack); sendErr == nil {
 			return nil
 		}
@@ -789,6 +857,15 @@ func (t *Thread) sendOn(c transport.Conn, m *wire.Message) error {
 	// Echo the adopted epoch: a stale home that receives a frame stamped
 	// with a higher epoch fences itself.
 	m.Epoch = t.homeEpoch
+	// Stamp the remaining attempt budget (relative, so it survives clock
+	// skew) so the home can bound its own blocking on our behalf. Re-stamped
+	// per transmission: a replay carries its fresh attempt's budget.
+	if !t.deadline.IsZero() {
+		m.DeadlineMS = 0
+		if rem := time.Until(t.deadline); rem > 0 {
+			m.DeadlineMS = uint32(rem/time.Millisecond) + 1
+		}
+	}
 	start := time.Now()
 	frame, err := wire.Encode(m)
 	if err != nil {
@@ -796,7 +873,7 @@ func (t *Thread) sendOn(c transport.Conn, m *wire.Message) error {
 	}
 	t.bd.Add(stats.Pack, time.Since(start))
 	t.tm.frameSent.Observe(float64(len(frame)))
-	return c.SendFrame(frame)
+	return transport.SendFrameDeadline(c, frame, t.deadline)
 }
 
 // recvAny receives and decodes (t_unpack) the next message.
@@ -806,7 +883,7 @@ func (t *Thread) recvAny() (*wire.Message, error) {
 
 // recvOn is recvAny over an explicit connection (see handshakeOn).
 func (t *Thread) recvOn(c transport.Conn) (*wire.Message, error) {
-	frame, err := c.RecvFrame()
+	frame, err := transport.RecvFrameDeadline(c, t.deadline)
 	if err != nil {
 		return nil, err
 	}

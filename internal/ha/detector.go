@@ -23,15 +23,24 @@ const (
 	// detector cannot distinguish a crashed node from a slow or
 	// partitioned one; suspicion is a local verdict, not ground truth.
 	StateSuspect
+	// StateStalled means the node still answers probes (it is not dead)
+	// but has stopped consuming what we send it: the send-progress
+	// watermarks show a backlog with no drain for the stall timeout. A
+	// stalled peer needs the same escalation as a dead one — waiting on it
+	// wedges the sender — but the verdict is reversible: progress resuming
+	// returns it to alive.
+	StateStalled
 )
 
-// String returns "unknown", "alive" or "suspect".
+// String returns "unknown", "alive", "suspect" or "stalled".
 func (s NodeState) String() string {
 	switch s {
 	case StateAlive:
 		return "alive"
 	case StateSuspect:
 		return "suspect"
+	case StateStalled:
+		return "stalled"
 	}
 	return "unknown"
 }

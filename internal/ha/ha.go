@@ -43,6 +43,9 @@ type Counters struct {
 	Pongs atomic.Uint64
 	// Suspicions counts nodes declared suspect.
 	Suspicions atomic.Uint64
+	// Stalls counts stall verdicts: peers alive but not consuming
+	// (send-progress frozen behind a backlog past the stall timeout).
+	Stalls atomic.Uint64
 	// Failovers counts standby promotions.
 	Failovers atomic.Uint64
 	// Reconnects counts client connections re-established after a failure
@@ -64,6 +67,7 @@ func (c *Counters) Map() map[string]uint64 {
 		"heartbeats_sent": c.HeartbeatsSent.Load(),
 		"pongs":           c.Pongs.Load(),
 		"suspicions":      c.Suspicions.Load(),
+		"stalls":          c.Stalls.Load(),
 		"failovers":       c.Failovers.Load(),
 		"reconnects":      c.Reconnects.Load(),
 		"rep_records":     c.RepRecords.Load(),
@@ -101,6 +105,7 @@ func (c *Counters) Register(r *telemetry.Registry) {
 	gauge("dsm_ha_heartbeats_sent", "KindPing probes transmitted", c.HeartbeatsSent.Load)
 	gauge("dsm_ha_pongs", "heartbeat answers received", c.Pongs.Load)
 	gauge("dsm_ha_suspicions", "nodes declared suspect", c.Suspicions.Load)
+	gauge("dsm_ha_stalls", "peers declared stalled (alive but not consuming)", c.Stalls.Load)
 	gauge("dsm_ha_failovers", "standby promotions", c.Failovers.Load)
 	gauge("dsm_ha_reconnects", "client connections re-established after a failure", c.Reconnects.Load)
 	gauge("dsm_ha_rep_records", "replication records streamed to the standby", c.RepRecords.Load)

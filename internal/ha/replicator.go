@@ -103,6 +103,22 @@ func (r *Replicator) Acked() uint64 {
 	return r.acked
 }
 
+// Progress returns the replication watermarks — records enqueued and
+// records acknowledged by the standby — implementing the stall detector's
+// SendProgress: an enqueued count advancing ahead of a frozen ack count is
+// the signature of a stalled (not dead) standby.
+func (r *Replicator) Progress() (enqueued, acked uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next, r.acked
+}
+
+// Abort fails replication from the outside — the stall detector's
+// escalation: Flush waiters unblock and the home degrades to running
+// unreplicated, so a standby that is alive but not consuming cannot wedge
+// every grant behind the durability barrier.
+func (r *Replicator) Abort(err error) { r.fail(err) }
+
 // Close stops replication and releases any Flush waiter.
 func (r *Replicator) Close() error {
 	r.mu.Lock()

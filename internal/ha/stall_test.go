@@ -1,0 +1,157 @@
+package ha_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetdsm/internal/ha"
+	"hetdsm/internal/transport"
+	"hetdsm/internal/vclock"
+	"hetdsm/internal/wire"
+)
+
+// fakeProgress is a hand-cranked SendProgress source.
+type fakeProgress struct{ enq, consumed atomic.Uint64 }
+
+func (f *fakeProgress) Progress() (uint64, uint64) { return f.enq.Load(), f.consumed.Load() }
+
+// advanceUntil cranks the virtual clock until cond holds, with a real-time
+// hang guard.
+func advanceUntil(t *testing.T, vc *vclock.Virtual, step time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never happened", what)
+		}
+		vc.Advance(step)
+		runtime.Gosched()
+	}
+}
+
+// A frozen backlog is declared stalled; consumption resuming reverses the
+// verdict; a second freeze is a second episode.
+func TestStallDetectorDeclaresAndRecovers(t *testing.T) {
+	src := &fakeProgress{}
+	counters := &ha.Counters{}
+	view := ha.NewView()
+	vc := vclock.NewVirtual(time.Time{})
+
+	var stallCalls atomic.Int64
+	d := ha.NewStallDetector(src, "peer", 2*time.Millisecond, 10*time.Millisecond)
+	d.Clock = vc
+	d.Counters = counters
+	d.View = view
+	d.OnStall = func(addr string, reason error) {
+		if addr != "peer" || reason == nil {
+			t.Errorf("OnStall(%q, %v)", addr, reason)
+		}
+		stallCalls.Add(1)
+	}
+	d.Start()
+	defer d.Stop()
+
+	// Backlog of 5, nothing consumed: must be declared stalled.
+	src.enq.Store(5)
+	advanceUntil(t, vc, 2*time.Millisecond, "stall verdict", func() bool {
+		return view.State("peer") == ha.StateStalled
+	})
+	if counters.Stalls.Load() != 1 || stallCalls.Load() != 1 {
+		t.Fatalf("stalls=%d calls=%d, want 1/1", counters.Stalls.Load(), stallCalls.Load())
+	}
+
+	// The peer drains: the verdict reverses.
+	src.consumed.Store(5)
+	advanceUntil(t, vc, 2*time.Millisecond, "recovery", func() bool {
+		return view.State("peer") == ha.StateAlive
+	})
+
+	// A fresh backlog freezes again: a second episode, re-armed OnStall.
+	src.enq.Store(9)
+	advanceUntil(t, vc, 2*time.Millisecond, "second stall verdict", func() bool {
+		return counters.Stalls.Load() == 2
+	})
+	if stallCalls.Load() != 2 {
+		t.Fatalf("OnStall fired %d times, want 2", stallCalls.Load())
+	}
+}
+
+// A drained (or never-used) queue is healthy forever: no backlog, no stall,
+// however much time passes.
+func TestStallDetectorIgnoresIdlePeer(t *testing.T) {
+	src := &fakeProgress{}
+	counters := &ha.Counters{}
+	vc := vclock.NewVirtual(time.Time{})
+	d := ha.NewStallDetector(src, "peer", 2*time.Millisecond, 10*time.Millisecond)
+	d.Clock = vc
+	d.Counters = counters
+	d.Start()
+	defer d.Stop()
+
+	for i := 0; i < 100; i++ {
+		vc.Advance(2 * time.Millisecond)
+		runtime.Gosched()
+	}
+	// Balanced watermarks must stay healthy too.
+	src.enq.Store(7)
+	src.consumed.Store(7)
+	for i := 0; i < 100; i++ {
+		vc.Advance(2 * time.Millisecond)
+		runtime.Gosched()
+	}
+	if n := counters.Stalls.Load(); n != 0 {
+		t.Fatalf("idle peer declared stalled %d times", n)
+	}
+}
+
+// The escalation ladder end to end: a standby that accepts the connection
+// but never acks wedges Flush behind the durability barrier; the stall
+// detector sees the frozen replication watermarks and aborts the
+// replicator, so the home degrades to unreplicated instead of hanging.
+func TestStallEscalationAbortsWedgedReplicator(t *testing.T) {
+	a, _ := transport.Pipe() // the far end never reads nor acks
+	counters := &ha.Counters{}
+	repl := ha.NewReplicator(a, counters)
+	defer repl.Close()
+
+	for i := 0; i < 3; i++ {
+		repl.Record(&wire.Replication{Event: wire.RepLock, Rank: int32(i), Mutex: 0})
+	}
+	flushed := make(chan struct{})
+	go func() { repl.Flush(); close(flushed) }()
+	select {
+	case <-flushed:
+		t.Fatal("Flush returned with nothing acked")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	vc := vclock.NewVirtual(time.Time{})
+	d := ha.NewStallDetector(repl, "standby", 2*time.Millisecond, 10*time.Millisecond)
+	d.Clock = vc
+	d.Counters = counters
+	d.OnStall = func(addr string, reason error) { repl.Abort(reason) }
+	d.Start()
+	defer d.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for done := false; !done; {
+		select {
+		case <-flushed:
+			done = true
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("stall escalation never unblocked Flush")
+			}
+			vc.Advance(2 * time.Millisecond)
+			runtime.Gosched()
+		}
+	}
+	if repl.Err() == nil {
+		t.Fatal("aborted replicator reports no error")
+	}
+	if counters.Stalls.Load() == 0 {
+		t.Fatal("stall not counted")
+	}
+}

@@ -1,0 +1,36 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// A well-behaved body passes: goroutines started and stopped inside the
+// window do not trip the check.
+func TestCheckPassesOnCleanTeardown(t *testing.T) {
+	done := Check(t)
+	stop := make(chan struct{})
+	exited := make(chan struct{})
+	go func() { <-stop; close(exited) }()
+	close(stop)
+	<-exited
+	done()
+}
+
+// The detector actually detects: a goroutine left parked is reported. The
+// failure is observed through a throwaway testing.T so this test passes.
+func TestCheckCatchesLeak(t *testing.T) {
+	leaky := &testing.T{}
+	done := Check(leaky)
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	start := time.Now()
+	done()
+	if !leaky.Failed() {
+		t.Error("leaked goroutine not reported")
+	}
+	if waited := time.Since(start); waited < time.Second {
+		t.Logf("settle window cut short (%v) — fine, the leak persisted", waited)
+	}
+	close(stop)
+}

@@ -56,12 +56,22 @@ const (
 	// (sync-req/reply/ack, dir-forward), and a mid-run shard kill+restart
 	// from its write-ahead log right after an entry migrated onto it.
 	ProfileMigrate Profile = "migrate"
+	// ProfileStall slows every connection with seeded per-frame latency and
+	// periodic full-stall windows (transport.Delayed) — the slow-peer fault
+	// family: frames arrive exactly once, in order and unchanged, only
+	// late. Committed state must therefore be byte-identical to the clean
+	// run; the profile proves timing faults cannot leak into values.
+	ProfileStall Profile = "stall"
+	// ProfileDribble delivers every frame in dribbled chunks with per-frame
+	// latency — the slow-NIC/short-write shape of the stall family.
+	ProfileDribble Profile = "dribble"
 )
 
 // Profiles returns every fault profile, in sweep order.
 func Profiles() []Profile {
 	return []Profile{ProfileClean, ProfileFlaky, ProfilePartition, ProfileFailover,
-		ProfileHandoff, ProfileLostAck, ProfileHomeCrashRestart, ProfileMigrate}
+		ProfileHandoff, ProfileLostAck, ProfileHomeCrashRestart, ProfileMigrate,
+		ProfileStall, ProfileDribble}
 }
 
 // Shardable reports whether the profile composes with Plan.Shards > 1.
@@ -69,7 +79,8 @@ func Profiles() []Profile {
 // partitions, the single home's crash-restart.
 func (p Profile) Shardable() bool {
 	switch p {
-	case ProfileClean, ProfileFlaky, ProfileLostAck, ProfileMigrate:
+	case ProfileClean, ProfileFlaky, ProfileLostAck, ProfileMigrate,
+		ProfileStall, ProfileDribble:
 		return true
 	}
 	return false
@@ -121,9 +132,10 @@ type Plan struct {
 	Negative bool
 	// Shards runs the deployment as a multi-home sharded directory with
 	// this many home shards instead of a single home (default 1; the
-	// migrate profile defaults to 4). Only the clean, flaky, lostack and
-	// migrate profiles compose with Shards > 1 — the others script
-	// single-home fates (failover, handoff, whole-home partitions).
+	// migrate profile defaults to 4). Only the clean, flaky, lostack,
+	// migrate, stall and dribble profiles compose with Shards > 1 — the
+	// others script single-home fates (failover, handoff, whole-home
+	// partitions).
 	Shards int
 }
 
@@ -194,7 +206,7 @@ func (p Plan) Validate() error {
 		return fmt.Errorf("sim: -negative requires the clean profile (got %q): corruption detection is only provable when the corruption is the sole fault", q.Profile)
 	}
 	if q.Shards > 1 && !q.Profile.Shardable() {
-		return fmt.Errorf("sim: profile %q does not compose with -shards %d (want clean, flaky, lostack or migrate — the rest script single-home fates)",
+		return fmt.Errorf("sim: profile %q does not compose with -shards %d (want clean, flaky, lostack, migrate, stall or dribble — the rest script single-home fates)",
 			q.Profile, q.Shards)
 	}
 	return nil

@@ -49,6 +49,7 @@ func runShardedSim(plan Plan, gm GrammarMix, lay layout, homePlat *platform.Plat
 	base := transport.NewInproc()
 	var nw transport.Network = base
 	var biased *BiasedNet
+	var delayed *transport.Delayed
 	switch plan.Profile {
 	case ProfileClean:
 	case ProfileFlaky:
@@ -63,8 +64,18 @@ func runShardedSim(plan Plan, gm GrammarMix, lay layout, homePlat *platform.Plat
 		nw = biased
 		res.FaultLog = append(res.FaultLog,
 			fmt.Sprintf("migrate: dropping {%s} frames with p=0.2", biased.Targets()))
+	case ProfileStall:
+		delayed = transport.NewDelayed(base, stallProfile(plan.Seed))
+		nw = delayed
+		res.FaultLog = append(res.FaultLog,
+			"stall: seeded per-frame latency with periodic full-stall windows")
+	case ProfileDribble:
+		delayed = transport.NewDelayed(base, dribbleProfile(plan.Seed))
+		nw = delayed
+		res.FaultLog = append(res.FaultLog,
+			"dribble: every frame delivered in dribbled chunks with per-frame latency")
 	default:
-		res.Err = fmt.Errorf("sim: profile %q does not compose with -shards %d (want clean, flaky, lostack or migrate)",
+		res.Err = fmt.Errorf("sim: profile %q does not compose with -shards %d (want clean, flaky, lostack, migrate, stall or dribble)",
 			plan.Profile, plan.Shards)
 		return res
 	}
@@ -162,6 +173,10 @@ func runShardedSim(plan Plan, gm GrammarMix, lay layout, homePlat *platform.Plat
 	if biased != nil {
 		res.FaultLog = append(res.FaultLog,
 			fmt.Sprintf("%s: dropped %d frames", plan.Profile, biased.Drops()))
+	}
+	if delayed != nil {
+		res.FaultLog = append(res.FaultLog,
+			fmt.Sprintf("%s: delayed %d frames, %d full stalls", plan.Profile, delayed.Frames(), delayed.Stalls()))
 	}
 
 	events := hist.Events()

@@ -98,6 +98,28 @@ func simBackoff(seed int64, rank int32) transport.Backoff {
 	}
 }
 
+// stallProfile is the slow-peer schedule: seeded per-frame latency plus a
+// network-wide full-stall window every 31st frame. Pure timing — the RC
+// checker must see a canonical trace byte-identical to the clean run.
+func stallProfile(seed int64) transport.DelayProfile {
+	return transport.DelayProfile{
+		Latency:    200 * time.Microsecond,
+		StallEvery: 31,
+		StallFor:   2 * time.Millisecond,
+		Seed:       seed,
+	}
+}
+
+// dribbleProfile is the slow-NIC schedule: every frame's latency paid in
+// four separate dribbled sleeps, modeling trickled writes.
+func dribbleProfile(seed int64) transport.DelayProfile {
+	return transport.DelayProfile{
+		Latency:       300 * time.Microsecond,
+		DribbleChunks: 4,
+		Seed:          seed,
+	}
+}
+
 // Run executes one plan and validates the recorded history. It never
 // panics on protocol misbehavior — everything lands in Result.
 func Run(plan Plan) Result {
@@ -146,6 +168,7 @@ func Run(plan Plan) Result {
 	var snet *Net
 	var corrupt *CorruptNet
 	var biased *BiasedNet
+	var delayed *transport.Delayed
 	switch {
 	case plan.Negative:
 		// Never corrupt the pointer entry: a mangled pointer fails
@@ -163,6 +186,16 @@ func Run(plan Plan) Result {
 		nw = biased
 		res.FaultLog = append(res.FaultLog,
 			fmt.Sprintf("lostack: dropping {%s} frames with p=0.25", biased.Targets()))
+	case plan.Profile == ProfileStall:
+		delayed = transport.NewDelayed(base, stallProfile(plan.Seed))
+		nw = delayed
+		res.FaultLog = append(res.FaultLog,
+			"stall: seeded per-frame latency with periodic full-stall windows")
+	case plan.Profile == ProfileDribble:
+		delayed = transport.NewDelayed(base, dribbleProfile(plan.Seed))
+		nw = delayed
+		res.FaultLog = append(res.FaultLog,
+			"dribble: every frame delivered in dribbled chunks with per-frame latency")
 	}
 
 	// Home-side deployment.
@@ -411,6 +444,10 @@ func Run(plan Plan) Result {
 	}
 	if biased != nil {
 		res.FaultLog = append(res.FaultLog, fmt.Sprintf("lostack: dropped %d frames", biased.Drops()))
+	}
+	if delayed != nil {
+		res.FaultLog = append(res.FaultLog,
+			fmt.Sprintf("%s: delayed %d frames, %d full stalls", plan.Profile, delayed.Frames(), delayed.Stalls()))
 	}
 
 	// Validation: model replay, master comparison, trace cross-check, and

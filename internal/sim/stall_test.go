@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The stall family is pure timing: for a fixed seed the canonical per-rank
+// trace under stall and dribble must be byte-identical to the clean run's —
+// slow frames may move deadlines, never values.
+func TestStallCanonicalMatchesClean(t *testing.T) {
+	for _, seed := range []int64{1, 11, 42} {
+		clean := Run(NewPlan(seed, ProfileClean, "SL"))
+		if !clean.OK() {
+			t.Fatalf("seed %d clean:\n%s", seed, clean.Report())
+		}
+		for _, prof := range []Profile{ProfileStall, ProfileDribble} {
+			res := Run(NewPlan(seed, prof, "SL"))
+			if !res.OK() {
+				t.Fatalf("seed %d %s:\n%s", seed, prof, res.Report())
+			}
+			if !bytes.Equal(res.Canonical, clean.Canonical) {
+				t.Fatalf("seed %d: %s trace diverged from clean:\n--- clean ---\n%s\n--- %s ---\n%s",
+					seed, prof, clean.Canonical, prof, res.Canonical)
+			}
+			if len(res.FaultLog) == 0 {
+				t.Fatalf("seed %d %s: no fault log entries", seed, prof)
+			}
+			last := res.FaultLog[len(res.FaultLog)-1]
+			if !strings.Contains(last, "delayed") {
+				t.Fatalf("seed %d %s: fault log missing delay summary: %q", seed, prof, last)
+			}
+		}
+	}
+}
+
+// The stall profiles compose with the sharded directory; the trace must
+// still match the sharded clean run for the same seed.
+func TestStallShardedCanonicalMatchesClean(t *testing.T) {
+	mk := func(prof Profile) Plan {
+		p := NewPlan(9, prof, "LL")
+		p.Shards = 2
+		return p
+	}
+	clean := Run(mk(ProfileClean))
+	if !clean.OK() {
+		t.Fatalf("sharded clean:\n%s", clean.Report())
+	}
+	for _, prof := range []Profile{ProfileStall, ProfileDribble} {
+		res := Run(mk(prof))
+		if !res.OK() {
+			t.Fatalf("sharded %s:\n%s", prof, res.Report())
+		}
+		if !bytes.Equal(res.Canonical, clean.Canonical) {
+			t.Fatalf("sharded %s trace diverged from clean", prof)
+		}
+	}
+}

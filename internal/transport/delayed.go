@@ -1,0 +1,311 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetdsm/internal/vclock"
+)
+
+// DelayProfile tunes a Delayed network's stall fault family. All three
+// mechanisms only ever change wall-clock timing: frames still arrive
+// exactly once, in order, with unchanged bytes, so committed DSM state is
+// identical to a fault-free run — only latency (and therefore deadline
+// hits) differs.
+type DelayProfile struct {
+	// Latency bounds a seeded uniform per-frame send delay in [0, Latency).
+	Latency time.Duration
+	// DribbleChunks > 1 spreads each frame's delay over that many separate
+	// sleeps, modeling a sender that trickles bytes out (tiny congestion
+	// windows, Nagle-vs-delayed-ack pathologies) instead of pausing once.
+	DribbleChunks int
+	// StallEvery > 0 freezes every Nth frame network-wide for StallFor —
+	// a full-stall window during which that frame makes no progress.
+	StallEvery int
+	// StallFor is the full-stall window length (default 1ms if StallEvery
+	// is set and StallFor is not).
+	StallFor time.Duration
+	// Seed makes the latency draws deterministic.
+	Seed int64
+	// Clock drives delays and deadlines; nil means the system clock.
+	// Tests pass a vclock.Virtual to fire deadlines deterministically.
+	Clock vclock.Clock
+}
+
+// Delayed wraps a Network with the stall fault family: seeded per-frame
+// latency, dribbled writes and full-stall windows (see DelayProfile), plus
+// manual full stalls for tests. It is the alive-but-slow counterpart of
+// Flaky: the peer never dies, it just stops making progress.
+//
+// Conns implement DeadlineConn: a deadline expiring while a frame is
+// delayed or stalled severs the conn and returns ErrDeadline, exactly the
+// behavior a real socket deadline gives on a wedged connection.
+type Delayed struct {
+	inner Network
+	prof  DelayProfile
+	clock vclock.Clock
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	conns []*delayedConn // every conn wrapped so far (StallConns targets)
+
+	frames atomic.Uint64 // frames that went through a delay decision
+	stalls atomic.Uint64 // full-stall windows served (scheduled + manual)
+}
+
+// NewDelayed wraps inner with the given profile.
+func NewDelayed(inner Network, prof DelayProfile) *Delayed {
+	if prof.StallEvery > 0 && prof.StallFor <= 0 {
+		prof.StallFor = time.Millisecond
+	}
+	if prof.DribbleChunks < 1 {
+		prof.DribbleChunks = 1
+	}
+	clock := prof.Clock
+	if clock == nil {
+		clock = vclock.System()
+	}
+	return &Delayed{
+		inner: inner,
+		prof:  prof,
+		clock: clock,
+		rng:   rand.New(rand.NewSource(prof.Seed)),
+	}
+}
+
+// Frames returns how many sends passed through the delay schedule.
+func (d *Delayed) Frames() uint64 { return d.frames.Load() }
+
+// Stalls returns how many full-stall windows were served.
+func (d *Delayed) Stalls() uint64 { return d.stalls.Load() }
+
+// StallConns freezes every connection currently open through this network
+// indefinitely: their sends and receives block until Resume (or until a
+// deadline or Close severs them). Connections dialed or accepted after
+// this call are unaffected — a wedged connection is a per-socket fault
+// (full socket buffer, dead NAT entry), not a dead host, so a fresh dial
+// reaches the peer. This models the scenario the deadline plane exists
+// for: redial-and-replay recovers, waiting does not.
+func (d *Delayed) StallConns() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.conns {
+		c.setStalled(true)
+	}
+}
+
+// Resume unfreezes every connection frozen by StallConns.
+func (d *Delayed) Resume() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.conns {
+		c.setStalled(false)
+	}
+}
+
+// delay draws this frame's latency schedule: the number of sleep chunks,
+// the per-chunk duration, and whether this frame hits a full-stall window.
+func (d *Delayed) delay() (chunks int, chunk time.Duration, stall time.Duration) {
+	n := d.frames.Add(1)
+	var total time.Duration
+	if d.prof.Latency > 0 {
+		d.mu.Lock()
+		total = time.Duration(d.rng.Int63n(int64(d.prof.Latency)))
+		d.mu.Unlock()
+	}
+	chunks = d.prof.DribbleChunks
+	chunk = total / time.Duration(chunks)
+	if d.prof.StallEvery > 0 && n%uint64(d.prof.StallEvery) == 0 {
+		stall = d.prof.StallFor
+		d.stalls.Add(1)
+	}
+	return chunks, chunk, stall
+}
+
+// Listen implements Network.
+func (d *Delayed) Listen(addr string) (Listener, error) {
+	l, err := d.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &delayedListener{inner: l, d: d}, nil
+}
+
+// Dial implements Network.
+func (d *Delayed) Dial(addr string) (Conn, error) {
+	c, err := d.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return d.wrap(c), nil
+}
+
+func (d *Delayed) wrap(c Conn) *delayedConn {
+	dc := &delayedConn{inner: c, d: d, resume: make(chan struct{})}
+	close(dc.resume) // not stalled: a closed chan never blocks
+	d.mu.Lock()
+	d.conns = append(d.conns, dc)
+	d.mu.Unlock()
+	return dc
+}
+
+type delayedListener struct {
+	inner Listener
+	d     *Delayed
+}
+
+func (l *delayedListener) Accept() (Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.d.wrap(c), nil
+}
+
+func (l *delayedListener) Close() error { return l.inner.Close() }
+func (l *delayedListener) Addr() string { return l.inner.Addr() }
+
+// delayedConn injects the schedule around an inner Conn. The stall gate is
+// a swappable channel: closed means flowing, open means frozen until the
+// channel is closed by Resume.
+type delayedConn struct {
+	inner Conn
+	d     *Delayed
+
+	mu     sync.Mutex
+	resume chan struct{}
+	closed bool
+	down   chan struct{} // lazily created close signal
+}
+
+func (c *delayedConn) setStalled(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.resume:
+		// currently flowing
+		if on {
+			c.resume = make(chan struct{})
+		}
+	default:
+		// currently frozen
+		if !on {
+			close(c.resume)
+		}
+	}
+}
+
+func (c *delayedConn) gate() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resume
+}
+
+func (c *delayedConn) closedCh() chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down == nil {
+		c.down = make(chan struct{})
+	}
+	return c.down
+}
+
+// wait blocks for the conn's stall gate plus the scheduled delay, bounded
+// by the (possibly zero) deadline on the network's clock. It reports
+// ErrDeadline/ErrClosed, or nil once the frame may proceed.
+func (c *delayedConn) wait(deadline time.Time) error {
+	var expire <-chan time.Time
+	if !deadline.IsZero() {
+		expire = c.d.clock.After(deadline.Sub(c.d.clock.Now()))
+	}
+	down := c.closedCh()
+	// Manual stall gate first: block while frozen.
+	select {
+	case <-c.gate():
+	case <-down:
+		return ErrClosed
+	case <-expire:
+		c.Close()
+		return ErrDeadline
+	}
+	chunks, chunk, stall := c.d.delay()
+	if stall > 0 {
+		select {
+		case <-c.d.clock.After(stall):
+		case <-down:
+			return ErrClosed
+		case <-expire:
+			c.Close()
+			return ErrDeadline
+		}
+	}
+	for i := 0; i < chunks && chunk > 0; i++ {
+		select {
+		case <-c.d.clock.After(chunk):
+		case <-down:
+			return ErrClosed
+		case <-expire:
+			c.Close()
+			return ErrDeadline
+		}
+	}
+	return nil
+}
+
+func (c *delayedConn) SendFrame(frame []byte) error {
+	if err := c.wait(time.Time{}); err != nil {
+		return err
+	}
+	return c.inner.SendFrame(frame)
+}
+
+func (c *delayedConn) RecvFrame() ([]byte, error) {
+	// Receives pay no scheduled latency (the sender already did) but do
+	// honor a freeze: a wedged link delivers nothing in either direction.
+	down := c.closedCh()
+	select {
+	case <-c.gate():
+	case <-down:
+		return nil, ErrClosed
+	}
+	return c.inner.RecvFrame()
+}
+
+func (c *delayedConn) SendFrameDeadline(frame []byte, deadline time.Time) error {
+	if err := c.wait(deadline); err != nil {
+		return err
+	}
+	return SendFrameDeadline(c.inner, frame, deadline)
+}
+
+func (c *delayedConn) RecvFrameDeadline(deadline time.Time) ([]byte, error) {
+	var expire <-chan time.Time
+	if !deadline.IsZero() {
+		expire = c.d.clock.After(deadline.Sub(c.d.clock.Now()))
+	}
+	down := c.closedCh()
+	select {
+	case <-c.gate():
+	case <-down:
+		return nil, ErrClosed
+	case <-expire:
+		c.Close()
+		return nil, ErrDeadline
+	}
+	return RecvFrameDeadline(c.inner, deadline)
+}
+
+func (c *delayedConn) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		if c.down == nil {
+			c.down = make(chan struct{})
+		}
+		close(c.down)
+	}
+	c.mu.Unlock()
+	return c.inner.Close()
+}

@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelayedDeliversUnchanged: whatever the delay profile, every frame
+// arrives exactly once, in order, with unchanged bytes.
+func TestDelayedDeliversUnchanged(t *testing.T) {
+	profiles := []DelayProfile{
+		{},
+		{Latency: 200 * time.Microsecond, Seed: 7},
+		{Latency: 300 * time.Microsecond, DribbleChunks: 4, Seed: 7},
+		{Latency: 100 * time.Microsecond, StallEvery: 3, StallFor: 500 * time.Microsecond, Seed: 9},
+	}
+	for pi, prof := range profiles {
+		inner := NewInproc()
+		d := NewDelayed(inner, prof)
+		l, err := d.Listen("h")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvCh := make(chan Conn, 1)
+		go func() {
+			c, err := l.Accept()
+			if err == nil {
+				srvCh <- c
+			}
+		}()
+		c, err := d.Dial("h")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := <-srvCh
+		for i := 0; i < 20; i++ {
+			want := []byte{byte(pi), byte(i), byte(i * 3)}
+			if err := c.SendFrame(append([]byte(nil), want...)); err != nil {
+				t.Fatalf("profile %d send %d: %v", pi, i, err)
+			}
+			got, err := srv.RecvFrame()
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("profile %d frame %d: got %v/%v, want %v", pi, i, got, err, want)
+			}
+		}
+		if prof.StallEvery > 0 && d.Stalls() == 0 {
+			t.Errorf("profile %d: no stall windows served", pi)
+		}
+		c.Close()
+		srv.Close()
+		l.Close()
+	}
+}
+
+// TestDelayedStallResume: StallConns freezes existing conns in both
+// directions; Resume releases them; conns dialed during the stall flow.
+func TestDelayedStallResume(t *testing.T) {
+	inner := NewInproc()
+	d := NewDelayed(inner, DelayProfile{})
+	l, err := d.Listen("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c Conn) {
+				for {
+					f, err := c.RecvFrame()
+					if err != nil {
+						return
+					}
+					c.SendFrame(f) // echo
+				}
+			}(c)
+		}
+	}()
+	c, err := d.Dial("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendFrame([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := c.RecvFrame(); err != nil || string(f) != "a" {
+		t.Fatalf("echo: %q, %v", f, err)
+	}
+
+	d.StallConns()
+	sent := make(chan error, 1)
+	go func() { sent <- c.SendFrame([]byte("b")) }()
+	select {
+	case err := <-sent:
+		t.Fatalf("send on stalled conn returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	// A fresh dial during the stall is clean: the fault is per-connection.
+	c2, err := d.Dial("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.SendFrame([]byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := c2.RecvFrame(); err != nil || string(f) != "c" {
+		t.Fatalf("fresh conn echo during stall: %q, %v", f, err)
+	}
+
+	d.Resume()
+	select {
+	case err := <-sent:
+		if err != nil {
+			t.Fatalf("send after resume: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled send never resumed")
+	}
+	if f, err := c.RecvFrame(); err != nil || string(f) != "b" {
+		t.Fatalf("echo after resume: %q, %v", f, err)
+	}
+	c.Close()
+	c2.Close()
+	l.Close()
+}
+
+// TestDelayedCloseUnblocksStalledSend: closing a stalled conn frees its
+// blocked sender with ErrClosed — teardown must not leak goroutines.
+func TestDelayedCloseUnblocksStalledSend(t *testing.T) {
+	inner := NewInproc()
+	d := NewDelayed(inner, DelayProfile{})
+	if _, err := d.Listen("h"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Dial("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StallConns()
+	sent := make(chan error, 1)
+	go func() { sent <- c.SendFrame([]byte("x")) }()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-sent:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("got %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close never unblocked the stalled send")
+	}
+}

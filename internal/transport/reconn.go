@@ -73,6 +73,7 @@ type Reconn struct {
 
 	mu     sync.Mutex
 	addrs  []string
+	gen    uint64 // bumped by SetAddrs; ensure() discards dials from older lists
 	cur    Conn
 	broken bool
 	closed bool
@@ -122,11 +123,15 @@ func (r *Reconn) Reconnects() uint64 {
 func (r *Reconn) Attempts() uint64 { return r.attempts.Load() }
 
 // SetAddrs replaces the candidate address list (e.g. after a redirect
-// names a new home) and forces a redial on next use.
+// names a new home) and forces a redial on next use. The generation bump
+// invalidates any ensure() in flight: a dial that raced this call and
+// connected to an address from the old list is discarded rather than
+// installed, so the redirect cannot be silently undone.
 func (r *Reconn) SetAddrs(addrs []string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.addrs = append([]string(nil), addrs...)
+	r.gen++
 	if r.cur != nil {
 		r.cur.Close()
 	}
@@ -168,6 +173,7 @@ func (r *Reconn) ensure() (Conn, error) {
 		r.cur = nil
 	}
 	addrs := append([]string(nil), r.addrs...)
+	gen := r.gen
 	r.mu.Unlock()
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("transport: reconn has no addresses")
@@ -177,6 +183,12 @@ func (r *Reconn) ensure() (Conn, error) {
 	for attempt := 0; attempt < r.policy.Attempts; attempt++ {
 		r.mu.Lock()
 		closed := r.closed
+		if r.gen != gen {
+			// SetAddrs replaced the candidate list mid-loop (a redirect);
+			// retarget the remaining attempts at the fresh list.
+			addrs = append([]string(nil), r.addrs...)
+			gen = r.gen
+		}
 		d := r.policy.Delay(attempt, r.rng)
 		r.mu.Unlock()
 		if closed {
@@ -184,6 +196,10 @@ func (r *Reconn) ensure() (Conn, error) {
 		}
 		if d > 0 {
 			time.Sleep(d)
+		}
+		if len(addrs) == 0 {
+			lastErr = fmt.Errorf("transport: reconn has no addresses")
+			continue
 		}
 		addr := addrs[attempt%len(addrs)]
 		r.attempts.Add(1)
@@ -204,6 +220,18 @@ func (r *Reconn) ensure() (Conn, error) {
 			r.mu.Unlock()
 			c.Close()
 			return nil, ErrClosed
+		}
+		if r.gen != gen {
+			// The list changed while this dial was in flight: the conn may
+			// target a stale address, and installing it would clobber the
+			// broken flag SetAddrs just raised. Discard it and retry
+			// against the new list.
+			addrs = append([]string(nil), r.addrs...)
+			gen = r.gen
+			r.mu.Unlock()
+			c.Close()
+			lastErr = fmt.Errorf("transport: address list changed during dial")
+			continue
 		}
 		// Rotate the successful address to the front so steady-state
 		// traffic keeps using it.
@@ -256,6 +284,45 @@ func (r *Reconn) RecvFrame() ([]byte, error) {
 	c := r.cur
 	r.mu.Unlock()
 	f, err := c.RecvFrame()
+	if err != nil {
+		r.markBroken(c)
+		return nil, err
+	}
+	return f, nil
+}
+
+// SendFrameDeadline implements DeadlineConn: the deadline bounds this
+// attempt's transmission on the live conn (falling back to an unbounded
+// send when the underlying transport has no deadline support). A missed
+// deadline marks the conn broken so the caller's retry redials.
+func (r *Reconn) SendFrameDeadline(frame []byte, deadline time.Time) error {
+	c, err := r.ensure()
+	if err != nil {
+		return err
+	}
+	if err := SendFrameDeadline(c, frame, deadline); err != nil {
+		r.markBroken(c)
+		return err
+	}
+	return nil
+}
+
+// RecvFrameDeadline implements DeadlineConn. Like RecvFrame it never
+// redials; a missed deadline surfaces so the caller's retry loop re-sends
+// the request (which heals the conn).
+func (r *Reconn) RecvFrameDeadline(deadline time.Time) ([]byte, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if r.broken || r.cur == nil {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c := r.cur
+	r.mu.Unlock()
+	f, err := RecvFrameDeadline(c, deadline)
 	if err != nil {
 		r.markBroken(c)
 		return nil, err

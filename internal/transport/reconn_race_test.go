@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// holdNet wraps a Network and lets the test freeze dials to one address,
+// pinning the exact window where SetAddrs can race an in-flight ensure().
+type holdNet struct {
+	inner Network
+
+	mu   sync.Mutex
+	held map[string]chan struct{}
+}
+
+func newHoldNet(inner Network) *holdNet {
+	return &holdNet{inner: inner, held: make(map[string]chan struct{})}
+}
+
+func (h *holdNet) hold(addr string) chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := make(chan struct{})
+	h.held[addr] = ch
+	return ch
+}
+
+func (h *holdNet) Listen(addr string) (Listener, error) { return h.inner.Listen(addr) }
+
+func (h *holdNet) Dial(addr string) (Conn, error) {
+	h.mu.Lock()
+	gate := h.held[addr]
+	h.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	return h.inner.Dial(addr)
+}
+
+// TestReconnSetAddrsDuringDial pins the stale-address race: SetAddrs lands
+// while ensure() has a dial to the old address in flight. The dial's
+// success must NOT be installed — installing it would clobber the broken
+// flag SetAddrs raised and silently undo the redirect. The next frame must
+// reach the new address. Run under -race: the regression this pins was a
+// logical race on addrs/broken between SetAddrs and ensure's success path.
+func TestReconnSetAddrsDuringDial(t *testing.T) {
+	inner := NewInproc()
+	nw := newHoldNet(inner)
+
+	recvAt := func(addr string) <-chan []byte {
+		l, err := inner.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(chan []byte, 16)
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go func(c Conn) {
+					for {
+						f, err := c.RecvFrame()
+						if err != nil {
+							return
+						}
+						out <- f
+					}
+				}(c)
+			}
+		}()
+		return out
+	}
+	oldFrames := recvAt("old")
+	newFrames := recvAt("new")
+
+	r := NewReconn(nw, []string{"old"}, Backoff{Base: time.Millisecond, Max: time.Millisecond, Factor: 1, Attempts: 50})
+	gate := nw.hold("old")
+
+	sent := make(chan error, 1)
+	go func() { sent <- r.SendFrame([]byte("payload")) }()
+	// Wait until the dial to "old" is actually parked on the gate.
+	for {
+		r.mu.Lock()
+		inFlight := r.attempts.Load() > 0
+		r.mu.Unlock()
+		if inFlight {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The redirect lands mid-dial.
+	r.SetAddrs([]string{"new"})
+	close(gate) // old dial now completes — too late to matter
+
+	if err := <-sent; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case <-newFrames:
+	case f := <-oldFrames:
+		t.Fatalf("frame %q delivered to the stale address after SetAddrs", f)
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame never delivered")
+	}
+	if addr := r.Addr(); addr != "new" {
+		t.Fatalf("reconn settled on %q, want %q", addr, "new")
+	}
+	r.Close()
+}
+
+// TestReconnSetAddrsStorm hammers SetAddrs against concurrent traffic so
+// -race can inspect every interleaving of the address-list handoff.
+func TestReconnSetAddrsStorm(t *testing.T) {
+	inner := NewInproc()
+	for _, addr := range []string{"a", "b"} {
+		l, err := inner.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go func(c Conn) {
+					for {
+						if _, err := c.RecvFrame(); err != nil {
+							return
+						}
+					}
+				}(c)
+			}
+		}()
+	}
+	r := NewReconn(inner, []string{"a"}, Backoff{Base: time.Microsecond, Max: time.Microsecond, Factor: 1, Attempts: 200})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		lists := [][]string{{"a"}, {"b"}, {"a", "b"}, {"b", "a"}}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.SetAddrs(lists[i%len(lists)])
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 300; i++ {
+			r.SendFrame([]byte{byte(i)}) // errors fine; hangs and races are not
+		}
+	}()
+	waitSends := make(chan struct{})
+	go func() { wg.Wait(); close(waitSends) }()
+	select {
+	case <-waitSends:
+	case <-time.After(30 * time.Second):
+		t.Fatal("storm hung")
+	}
+	r.Close()
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"hetdsm/internal/wire"
 )
@@ -14,6 +15,21 @@ import (
 // maxFrame bounds a received frame length: the single 64 MiB limit both
 // layers share lives in the wire package.
 const maxFrame = wire.MaxFrame
+
+// keepAlivePeriod is the TCP keep-alive probe interval. Without probes a
+// silently-dead peer (yanked cable, NAT entry expired, machine powered
+// off) holds its connection slot forever because no traffic ever forces
+// the kernel to notice; half an hour of kernel defaults is far too slow
+// for a DSM whose locks sit behind these connections.
+const keepAlivePeriod = 30 * time.Second
+
+// tuneTCP enables keep-alives on every dialed and accepted connection.
+func tuneTCP(nc net.Conn) {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(keepAlivePeriod)
+	}
+}
 
 // TCP is a Network over stdlib net. Addresses are host:port strings;
 // Listen accepts ":0" style addresses and Addr reports the bound port.
@@ -34,6 +50,7 @@ func (TCP) Dial(addr string) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
+	tuneTCP(nc)
 	return newTCPConn(nc), nil
 }
 
@@ -46,6 +63,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, ErrClosed
 	}
+	tuneTCP(nc)
 	return newTCPConn(nc), nil
 }
 
@@ -106,3 +124,69 @@ func (c *tcpConn) RecvFrame() ([]byte, error) {
 }
 
 func (c *tcpConn) Close() error { return c.nc.Close() }
+
+// SendFrameDeadline implements DeadlineConn with a real socket write
+// deadline. A timeout can strand a half-written frame in the stream, so
+// the conn is closed before ErrDeadline is returned.
+func (c *tcpConn) SendFrameDeadline(frame []byte, deadline time.Time) error {
+	if deadline.IsZero() {
+		return c.SendFrame(frame)
+	}
+	if len(frame) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.nc.SetWriteDeadline(deadline); err != nil {
+		return ErrClosed
+	}
+	defer c.nc.SetWriteDeadline(time.Time{})
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return c.opErr(err)
+	}
+	if _, err := c.w.Write(frame); err != nil {
+		return c.opErr(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return c.opErr(err)
+	}
+	return nil
+}
+
+// RecvFrameDeadline implements DeadlineConn with a real socket read
+// deadline. A timeout can strand a half-read frame (desynced framing), so
+// the conn is closed before ErrDeadline is returned.
+func (c *tcpConn) RecvFrameDeadline(deadline time.Time) ([]byte, error) {
+	if deadline.IsZero() {
+		return c.RecvFrame()
+	}
+	if err := c.nc.SetReadDeadline(deadline); err != nil {
+		return nil, ErrClosed
+	}
+	defer c.nc.SetReadDeadline(time.Time{})
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, c.opErr(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c.r, frame); err != nil {
+		return nil, c.opErr(err)
+	}
+	return frame, nil
+}
+
+// opErr maps a deadline expiry to ErrDeadline (severing the conn — the
+// stream may be mid-frame) and everything else to ErrClosed.
+func (c *tcpConn) opErr(err error) error {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		c.nc.Close()
+		return ErrDeadline
+	}
+	return ErrClosed
+}

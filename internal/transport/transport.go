@@ -12,10 +12,18 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned by operations on a closed connection or listener.
 var ErrClosed = errors.New("transport: closed")
+
+// ErrDeadline is returned by deadline-bounded frame operations when the
+// budget expires before the frame moves. On a stream transport a missed
+// deadline can leave a frame half-transferred, so implementations sever
+// the connection before returning it; callers must treat the conn as
+// broken and redial.
+var ErrDeadline = errors.New("transport: deadline exceeded")
 
 // Conn is a bidirectional, ordered, reliable frame connection.
 type Conn interface {
@@ -45,6 +53,39 @@ type Network interface {
 	Listen(addr string) (Listener, error)
 	// Dial connects to a listener.
 	Dial(addr string) (Conn, error)
+}
+
+// DeadlineConn is optionally implemented by Conns whose frame operations
+// can be bounded by an absolute deadline. A zero deadline means no bound
+// (plain SendFrame/RecvFrame semantics). After ErrDeadline the connection
+// is no longer usable.
+type DeadlineConn interface {
+	Conn
+	// SendFrameDeadline transmits one frame, failing with ErrDeadline if
+	// the frame has not been handed to the transport by the deadline.
+	SendFrameDeadline(frame []byte, deadline time.Time) error
+	// RecvFrameDeadline blocks for the next frame until the deadline.
+	RecvFrameDeadline(deadline time.Time) ([]byte, error)
+}
+
+// SendFrameDeadline sends one frame with an absolute deadline when the
+// conn supports deadlines, and falls back to an unbounded SendFrame
+// otherwise (or when deadline is zero). The fallback keeps deadline-free
+// transports working unchanged; only deadline-capable paths gain bounded
+// blocking.
+func SendFrameDeadline(c Conn, frame []byte, deadline time.Time) error {
+	if dc, ok := c.(DeadlineConn); ok && !deadline.IsZero() {
+		return dc.SendFrameDeadline(frame, deadline)
+	}
+	return c.SendFrame(frame)
+}
+
+// RecvFrameDeadline is the receive counterpart of SendFrameDeadline.
+func RecvFrameDeadline(c Conn, deadline time.Time) ([]byte, error) {
+	if dc, ok := c.(DeadlineConn); ok && !deadline.IsZero() {
+		return dc.RecvFrameDeadline(deadline)
+	}
+	return c.RecvFrame()
 }
 
 // --- In-process transport ---
@@ -177,4 +218,58 @@ func (c *pipeConn) RecvFrame() ([]byte, error) {
 func (c *pipeConn) Close() error {
 	c.close()
 	return nil
+}
+
+// SendFrameDeadline implements DeadlineConn. Pipes keep frame boundaries
+// on a missed deadline, but the conn is severed anyway so every transport
+// reports the same post-deadline contract.
+func (c *pipeConn) SendFrameDeadline(frame []byte, deadline time.Time) error {
+	if deadline.IsZero() {
+		return c.SendFrame(frame)
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case c.send <- frame:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	case <-timer.C:
+		c.close()
+		return ErrDeadline
+	}
+}
+
+// RecvFrameDeadline implements DeadlineConn.
+func (c *pipeConn) RecvFrameDeadline(deadline time.Time) ([]byte, error) {
+	if deadline.IsZero() {
+		return c.RecvFrame()
+	}
+	select {
+	case f := <-c.recv:
+		return f, nil
+	default:
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case f := <-c.recv:
+		return f, nil
+	case <-c.done:
+		// One more non-blocking look: a frame may have raced with close.
+		select {
+		case f := <-c.recv:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-timer.C:
+		c.close()
+		return nil, ErrDeadline
+	}
 }

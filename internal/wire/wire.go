@@ -336,6 +336,13 @@ type Message struct {
 	// message (the ship span for releases); receiver-side spans parent to
 	// it so the cross-node DAG stitches by id, not by (rank, seq) guess.
 	ParentSpan uint64
+	// DeadlineMS is the remaining per-operation budget in milliseconds,
+	// stamped by the client when dsd.Options.OpTimeout is set. It is a
+	// relative budget, not an absolute timestamp, so it survives clock
+	// skew between nodes; a receiver uses it to bound its own blocking on
+	// behalf of this request (e.g. the home's grant-ack wait). Zero means
+	// unbounded (the seed behavior).
+	DeadlineMS uint32
 }
 
 // FlagWarmReplica marks a Hello from a thread whose replica is already
@@ -408,6 +415,7 @@ func Encode(m *Message) ([]byte, error) {
 	}
 	buf = be64(buf, m.TraceID)
 	buf = be64(buf, m.ParentSpan)
+	buf = be32(buf, m.DeadlineMS)
 	return buf, nil
 }
 
@@ -560,6 +568,7 @@ func Decode(b []byte) (*Message, error) {
 	}
 	m.TraceID = d.u64()
 	m.ParentSpan = d.u64()
+	m.DeadlineMS = d.u32()
 	if d.err != nil {
 		return nil, d.err
 	}

@@ -20,6 +20,7 @@ func sampleMessage() *Message {
 			{Entry: 1, First: 10, Count: 3, Tag: "(4,3)", Data: []byte{0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3}},
 			{Entry: 4, First: 0, Count: 1, Tag: "(4,1)", Data: []byte{0, 0, 0, 9}},
 		},
+		DeadlineMS: 250,
 	}
 }
 
